@@ -1,0 +1,56 @@
+"""Shared fixtures and helpers for the figure benchmarks.
+
+Every ``test_figNN_*`` benchmark regenerates the corresponding paper
+figure at the ``bench`` scale (see :mod:`repro.experiments.scales`),
+prints the series the paper plots, and asserts the qualitative *shape*
+of the result (who wins, in which direction the curves move).  Absolute
+numbers differ from the paper — C++ on 2008 hardware vs pure Python on
+a synthetic workload — but the shapes are the reproducible claim.
+
+Run with:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult, format_table
+from repro.experiments.scales import ExperimentScale
+
+# A step up from the unit-test scale so the trends are visible, while
+# keeping the full suite in minutes.
+FIGURE_SCALE = ExperimentScale(
+    name="figure-bench",
+    n_pois=1500,
+    n_trajectories=12,
+    n_timestamps=400,
+    max_groups=1,
+    alpha=12,
+    split_level=2,
+)
+
+
+def series_by_method(
+    result: ExperimentResult, measure: str
+) -> dict[str, list[float]]:
+    """Method -> list of y-values in sweep order."""
+    return {
+        method: [v for _, v in points]
+        for method, points in result.series(measure).items()
+    }
+
+
+def print_figure(result: ExperimentResult) -> None:
+    print()
+    for measure in ("update_events", "update_frequency", "packets", "cpu_seconds"):
+        print(format_table(result, measure))
+        print()
+
+
+def total(values: list[float]) -> float:
+    return sum(values)
+
+
+@pytest.fixture(scope="session")
+def figure_scale() -> ExperimentScale:
+    return FIGURE_SCALE

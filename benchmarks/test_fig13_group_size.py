@@ -1,0 +1,45 @@
+"""Fig. 13: effect of the group size m on MPN (both datasets).
+
+Paper shape: the update frequency of Tile is less than half of
+Circle's; Tile-D reduces it further; Circle computes fastest; CPU time
+grows with m.  We assert the ordering (Tile < Circle, Tile-D <= Tile)
+and that Circle is the cheapest to compute.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_figure, series_by_method, total
+from repro.experiments.figures import fig13_group_size
+
+
+def _run(figure_scale, dataset_name):
+    return fig13_group_size(
+        scale=figure_scale, dataset_name=dataset_name, group_sizes=(2, 3, 4)
+    )
+
+
+def test_fig13_geolife(benchmark, figure_scale):
+    result = benchmark.pedantic(
+        _run, args=(figure_scale, "geolife"), rounds=1, iterations=1
+    )
+    print_figure(result)
+    events = series_by_method(result, "update_events")
+    packets = series_by_method(result, "packets")
+    cpu = series_by_method(result, "cpu_seconds")
+    assert total(events["Tile"]) < total(events["Circle"])
+    assert total(events["Tile-D"]) <= total(events["Tile"]) * 1.05
+    assert total(packets["Tile-D"]) < total(packets["Circle"])
+    assert total(cpu["Circle"]) < total(cpu["Tile"])
+    assert total(cpu["Circle"]) < total(cpu["Tile-D"])
+
+
+def test_fig13_oldenburg(benchmark, figure_scale):
+    result = benchmark.pedantic(
+        _run, args=(figure_scale, "oldenburg"), rounds=1, iterations=1
+    )
+    print_figure(result)
+    events = series_by_method(result, "update_events")
+    cpu = series_by_method(result, "cpu_seconds")
+    assert total(events["Tile"]) < total(events["Circle"])
+    assert total(events["Tile-D"]) <= total(events["Tile"]) * 1.05
+    assert total(cpu["Circle"]) < total(cpu["Tile"])

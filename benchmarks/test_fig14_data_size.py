@@ -1,0 +1,27 @@
+"""Fig. 14: effect of the POI count n on MPN.
+
+Paper shape: update frequency grows with n for every method (denser
+POIs mean more competitors and smaller safe regions), and Circle
+degrades faster than the tile-based methods.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_figure, series_by_method, total
+from repro.experiments.figures import fig14_data_size
+
+
+def test_fig14(benchmark, figure_scale):
+    result = benchmark.pedantic(
+        lambda: fig14_data_size(scale=figure_scale, fractions=(0.25, 0.5, 1.0)),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(result)
+    events = series_by_method(result, "update_events")
+    # Growth with n: the largest dataset must beat the smallest.
+    for method in ("Circle", "Tile", "Tile-D"):
+        assert events[method][-1] >= events[method][0]
+    # Tiles dominate circles across the sweep.
+    assert total(events["Tile"]) < total(events["Circle"])
+    assert total(events["Tile-D"]) <= total(events["Tile"]) * 1.05

@@ -1,0 +1,25 @@
+"""Fig. 15: effect of the user speed on MPN.
+
+Paper shape: faster users escape their safe regions sooner, so update
+frequency and communication cost grow with speed for every method.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_figure, series_by_method, total
+from repro.experiments.figures import fig15_speed
+
+
+def test_fig15(benchmark, figure_scale):
+    result = benchmark.pedantic(
+        lambda: fig15_speed(scale=figure_scale, fractions=(0.25, 0.5, 1.0)),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(result)
+    events = series_by_method(result, "update_events")
+    packets = series_by_method(result, "packets")
+    for method in ("Circle", "Tile", "Tile-D"):
+        assert events[method][-1] > events[method][0]
+        assert packets[method][-1] > packets[method][0]
+    assert total(events["Tile"]) < total(events["Circle"])

@@ -1,0 +1,30 @@
+"""Fig. 16: effect of the buffering parameter b on MPN.
+
+Paper shape: Tile-D-b computes much faster than Tile-D (it touches the
+R-tree once), and its update frequency converges to Tile-D's as b
+grows; any b in [10, 100] is safe.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_figure, series_by_method, total
+from repro.experiments.figures import fig16_buffering
+
+
+def test_fig16(benchmark, figure_scale):
+    result = benchmark.pedantic(
+        lambda: fig16_buffering(scale=figure_scale, b_values=(10, 50, 100)),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(result)
+    events = series_by_method(result, "update_events")
+    cpu = series_by_method(result, "cpu_seconds")
+    # Buffering is a CPU saving at every b.
+    assert total(cpu["Tile-D-b"]) < total(cpu["Tile-D"])
+    # Update frequency converges toward Tile-D from above as b grows:
+    # the largest b must be within a modest factor of the reference.
+    assert events["Tile-D-b"][-1] <= events["Tile-D"][-1] * 1.25 + 2
+    # Buffering never *improves* update frequency below the reference
+    # by construction (it only restricts safe regions).
+    assert events["Tile-D-b"][-1] >= events["Tile-D"][-1] * 0.95 - 2

@@ -1,0 +1,24 @@
+"""Fig. 17: effect of the group size m on Sum-MPN.
+
+Paper shape: same trends as the MPN experiment (Fig. 13) — tile-based
+safe regions beat circles on update frequency and packets.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_figure, series_by_method, total
+from repro.experiments.figures import fig17_sum_group_size
+
+
+def test_fig17(benchmark, figure_scale):
+    result = benchmark.pedantic(
+        lambda: fig17_sum_group_size(scale=figure_scale, group_sizes=(2, 3, 4)),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(result)
+    events = series_by_method(result, "update_events")
+    cpu = series_by_method(result, "cpu_seconds")
+    assert total(events["Tile"]) < total(events["Circle"])
+    assert total(events["Tile-D"]) <= total(events["Tile"]) * 1.05
+    assert total(cpu["Circle"]) < total(cpu["Tile"])

@@ -1,0 +1,23 @@
+"""Fig. 18: effect of the POI count n on Sum-MPN.
+
+Paper shape: update frequency grows with n; the tile-based methods
+increase at a slower rate than Circle.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_figure, series_by_method, total
+from repro.experiments.figures import fig18_sum_data_size
+
+
+def test_fig18(benchmark, figure_scale):
+    result = benchmark.pedantic(
+        lambda: fig18_sum_data_size(scale=figure_scale, fractions=(0.25, 0.5, 1.0)),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(result)
+    events = series_by_method(result, "update_events")
+    for method in ("Circle", "Tile", "Tile-D"):
+        assert events[method][-1] >= events[method][0]
+    assert total(events["Tile"]) < total(events["Circle"])

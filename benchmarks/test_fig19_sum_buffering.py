@@ -1,0 +1,23 @@
+"""Fig. 19: effect of the buffering parameter b on Sum-MPN.
+
+Paper shape: as in Fig. 16 — Tile-D-b achieves a much smaller CPU time
+while its update frequency stays close to Tile-D over a wide b range.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_figure, series_by_method, total
+from repro.experiments.figures import fig19_sum_buffering
+
+
+def test_fig19(benchmark, figure_scale):
+    result = benchmark.pedantic(
+        lambda: fig19_sum_buffering(scale=figure_scale, b_values=(10, 50, 100)),
+        rounds=1,
+        iterations=1,
+    )
+    print_figure(result)
+    events = series_by_method(result, "update_events")
+    cpu = series_by_method(result, "cpu_seconds")
+    assert total(cpu["Tile-D-b"]) < total(cpu["Tile-D"])
+    assert events["Tile-D-b"][-1] <= events["Tile-D"][-1] * 1.25 + 2

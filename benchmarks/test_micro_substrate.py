@@ -1,0 +1,95 @@
+"""Micro-benchmarks for the substrates: R-tree, GNN, compression.
+
+Not paper figures, but the substrate costs that everything above is
+built on; regressions here show up multiplied in every experiment.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.compression import compress_region, decompress_region
+from repro.core.tile_msr import tile_msr
+from repro.core.types import TileMSRConfig
+from repro.gnn.aggregate import Aggregate, find_gnn
+from repro.index.knn import knn
+from repro.index.rtree import RTree
+from repro.workloads.datasets import WORLD
+from repro.workloads.poi import build_poi_tree, clustered_pois
+
+
+@pytest.fixture(scope="module")
+def big_points():
+    return clustered_pois(20000, WORLD, seed=31)
+
+
+@pytest.fixture(scope="module")
+def big_tree(big_points):
+    return build_poi_tree(big_points)
+
+
+def test_bulk_load_20k(benchmark, big_points):
+    tree = benchmark(lambda: RTree.bulk_load(big_points, max_entries=16))
+    assert len(tree) == len(big_points)
+
+
+def test_incremental_insert_5k(benchmark, big_points):
+    subset = big_points[:5000]
+
+    def build():
+        tree = RTree(max_entries=16)
+        for i, p in enumerate(subset):
+            tree.insert(p, i)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=1, iterations=1)
+    tree.validate()
+
+
+def test_knn_on_20k(benchmark, big_tree):
+    rng = random.Random(1)
+    queries = [WORLD.sample(rng) for _ in range(50)]
+    result = benchmark(lambda: [knn(big_tree, q, 10) for q in queries])
+    assert all(len(r) == 10 for r in result)
+
+
+def test_max_gnn_on_20k(benchmark, big_tree):
+    rng = random.Random(2)
+    groups = [[WORLD.sample(rng) for _ in range(3)] for _ in range(20)]
+    result = benchmark(
+        lambda: [find_gnn(big_tree, g, 2, Aggregate.MAX) for g in groups]
+    )
+    assert all(len(r) == 2 for r in result)
+
+
+def test_sum_gnn_on_20k(benchmark, big_tree):
+    rng = random.Random(3)
+    groups = [[WORLD.sample(rng) for _ in range(3)] for _ in range(20)]
+    result = benchmark(
+        lambda: [find_gnn(big_tree, g, 2, Aggregate.SUM) for g in groups]
+    )
+    assert all(len(r) == 2 for r in result)
+
+
+def test_compression_roundtrip(benchmark):
+    rng = random.Random(4)
+    pois = clustered_pois(1000, WORLD, seed=5)
+    tree = build_poi_tree(pois)
+    users = [WORLD.sample(rng) for _ in range(3)]
+    regions = tile_msr(users, tree, TileMSRConfig(alpha=20, split_level=2)).regions
+
+    def roundtrip():
+        out = []
+        for region in regions:
+            compressed = compress_region(region)
+            out.append((compressed.value_count, len(decompress_region(compressed))))
+        return out
+
+    result = benchmark(roundtrip)
+    naive = [3 * len(r) for r in regions]
+    measured = [v for v, _ in result]
+    print(f"\ncompressed values {measured} vs naive {naive}")
+    for (values, count), region in zip(result, regions):
+        assert count == len(region)

@@ -1,0 +1,66 @@
+"""Micro-benchmark: GT-Verify vs IT-Verify (Section 5.3).
+
+The paper motivates GT-Verify by the cost of enumerating tile groups:
+IT-Verify checks O(prod |Rj|) groups while GT-Verify partitions each
+region once.  This bench verifies one candidate tile against realistic
+safe regions under both implementations and reports the speedup, and
+asserts GT's soundness relative to IT on the spot.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.gt_verify import exact_verify, gt_verify, it_verify
+from repro.core.tile_msr import tile_msr
+from repro.core.types import TileMSRConfig
+from repro.geometry.tile import tile_at
+from repro.workloads.datasets import WORLD
+from repro.workloads.poi import build_poi_tree, clustered_pois
+
+
+@pytest.fixture(scope="module")
+def verify_case():
+    rng = random.Random(17)
+    pois = clustered_pois(800, WORLD, seed=6)
+    tree = build_poi_tree(pois)
+    users = [WORLD.sample(rng) for _ in range(3)]
+    result = tile_msr(users, tree, TileMSRConfig(alpha=12, split_level=1))
+    regions = result.regions
+    # A fresh candidate tile just outside user 0's current region.
+    layer = 3
+    candidate = tile_at(users[0], result.tile_side, layer, 0)
+    # A handful of competitor points near the group.
+    competitors = [p for p in pois if p != result.po][:12]
+    return regions, candidate, competitors, result.po
+
+
+def test_gt_verify_speed(benchmark, verify_case):
+    regions, s, competitors, po = verify_case
+
+    def run():
+        return [gt_verify(regions, 0, s, p, po) for p in competitors]
+
+    verdicts = benchmark(run)
+    # Soundness vs the exhaustive verifier on the same inputs.
+    for p, verdict in zip(competitors, verdicts):
+        if verdict:
+            assert it_verify(regions, 0, s, p, po)
+
+
+def test_it_verify_speed(benchmark, verify_case):
+    regions, s, competitors, po = verify_case
+    benchmark(lambda: [it_verify(regions, 0, s, p, po) for p in competitors])
+
+
+def test_exact_verify_speed(benchmark, verify_case):
+    regions, s, competitors, po = verify_case
+
+    def run():
+        return [exact_verify(regions, 0, s, p, po) for p in competitors]
+
+    verdicts = benchmark(run)
+    for p, verdict in zip(competitors, verdicts):
+        assert verdict == it_verify(regions, 0, s, p, po)

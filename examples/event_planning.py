@@ -1,0 +1,61 @@
+"""Event planning: the paper's motivating scenario (Fig. 1).
+
+A group of friends subscribed to a shared event ("Italian food
+tonight") moves through the city; traffic makes their speeds change
+unpredictably.  The event calendar must keep the recommended restaurant
+up to date while sending as few messages as possible.
+
+This example replays the scenario with the full client-server stack and
+compares the strawman (periodic reporting every timestamp) against
+circular and tile-based safe regions.
+
+Run:  python examples/event_planning.py
+"""
+
+from repro.simulation import (
+    circle_policy,
+    periodic_policy,
+    run_simulation,
+    tile_d_policy,
+    tile_policy,
+)
+from repro.workloads.datasets import DatasetSpec, build_dataset
+
+
+def main() -> None:
+    dataset = build_dataset(
+        DatasetSpec(
+            name="geolife",  # taxi-like waypoint motion
+            n_pois=3000,  # restaurants
+            n_trajectories=3,  # the group
+            n_timestamps=1200,
+            speed=60.0,
+        )
+    )
+    group = dataset.trajectories
+
+    print(f"{'method':<12} {'updates':>8} {'msgs':>8} {'packets':>8} {'cpu[s]':>8}")
+    for policy in (
+        periodic_policy(),
+        circle_policy(),
+        tile_policy(alpha=20),
+        tile_d_policy(alpha=20),
+    ):
+        metrics = run_simulation(policy, group, dataset.tree)
+        print(
+            f"{policy.name:<12} {metrics.update_events:>8} "
+            f"{metrics.messages_total:>8} {metrics.packets_total:>8} "
+            f"{metrics.server_cpu_seconds:>8.2f}"
+        )
+
+    print(
+        "\nReading the table: periodic reporting pays every timestamp;"
+        "\nsafe regions only pay when someone actually escapes hers."
+        "\nTile-based regions send far fewer updates than circles because"
+        "\nthey approximate the maximal safe regions much more tightly"
+        "\n(Fig. 7 of the paper), at the price of server CPU time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Location-based game: the Tourality scenario from the introduction.
+
+A team of distributed players races to reach one of several
+geographically defined spots.  MPN keeps the team pointed at the spot
+minimizing the worst member's travel distance, re-notifying only when
+someone's movement actually changes the answer.  Players move fast and
+erratically — the stress case for safe regions — so we also show how
+the directed ordering (Tile-D) exploits heading persistence, and how
+the buffering optimization (Tile-D-b) cuts server CPU time.
+
+Run:  python examples/location_game.py
+"""
+
+from repro.mobility.random_waypoint import WaypointParams
+from repro.simulation import (
+    circle_policy,
+    run_simulation,
+    tile_d_b_policy,
+    tile_d_policy,
+)
+from repro.workloads.datasets import Dataset, DatasetSpec, WORLD, build_dataset
+from repro.workloads.poi import build_poi_tree, uniform_pois
+from repro.mobility.random_waypoint import geolife_like
+
+
+def main() -> None:
+    # A sparse field of game spots and one team of five fast players.
+    spots = uniform_pois(500, WORLD, seed=21)
+    tree = build_poi_tree(spots)
+    players = geolife_like(
+        5,
+        1000,
+        WORLD,
+        WaypointParams(speed=120.0, heading_jitter=0.03),  # sprinting
+        seed=33,
+    )
+
+    print(f"{'method':<14} {'updates':>8} {'packets':>8} {'cpu[s]':>8} {'changes':>8}")
+    for policy in (
+        circle_policy(),
+        tile_d_policy(alpha=16),
+        tile_d_b_policy(b=60, alpha=16),
+    ):
+        metrics = run_simulation(policy, players, tree)
+        print(
+            f"{policy.name:<14} {metrics.update_events:>8} "
+            f"{metrics.packets_total:>8} {metrics.server_cpu_seconds:>8.2f} "
+            f"{metrics.result_changes:>8}"
+        )
+
+    print(
+        "\n'changes' counts how often the best spot actually moved —"
+        "\nevery other update is pure communication overhead that the"
+        "\ntile-based safe regions avoid."
+    )
+
+
+if __name__ == "__main__":
+    main()

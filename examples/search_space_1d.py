@@ -1,0 +1,64 @@
+"""Reproduce the paper's 1-D case study (Fig. 4).
+
+Two users u and v move on a line with three POIs a, b, c.  For every
+combination of their integer positions, the optimal meeting point is
+one of the three POIs; plotting it over the (u, v) plane reveals the
+diamond-shaped 'hyper-regions' of Fig. 4b — and the three observations
+of Section 3.2 about why they cannot be decomposed into independent
+per-user safe intervals.
+
+Run:  python examples/search_space_1d.py
+"""
+
+POIS = {"a": 4.0, "b": 9.0, "c": 0.0}
+SIZE = 10
+
+
+def optimal_meeting_point(u: float, v: float) -> str:
+    """MAX-GNN in one dimension (ties break toward 'a')."""
+    return min(POIS, key=lambda name: max(abs(POIS[name] - u), abs(POIS[name] - v)))
+
+
+def box_is_safe(cells, u_range, v_range, poi) -> bool:
+    return all(cells[u, v] == poi for u in u_range for v in v_range)
+
+
+def main() -> None:
+    cells = {
+        (u, v): optimal_meeting_point(u, v)
+        for u in range(SIZE)
+        for v in range(SIZE)
+    }
+
+    print("optimal meeting point per (u=column, v=row), v growing upward:\n")
+    print("     " + "  ".join(f"{u}" for u in range(SIZE)))
+    for v in range(SIZE - 1, -1, -1):
+        print(f"v={v:<2}  " + "  ".join(cells[u, v] for u in range(SIZE)))
+
+    # Observation 1: cells with the same optimum are not necessarily
+    # connected for a single user.  Both <3,9> and <5,0> map to 'a',
+    # but traveling v from 9 to 0 at u=3 crosses cells with another
+    # optimum.
+    assert cells[3, 9] == "a" and cells[5, 0] == "a"
+    crossed = {cells[3, v] for v in range(10)}
+    assert crossed != {"a"}
+    print("\nobservation 1: <3,9> and <5,0> both map to 'a', but column u=3")
+    print("crosses cells with optima", sorted(crossed - {"a"}), "on the way down")
+
+    # Observation 2: per-user safe intervals are interdependent.  The
+    # group <[0,4], [5,9]> is valid for 'a', yet extending u's interval
+    # to 5 breaks it: u=5, v=9 has a different optimum.
+    assert box_is_safe(cells, range(0, 5), range(5, 10), "a")
+    assert cells[5, 9] != "a"
+    print("observation 2: <[0,4] x [5,9]> is valid for 'a', but u=5, v=9 ->",
+          cells[5, 9])
+
+    # Observation 3: maximal safe region groups are not unique — a
+    # second, different box is also entirely 'a'.
+    assert box_is_safe(cells, range(2, 7), range(2, 7), "a")
+    print("observation 3: <[2,6] x [2,6]> is another valid group — maximal")
+    print("groups are not unique (Section 3.2)")
+
+
+if __name__ == "__main__":
+    main()

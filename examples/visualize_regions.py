@@ -1,0 +1,93 @@
+"""Render safe regions and experiment charts as SVG files.
+
+Produces, in the working directory:
+
+* ``regions_circle.svg`` — a group with its circular safe regions;
+* ``regions_tile.svg`` — the same group with tile-based regions
+  (visually reproducing the Fig. 7 comparison);
+* ``regions_network.svg`` — road-network safe regions (future-work
+  extension): covered road intervals per user;
+* ``fig13_chart.svg`` — a quickly regenerated Fig. 13 line chart.
+
+Run:  python examples/visualize_regions.py
+"""
+
+import random
+
+from repro import Point, TileMSRConfig, circle_msr, tile_msr
+from repro.experiments.figures import fig13_group_size
+from repro.experiments.scales import ExperimentScale
+from repro.viz.chart import render_chart
+from repro.viz.scene import render_network_scene, render_scene
+from repro.workloads import WORLD, build_poi_tree, clustered_pois
+
+
+def main() -> None:
+    pois = clustered_pois(3000, WORLD, seed=7)
+    tree = build_poi_tree(pois)
+    users = [Point(32_000, 41_000), Point(36_500, 39_000), Point(34_000, 45_500)]
+
+    circles = circle_msr(users, tree)
+    with open("regions_circle.svg", "w") as handle:
+        handle.write(
+            render_scene(
+                users,
+                circles.circles,
+                circles.po,
+                pois,
+                title=f"Circle-MSR (r = {circles.radius:,.0f} m)",
+            )
+        )
+
+    tiles = tile_msr(users, tree, TileMSRConfig(alpha=30, split_level=2))
+    with open("regions_tile.svg", "w") as handle:
+        handle.write(
+            render_scene(
+                users,
+                tiles.regions,
+                tiles.po,
+                pois,
+                title=f"Tile-MSR ({sum(len(r) for r in tiles.regions)} tiles)",
+            )
+        )
+
+    # Road-network variant.
+    from repro.geometry.rect import Rect
+    from repro.mobility.network import NetworkParams, build_road_network
+    from repro.network_ext import NetworkSpace, network_tile_msr
+
+    graph = build_road_network(
+        Rect(0, 0, 10_000, 10_000), NetworkParams(grid_size=8), seed=3
+    )
+    space = NetworkSpace(graph)
+    rng = random.Random(11)
+    venues = rng.sample(list(graph.nodes), 10)
+    drivers = [space.random_position(rng) for _ in range(3)]
+    network_result = network_tile_msr(space, venues, drivers)
+    with open("regions_network.svg", "w") as handle:
+        handle.write(
+            render_network_scene(
+                space, network_result.regions, drivers, network_result.po, venues
+            )
+        )
+
+    # A quick Fig. 13 chart at a tiny scale.
+    scale = ExperimentScale(
+        name="viz",
+        n_pois=600,
+        n_trajectories=6,
+        n_timestamps=150,
+        max_groups=1,
+        alpha=6,
+        split_level=1,
+    )
+    result = fig13_group_size(scale=scale, group_sizes=(2, 3))
+    with open("fig13_chart.svg", "w") as handle:
+        handle.write(render_chart(result, "update_events", title="Fig. 13 (mini)"))
+
+    print("wrote regions_circle.svg, regions_tile.svg, regions_network.svg,")
+    print("      fig13_chart.svg")
+
+
+if __name__ == "__main__":
+    main()

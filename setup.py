@@ -1,0 +1,9 @@
+"""Legacy shim: this environment has setuptools but no `wheel`, so the
+PEP 517 editable path (`bdist_wheel`) is unavailable; install with
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro — Meeting Point Notification via independent safe regions.
+
+A from-scratch reproduction of:
+
+    Li, Thomsen, Yiu, Mamoulis.  "Efficient Notification of Meeting
+    Points for Moving Groups via Independent Safe Regions."
+    ICDE 2013; extended version IEEE TKDE 27(7), 2015.
+
+Public entry points:
+
+* :func:`repro.core.circle_msr` — circular safe regions (Algorithm 1).
+* :func:`repro.core.tile_msr` — tile-based safe regions (Algorithm 3)
+  with GT-Verify, index pruning and the buffering optimization, for
+  both the MAX (MPN) and SUM (Sum-MPN) objectives.
+* :mod:`repro.simulation` — the client-server monitoring loop with the
+  paper's message/packet accounting.
+* :mod:`repro.experiments` — harnesses regenerating Figures 13-19.
+"""
+
+from repro.core import circle_msr, tile_msr, TileMSRConfig, Ordering, VerifierKind
+from repro.gnn import Aggregate, find_max_gnn, find_sum_gnn
+from repro.geometry import Point, Rect, Circle, Tile, TileRegion
+from repro.index import RTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "circle_msr",
+    "tile_msr",
+    "TileMSRConfig",
+    "Ordering",
+    "VerifierKind",
+    "Aggregate",
+    "find_max_gnn",
+    "find_sum_gnn",
+    "Point",
+    "Rect",
+    "Circle",
+    "Tile",
+    "TileRegion",
+    "RTree",
+    "__version__",
+]

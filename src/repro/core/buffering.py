@@ -1,0 +1,112 @@
+"""Buffering optimization for index access (Section 5.4, Alg. 5).
+
+Tile-MSR calls Divide-Verify many times and each call re-queries the
+R-tree for candidates.  Theorem 4 (MAX) / Theorem 7 (SUM) show that if
+every user stays within a distance threshold ``beta`` of her reported
+location, the meeting point can only come from the best ``b`` aggregate
+nearest neighbors — so fetching the best ``b+1`` once up front removes
+all further index access.
+
+Algorithm 5 refines this with *slots*: the thresholds
+
+    beta_z = (||p^{z+1}, U|| - ||po, U||) / denom,  z = 1..b
+
+(denominator 2 for MAX, 2m for SUM) are nondecreasing, so for a given
+region extent we binary-search the smallest slot ``z`` whose threshold
+covers it and verify against only the best ``z`` points.  A tile whose
+extent exceeds ``beta_b`` is rejected outright (it would break the
+buffering precondition).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional, Sequence
+
+from repro.core.types import SafeRegionStats
+from repro.geometry.point import Point
+from repro.geometry.region import TileRegion
+from repro.geometry.tile import Tile
+from repro.gnn.aggregate import Aggregate, find_gnn
+from repro.index.rtree import RTree
+
+
+class BufferSlots:
+    """Precomputed best-(b+1) GNN list and slot thresholds."""
+
+    def __init__(
+        self,
+        tree: RTree,
+        users: Sequence[Point],
+        objective: Aggregate,
+        b: int,
+        stats: SafeRegionStats | None = None,
+    ):
+        if b < 1:
+            raise ValueError("buffer parameter b must be >= 1")
+        best = find_gnn(tree, users, b + 1, objective)
+        if stats is not None:
+            stats.index_queries += 1
+        self.objective = objective
+        self.b = min(b, len(best) - 1)  # dataset may be smaller than b+1
+        self.points: list[Point] = [entry.point for _, entry in best]
+        self.dists: list[float] = [d for d, _ in best]
+        denom = 2.0 if objective is Aggregate.MAX else 2.0 * len(users)
+        # betas[k] is beta_{k+1} = (dist[k+1] - dist[0]) / denom.
+        self.betas: list[float] = [
+            (self.dists[z] - self.dists[0]) / denom for z in range(1, len(best))
+        ]
+        self.exhausted_dataset = len(best) < b + 1
+
+    @property
+    def po(self) -> Point:
+        return self.points[0]
+
+    def slot_for(self, extent: float) -> Optional[int]:
+        """Smallest slot ``z`` with ``beta_z >= extent``; None if beyond.
+
+        When the dataset held fewer than ``b+1`` points the last slot
+        covers everything: with the whole of ``P`` buffered, Theorem 4's
+        precondition is unconditionally satisfied.
+        """
+        if not self.betas:
+            return 0  # single-point dataset: nothing can overtake po
+        k = bisect.bisect_left(self.betas, extent)
+        if k < len(self.betas):
+            return k + 1
+        if self.exhausted_dataset:
+            return len(self.betas)  # buffer holds all of P: no threshold
+        return None
+
+    def candidates_for_slot(self, z: int) -> list[Point]:
+        """``P*_{1..z} - {po}``: the non-result points of slot ``z``."""
+        return self.points[1:z]
+
+    def region_extent(
+        self, regions: Sequence[TileRegion], user_idx: int, s: Tile
+    ) -> float:
+        """Algorithm 5 line 1: the group's max anchor-to-boundary dist."""
+        extent = s.max_dist(regions[user_idx].anchor)
+        for j, region in enumerate(regions):
+            r = region.r_up
+            if j == user_idx:
+                r = max(r, extent)
+            extent = max(extent, r)
+        return extent
+
+    def candidates(
+        self,
+        regions: Sequence[TileRegion],
+        user_idx: int,
+        s: Tile,
+    ) -> Optional[list[Point]]:
+        """Candidate points for verifying ``s``, or None to reject.
+
+        None means the tile violates the buffering precondition
+        (Algorithm 5, lines 2-4) and must not join the safe region.
+        """
+        extent = self.region_extent(regions, user_idx, s)
+        z = self.slot_for(extent)
+        if z is None:
+            return None
+        return self.candidates_for_slot(z)

@@ -1,0 +1,192 @@
+"""Lossless compression of tile-based safe regions (ICDE'13, ref. [12]).
+
+A tile region produced by Tile-MSR lives on a regular grid anchored at
+the user's location, with some tiles recursively quartered by
+Divide-Verify.  That structure compresses losslessly:
+
+* a 3-double header (anchor x, anchor y, tile side),
+* one packed integer for the grid window (min ix/iy and extent),
+* a bitstream: one presence bit per window cell, and for each present
+  cell a quadtree code (2 bits per node: empty / covered leaf /
+  internal followed by its four children).
+
+The wire size in "values" (64-bit doubles, as counted by the paper's
+packet model in Section 7.1) is ``3 + 1 + ceil(bits / 64)``.  A
+circular region costs 3 values; see :mod:`repro.simulation.messages`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+from repro.geometry.region import TileRegion
+from repro.geometry.tile import Tile, tile_at
+
+_HEADER_VALUES = 3  # anchor x, anchor y, side
+_WINDOW_VALUES = 1  # packed (min_ix, min_iy, width, height)
+_BITS_PER_VALUE = 64
+
+
+class _BitWriter:
+    def __init__(self) -> None:
+        self.bits: list[int] = []
+
+    def write(self, bit: int) -> None:
+        self.bits.append(1 if bit else 0)
+
+    def write_pair(self, b1: int, b0: int) -> None:
+        self.write(b1)
+        self.write(b0)
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+
+class _BitReader:
+    def __init__(self, bits: list[int]) -> None:
+        self.bits = bits
+        self.pos = 0
+
+    def read(self) -> int:
+        bit = self.bits[self.pos]
+        self.pos += 1
+        return bit
+
+    def read_pair(self) -> tuple[int, int]:
+        return self.read(), self.read()
+
+
+@dataclass(frozen=True)
+class CompressedRegion:
+    """The compressed wire form of a tile-based safe region."""
+
+    anchor: Point
+    side: float
+    min_ix: int
+    min_iy: int
+    width: int
+    height: int
+    bits: tuple[int, ...]
+
+    @property
+    def value_count(self) -> int:
+        """Size in 64-bit values for the packet model of Section 7.1."""
+        payload_values = (len(self.bits) + _BITS_PER_VALUE - 1) // _BITS_PER_VALUE
+        return _HEADER_VALUES + _WINDOW_VALUES + payload_values
+
+
+class _QuadNode:
+    __slots__ = ("leaf", "children")
+
+    def __init__(self) -> None:
+        self.leaf = False
+        self.children: list[_QuadNode | None] = [None, None, None, None]
+
+    def insert(self, path: tuple[int, ...]) -> None:
+        if not path:
+            self.leaf = True
+            return
+        head, rest = path[0], path[1:]
+        child = self.children[head]
+        if child is None:
+            child = _QuadNode()
+            self.children[head] = child
+        child.insert(rest)
+
+    def encode(self, writer: _BitWriter) -> None:
+        # 2-bit code: 00 empty (children only), 01 covered leaf,
+        # 10 internal, 11 covered leaf that also has covered
+        # descendants (never produced by Tile-MSR, whose tile sets are
+        # prefix-free, but kept for totality).
+        has_children = any(c is not None for c in self.children)
+        if self.leaf and not has_children:
+            writer.write_pair(0, 1)
+            return
+        writer.write_pair(1, 1 if self.leaf else 0)
+        for child in self.children:
+            if child is None:
+                writer.write_pair(0, 0)
+            else:
+                child.encode(writer)
+
+
+def _decode_node(reader: _BitReader, path: tuple[int, ...], out: list) -> None:
+    b1, b0 = reader.read_pair()
+    if b1 == 0 and b0 == 1:
+        out.append(path)
+        return
+    if b1 == 1:
+        if b0 == 1:
+            out.append(path)
+        for k in range(4):
+            peek1, peek0 = reader.read_pair()
+            if peek1 == 0 and peek0 == 0:
+                continue
+            reader.pos -= 2
+            _decode_node(reader, path + (k,), out)
+        return
+    raise ValueError("corrupt quadtree code")
+
+
+def compress_region(region: TileRegion) -> CompressedRegion:
+    """Encode a tile region losslessly."""
+    tiles = region.tiles
+    if not tiles:
+        return CompressedRegion(region.anchor, region.side, 0, 0, 0, 0, ())
+    ixs = [t.ix for t in tiles]
+    iys = [t.iy for t in tiles]
+    min_ix, max_ix = min(ixs), max(ixs)
+    min_iy, max_iy = min(iys), max(iys)
+    width = max_ix - min_ix + 1
+    height = max_iy - min_iy + 1
+
+    cells: dict[tuple[int, int], _QuadNode] = {}
+    for t in tiles:
+        node = cells.setdefault((t.ix, t.iy), _QuadNode())
+        node.insert(t.sub_path)
+
+    writer = _BitWriter()
+    for iy in range(min_iy, max_iy + 1):
+        for ix in range(min_ix, max_ix + 1):
+            node = cells.get((ix, iy))
+            if node is None:
+                writer.write(0)
+            else:
+                writer.write(1)
+                node.encode(writer)
+    return CompressedRegion(
+        anchor=region.anchor,
+        side=region.side,
+        min_ix=min_ix,
+        min_iy=min_iy,
+        width=width,
+        height=height,
+        bits=tuple(writer.bits),
+    )
+
+
+def decompress_region(compressed: CompressedRegion) -> TileRegion:
+    """Reconstruct the exact tile region from its compressed form."""
+    region = TileRegion(compressed.anchor, compressed.side)
+    if compressed.width == 0 or compressed.height == 0:
+        return region
+    reader = _BitReader(list(compressed.bits))
+    for iy in range(compressed.min_iy, compressed.min_iy + compressed.height):
+        for ix in range(compressed.min_ix, compressed.min_ix + compressed.width):
+            if not reader.read():
+                continue
+            paths: list[tuple[int, ...]] = []
+            _decode_node(reader, (), paths)
+            for path in paths:
+                region.add(_tile_from_path(compressed, ix, iy, path))
+    return region
+
+
+def _tile_from_path(
+    compressed: CompressedRegion, ix: int, iy: int, path: tuple[int, ...]
+) -> Tile:
+    tile = tile_at(compressed.anchor, compressed.side, ix, iy)
+    for quadrant in path:
+        tile = tile.split()[quadrant]
+    return tile

@@ -1,0 +1,46 @@
+"""Divide-Verify: divide-and-conquer tile verification (Algorithm 2).
+
+If a whole tile fails verification it is split into four sub-tiles and
+each is retried recursively, up to ``level`` splits.  Sub-tiles that
+pass are added to the user's safe region; the call reports whether any
+(sub-)tile was added.
+
+The verification predicate is injected (``tile_ok``), so the same
+recursion drives IT-Verify, GT-Verify, the exact verifier and
+Sum-GT-Verify, with either the index-pruned candidate set (Section 5.3)
+or the buffered one (Section 5.4, Algorithm 5).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.types import SafeRegionStats
+from repro.geometry.region import TileRegion
+from repro.geometry.tile import Tile
+
+TileOk = Callable[[Tile], bool]
+
+
+def divide_verify(
+    region: TileRegion,
+    tile: Tile,
+    level: int,
+    tile_ok: TileOk,
+    stats: SafeRegionStats | None = None,
+) -> bool:
+    """Algorithm 2.  Returns True iff some (sub-)tile entered ``region``."""
+    if tile_ok(tile):
+        region.add(tile)
+        if stats is not None:
+            stats.tiles_added += 1
+        return True
+    if level > 0:
+        added = False
+        for sub in tile.split():
+            if divide_verify(region, sub, level - 1, tile_ok, stats):
+                added = True
+        return added
+    if stats is not None:
+        stats.tiles_rejected += 1
+    return False

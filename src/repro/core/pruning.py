@@ -1,0 +1,150 @@
+"""Index pruning of candidate points (Theorems 3 and 6, Fig. 10).
+
+Verifying a tile naively requires testing every point in ``P - {po}``.
+Most points can never overtake ``po`` while the users stay inside their
+safe regions; the theorems bound the region of space that can contain a
+competitive point, and the R-tree is traversed with node-level pruning
+against that bound.
+
+MAX objective (Theorem 3): a point ``p`` is *not* a candidate if for
+some user ``ui``
+
+    ||p, ui|| > ||po, R||_top + r_up_i
+
+so an MBR can be pruned as soon as its min-distance to some user
+exceeds that user's bound; equivalently a node survives only if it
+intersects *every* user's circle (Fig. 10).
+
+SUM objective (Theorem 6): prune if
+
+    ||p, U||_sum > ||po, U||_sum + 2 * sum_i r_up_i
+
+with the MBR analogue using per-user min-distances.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.types import SafeRegionStats
+from repro.geometry.point import Point
+from repro.geometry.region import TileRegion
+from repro.geometry.tile import Tile
+from repro.index.rtree import RTree
+
+
+def _r_up_with_tile(
+    regions: Sequence[TileRegion], user_idx: int, s: Tile | None
+) -> list[float]:
+    """Per-user region extents, with ``s`` folded into user ``user_idx``."""
+    out = []
+    for j, region in enumerate(regions):
+        r = region.r_up
+        if s is not None and j == user_idx:
+            r = max(r, s.max_dist(region.anchor))
+        out.append(r)
+    return out
+
+
+def _po_top_with_tile(
+    regions: Sequence[TileRegion], user_idx: int, s: Tile | None, po: Point
+) -> float:
+    """``||po, R||_top`` with ``s`` folded into user ``user_idx``."""
+    top = 0.0
+    for j, region in enumerate(regions):
+        d = region.max_dist_memo(po)
+        if s is not None and j == user_idx:
+            d = max(d, s.max_dist(po))
+        top = max(top, d)
+    return top
+
+
+def max_candidates(
+    tree: RTree,
+    users: Sequence[Point],
+    regions: Sequence[TileRegion],
+    user_idx: int,
+    s: Tile | None,
+    po: Point,
+    stats: SafeRegionStats | None = None,
+) -> list[Point]:
+    """Candidate points for the MAX objective (Theorem 3).
+
+    Returns every point of ``P - {po}`` that might replace ``po`` while
+    users stay inside ``<R1, ..., Ri + {s}, ..., Rm>``.
+    """
+    r_up = _r_up_with_tile(regions, user_idx, s)
+    top = _po_top_with_tile(regions, user_idx, s, po)
+    radii = [top + r for r in r_up]
+    if stats is not None:
+        stats.index_queries += 1
+    out: list[Point] = []
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if stats is not None:
+            stats.index_node_accesses += 1
+        if any(
+            node.rect.min_dist(u) > radius for u, radius in zip(users, radii)
+        ):
+            continue
+        if node.is_leaf:
+            for e in node.children:
+                p = e.point
+                if p == po:
+                    continue
+                if any(p.dist(u) > radius for u, radius in zip(users, radii)):
+                    continue
+                out.append(p)
+        else:
+            stack.extend(node.children)
+    return out
+
+
+def sum_candidates(
+    tree: RTree,
+    users: Sequence[Point],
+    regions: Sequence[TileRegion],
+    user_idx: int,
+    s: Tile | None,
+    po: Point,
+    stats: SafeRegionStats | None = None,
+) -> list[Point]:
+    """Candidate points for the SUM objective (Theorem 6)."""
+    r_up = _r_up_with_tile(regions, user_idx, s)
+    threshold = sum(po.dist(u) for u in users) + 2.0 * sum(r_up)
+    if stats is not None:
+        stats.index_queries += 1
+    out: list[Point] = []
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if stats is not None:
+            stats.index_node_accesses += 1
+        if sum(node.rect.min_dist(u) for u in users) > threshold:
+            continue
+        if node.is_leaf:
+            for e in node.children:
+                p = e.point
+                if p == po:
+                    continue
+                if sum(p.dist(u) for u in users) <= threshold:
+                    out.append(p)
+        else:
+            stack.extend(node.children)
+    return out
+
+
+def all_candidates(
+    tree: RTree, po: Point, stats: SafeRegionStats | None = None
+) -> list[Point]:
+    """The unpruned candidate set ``P - {po}`` (baseline for benches)."""
+    if stats is not None:
+        stats.index_queries += 1
+    out = []
+    for e in tree.entries():
+        if e.point != po:
+            out.append(e.point)
+    if stats is not None:
+        stats.index_node_accesses += max(1, len(out) // 16)
+    return out

@@ -1,0 +1,219 @@
+"""Tile-MSR: tile-based safe regions (Section 5, Algorithm 3).
+
+The algorithm seeds each user's region with the maximal square
+inscribed in her Circle-MSR disk (side ``d = sqrt(2) * r_max``), then
+browses surrounding tiles in undirected or directed order (Fig. 8),
+round-robin over users for ``alpha`` rounds, verifying each tile with
+Divide-Verify (Algorithm 2) against the candidate points supplied by
+index pruning (Theorem 3/6) or the buffering optimization (Alg. 5).
+
+The SUM objective swaps in Theorem 5 for the seed radius,
+Sum-GT-Verify (Algorithm 6) for tile verification, and Theorems 6/7 for
+candidate pruning/buffering; everything else is shared.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.core.buffering import BufferSlots
+from repro.core.circle_msr import circle_msr
+from repro.core.divide_verify import divide_verify
+from repro.core.gt_verify import MaxVerifier
+from repro.core.pruning import max_candidates, sum_candidates
+from repro.core.sum_verify import SumVerifier
+from repro.core.tiles import TileOrdering
+from repro.core.types import (
+    Ordering,
+    SafeRegionStats,
+    TileMSRConfig,
+    TileMSRResult,
+    VerifierKind,
+)
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.region import TileRegion
+from repro.geometry.tile import Tile, tile_at
+from repro.gnn.aggregate import Aggregate
+from repro.index.rtree import RTree
+
+_WHOLE_PLANE = 1.0e18
+
+
+def _whole_plane_region(anchor: Point) -> TileRegion:
+    """Safe region covering effectively all of space (single-POI case)."""
+    side = _WHOLE_PLANE
+    tile = Tile(Rect.square(anchor, side))
+    return TileRegion(anchor, side, [tile])
+
+
+def tile_msr(
+    users: Sequence[Point],
+    tree: RTree,
+    config: TileMSRConfig | None = None,
+    headings: Optional[Sequence[Optional[float]]] = None,
+    thetas: Optional[Sequence[Optional[float]]] = None,
+) -> TileMSRResult:
+    """Algorithm 3: compute tile-based safe regions for the group.
+
+    ``headings`` supplies each user's predicted travel direction in
+    radians (used only by the directed ordering); ``None`` entries fall
+    back to undirected browsing for that user.  ``thetas`` optionally
+    overrides the config's deviation bound per user (the bound is
+    "learned from the user's recent travel directions", Section 5.2).
+    """
+    if config is None:
+        config = TileMSRConfig()
+    if headings is not None and len(headings) != len(users):
+        raise ValueError("headings must align with users")
+    if thetas is not None and len(thetas) != len(users):
+        raise ValueError("thetas must align with users")
+    stats = SafeRegionStats()
+    start = time.perf_counter()
+
+    seed = circle_msr(users, tree, config.objective)
+    po = seed.po
+    rmax = seed.radius
+
+    if rmax == float("inf"):
+        regions = [_whole_plane_region(u) for u in users]
+        stats.elapsed_seconds = time.perf_counter() - start
+        return TileMSRResult(
+            po=po,
+            po_payload=seed.po_payload,
+            po_dist=seed.po_dist,
+            radius=rmax,
+            tile_side=_WHOLE_PLANE,
+            regions=regions,
+            objective=config.objective,
+            stats=stats,
+        )
+
+    side = 2.0**0.5 * rmax
+    regions = [
+        TileRegion(u, side, [tile_at(u, side, 0, 0)] if side > 0.0 else [])
+        for u in users
+    ]
+    for region, u in zip(regions, users):
+        if side <= 0.0:
+            # Degenerate: the region is the user's current location.
+            region.add(Tile(Rect.from_point(u)))
+
+    if side > 0.0:
+        _grow_regions(users, tree, config, headings, thetas, regions, po, stats)
+
+    stats.elapsed_seconds = time.perf_counter() - start
+    return TileMSRResult(
+        po=po,
+        po_payload=seed.po_payload,
+        po_dist=seed.po_dist,
+        radius=rmax,
+        tile_side=side,
+        regions=regions,
+        objective=config.objective,
+        stats=stats,
+    )
+
+
+def _grow_regions(
+    users: Sequence[Point],
+    tree: RTree,
+    config: TileMSRConfig,
+    headings: Optional[Sequence[Optional[float]]],
+    thetas: Optional[Sequence[Optional[float]]],
+    regions: list[TileRegion],
+    po: Point,
+    stats: SafeRegionStats,
+) -> None:
+    """Rounds 1..alpha of Algorithm 3 (lines 5-10)."""
+    side = regions[0].side
+    orderings = []
+    for i, u in enumerate(users):
+        heading = None
+        theta = config.theta
+        if config.ordering is Ordering.DIRECTED and headings is not None:
+            heading = headings[i]
+            if thetas is not None and thetas[i] is not None:
+                theta = thetas[i]
+        orderings.append(
+            TileOrdering(
+                u,
+                side,
+                heading=heading,
+                theta=theta,
+                max_layer=config.max_layer,
+            )
+        )
+
+    point_verify = _select_point_verifier(config, po)
+    supplier = _select_candidate_supplier(config, tree, users, regions, po, stats)
+
+    exhausted = [False] * len(users)
+    for _ in range(config.alpha):
+        progress = False
+        for i in range(len(users)):
+            if exhausted[i]:
+                continue
+            while True:
+                s = orderings[i].next_tile()
+                if s is None:
+                    exhausted[i] = True
+                    break
+
+                def tile_ok(tile: Tile, _i: int = i) -> bool:
+                    cands = supplier(_i, tile)
+                    if cands is None:
+                        return False
+                    for p in cands:
+                        stats.point_checks += 1
+                        if not point_verify(regions, _i, tile, p, po, stats):
+                            return False
+                    return True
+
+                added = divide_verify(
+                    regions[i], s, config.split_level, tile_ok, stats
+                )
+                if added:
+                    orderings[i].mark_accepted()
+                    progress = True
+                    break
+        if not progress and all(exhausted):
+            break
+
+
+def _select_point_verifier(config: TileMSRConfig, po: Point) -> Callable:
+    """Pick the Tile-Verify implementation (Section 5.3 / Algorithm 6)."""
+    if config.objective is Aggregate.SUM:
+        return SumVerifier(po).verify
+    return MaxVerifier(po, config.verifier.value).verify
+
+
+def _select_candidate_supplier(
+    config: TileMSRConfig,
+    tree: RTree,
+    users: Sequence[Point],
+    regions: list[TileRegion],
+    po: Point,
+    stats: SafeRegionStats,
+) -> Callable[[int, Tile], Optional[list[Point]]]:
+    """Candidate points per (user, tile): pruned index scan or buffer."""
+    if config.buffer_b is not None:
+        slots = BufferSlots(tree, users, config.objective, config.buffer_b, stats)
+
+        def buffered(user_idx: int, s: Tile) -> Optional[list[Point]]:
+            return slots.candidates(regions, user_idx, s)
+
+        return buffered
+
+    if config.objective is Aggregate.MAX:
+
+        def pruned_max(user_idx: int, s: Tile) -> Optional[list[Point]]:
+            return max_candidates(tree, users, regions, user_idx, s, po, stats)
+
+        return pruned_max
+
+    def pruned_sum(user_idx: int, s: Tile) -> Optional[list[Point]]:
+        return sum_candidates(tree, users, regions, user_idx, s, po, stats)
+
+    return pruned_sum

@@ -1,0 +1,52 @@
+"""Dominant distances and the conservative verification of Lemma 1.
+
+Definition 5 introduces, for a point ``p`` and a group of safe regions
+``R``:
+
+* ``||p, R||_bot = max_i ||p, Ri||_min`` — a lower bound of the
+  dominant distance ``||p, U||`` for every instance of user locations;
+* ``||p, R||_top = max_i ||p, Ri||_max`` — an upper bound.
+
+Lemma 1: if ``||po, R||_top <= ||p, R||_bot`` then ``po`` beats ``p``
+for *every* instance of locations inside ``R`` — a conservative test
+with no false positives.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.region import Region
+
+
+def dominant_distance(p: Point, users: Sequence[Point]) -> float:
+    """``||p, U|| = max_i ||p, ui||`` (Definition 5)."""
+    return max(p.dist(u) for u in users)
+
+
+def dominant_min(p: Point, regions: Sequence[Region]) -> float:
+    """``||p, R||_bot = max_i ||p, Ri||_min`` (Equation 3)."""
+    return max(r.min_dist(p) for r in regions)
+
+
+def dominant_max(p: Point, regions: Sequence[Region]) -> float:
+    """``||p, R||_top = max_i ||p, Ri||_max`` (Equation 4)."""
+    return max(r.max_dist(p) for r in regions)
+
+
+def verify_regions(regions: Sequence[Region], po: Point, p: Point) -> bool:
+    """The Verify(R, po, p) test of Lemma 1.
+
+    True means ``po`` is guaranteed to dominate ``p`` for every
+    instance of user locations inside their regions.  False is
+    inconclusive (the test is conservative).
+    """
+    return dominant_max(po, regions) <= dominant_min(p, regions)
+
+
+def verify_instance(
+    locations: Sequence[Point], po: Point, p: Point
+) -> bool:
+    """Ground truth for one concrete instance: does ``po`` beat ``p``?"""
+    return dominant_distance(po, locations) <= dominant_distance(p, locations)

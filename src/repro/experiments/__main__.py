@@ -1,0 +1,57 @@
+"""CLI for regenerating the paper's figures.
+
+Usage:
+
+    python -m repro.experiments fig13 [--scale small|bench|full]
+                                      [--dataset geolife|oldenburg]
+    python -m repro.experiments all --scale bench
+
+Prints, for each figure, the three series the paper plots: update
+events (and frequency), communication cost in packets, and CPU seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.harness import format_table
+from repro.experiments.scales import SCALES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.experiments")
+    parser.add_argument(
+        "figure",
+        choices=sorted(ALL_FIGURES) + ["all"],
+        help="which figure to regenerate",
+    )
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small")
+    parser.add_argument(
+        "--dataset", choices=["geolife", "oldenburg"], default="geolife"
+    )
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale]
+    names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        builder = ALL_FIGURES[name]
+        start = time.perf_counter()
+        result = builder(
+            scale=scale,
+            dataset_name=args.dataset,
+            progress=lambda msg: print(f"  .. {msg}", file=sys.stderr),
+        )
+        elapsed = time.perf_counter() - start
+        print()
+        for measure in ("update_events", "update_frequency", "packets", "cpu_seconds"):
+            print(format_table(result, measure))
+            print()
+        print(f"[{name} regenerated in {elapsed:.1f}s at scale={scale.name}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""Persistence for experiment results: CSV and JSON round-trips.
+
+Long sweeps are expensive; saving rows lets a user regenerate tables
+and charts (``repro.viz.chart``) without re-running the simulation, and
+diff results across code revisions.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.experiments.harness import ExperimentResult, ExperimentRow
+
+_FIELDS = (
+    "method",
+    "x_label",
+    "update_frequency",
+    "update_events",
+    "packets",
+    "cpu_seconds",
+)
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    return {
+        "figure": result.figure,
+        "x_name": result.x_name,
+        "rows": [
+            {field: getattr(row, field) for field in _FIELDS}
+            for row in result.rows
+        ],
+    }
+
+
+def result_from_dict(payload: dict) -> ExperimentResult:
+    try:
+        rows = [
+            ExperimentRow(
+                method=entry["method"],
+                x_label=entry["x_label"],
+                update_frequency=float(entry["update_frequency"]),
+                update_events=int(entry["update_events"]),
+                packets=int(entry["packets"]),
+                cpu_seconds=float(entry["cpu_seconds"]),
+            )
+            for entry in payload["rows"]
+        ]
+        return ExperimentResult(
+            figure=payload["figure"], x_name=payload["x_name"], rows=rows
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed experiment payload: {exc}") from exc
+
+
+def save_json(result: ExperimentResult, path: str | Path) -> None:
+    Path(path).write_text(
+        json.dumps(result_to_dict(result), indent=2), encoding="utf-8"
+    )
+
+
+def load_json(path: str | Path) -> ExperimentResult:
+    return result_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def save_csv(result: ExperimentResult, path: str | Path) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(("figure", "x_name") + _FIELDS)
+        for row in result.rows:
+            writer.writerow(
+                (result.figure, result.x_name)
+                + tuple(getattr(row, field) for field in _FIELDS)
+            )
+
+
+def load_csv(path: str | Path) -> ExperimentResult:
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        rows = []
+        figure = ""
+        x_name = ""
+        for record in reader:
+            figure = record["figure"]
+            x_name = record["x_name"]
+            rows.append(
+                ExperimentRow(
+                    method=record["method"],
+                    x_label=record["x_label"],
+                    update_frequency=float(record["update_frequency"]),
+                    update_events=int(record["update_events"]),
+                    packets=int(record["packets"]),
+                    cpu_seconds=float(record["cpu_seconds"]),
+                )
+            )
+    if not rows:
+        raise ValueError(f"no rows in {path}")
+    return ExperimentResult(figure=figure, x_name=x_name, rows=rows)

@@ -1,0 +1,60 @@
+"""Experiment scales: paper-faithful vs laptop/CI-sized runs.
+
+The paper's configuration (Table 2, Section 7.1): N = 21,287 POIs, 60
+trajectories of 10,000+ timestamps split into 10 groups, alpha = 30,
+L = 2.  That scale takes hours in pure Python, so the default scales
+shrink the workload while keeping every ratio the experiments measure
+(tiles vs circles, buffered vs unbuffered) intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs shared by every figure harness."""
+
+    name: str
+    n_pois: int
+    n_trajectories: int
+    n_timestamps: int
+    max_groups: int
+    alpha: int
+    split_level: int
+    default_group_size: int = 3
+    speed: float = 60.0
+
+
+BENCH = ExperimentScale(
+    name="bench",
+    n_pois=600,
+    n_trajectories=6,
+    n_timestamps=200,
+    max_groups=1,
+    alpha=8,
+    split_level=1,
+)
+
+SMALL = ExperimentScale(
+    name="small",
+    n_pois=4000,
+    n_trajectories=12,
+    n_timestamps=2000,
+    max_groups=4,
+    alpha=30,
+    split_level=2,
+)
+
+FULL = ExperimentScale(
+    name="full",
+    n_pois=21287,  # the paper's N
+    n_trajectories=60,
+    n_timestamps=10000,
+    max_groups=10,
+    alpha=30,
+    split_level=2,
+)
+
+SCALES = {s.name: s for s in (BENCH, SMALL, FULL)}

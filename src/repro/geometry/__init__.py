@@ -1,0 +1,39 @@
+"""Geometric primitives used throughout the library.
+
+This subpackage implements the distance definitions of the paper
+(Definition 1): Euclidean point-to-point distance, and the minimum /
+maximum distance from a point to a set or region.  All safe-region
+machinery (circles in Section 4, tiles in Section 5) is built on the
+:class:`~repro.geometry.region.Region` protocol defined here.
+"""
+
+from repro.geometry.point import Point, dist, dist_sq, midpoint
+from repro.geometry.rect import Rect
+from repro.geometry.circle import Circle
+from repro.geometry.tile import Tile, tile_at, tile_grid_origin
+from repro.geometry.region import Region, TileRegion, PointRegion
+from repro.geometry.hyperbola import (
+    dist_diff,
+    min_dist_diff_segment,
+    min_dist_diff_tile,
+    max_dist_diff_tile,
+)
+
+__all__ = [
+    "Point",
+    "dist",
+    "dist_sq",
+    "midpoint",
+    "Rect",
+    "Circle",
+    "Tile",
+    "tile_at",
+    "tile_grid_origin",
+    "Region",
+    "TileRegion",
+    "PointRegion",
+    "dist_diff",
+    "min_dist_diff_segment",
+    "min_dist_diff_tile",
+    "max_dist_diff_tile",
+]

@@ -1,0 +1,67 @@
+"""Circular regions — the safe-region shape of Section 4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class Circle:
+    """A closed disk ``(center, radius)``.
+
+    Circle-MSR (Algorithm 1) assigns every user the disk centered at her
+    current location with the maximal common radius of Theorem 1.
+    """
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0.0:
+            raise ValueError(f"negative radius: {self.radius}")
+
+    def contains_point(self, p: Point, eps: float = 0.0) -> bool:
+        return self.center.dist(p) <= self.radius + eps
+
+    def min_dist(self, p: Point) -> float:
+        """``||p, S||_min = max(||p, c|| - r, 0)``."""
+        return max(self.center.dist(p) - self.radius, 0.0)
+
+    def max_dist(self, p: Point) -> float:
+        """``||p, S||_max = ||p, c|| + r``."""
+        return self.center.dist(p) + self.radius
+
+    def bounding_rect(self) -> Rect:
+        return Rect(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+
+    def inscribed_square(self) -> Rect:
+        """The maximal axis-aligned square inside the disk.
+
+        Its side is ``sqrt(2) * r`` — this is the initial tile size
+        ``d`` of Tile-MSR (Algorithm 3, line 2).
+        """
+        side = self.radius * 2.0**0.5
+        return Rect.square(self.center, side)
+
+    def sample(self, rng) -> Point:
+        """A uniformly random point inside the disk."""
+        # Rejection-free: sqrt-radius trick for uniform area density.
+        import math
+
+        r = self.radius * math.sqrt(rng.random())
+        theta = rng.uniform(0.0, 2.0 * math.pi)
+        return Point(
+            self.center.x + r * math.cos(theta), self.center.y + r * math.sin(theta)
+        )
+
+    def as_values(self) -> tuple[float, float, float]:
+        """Wire representation: 3 doubles (cx, cy, r), per Section 7.1."""
+        return (self.center.x, self.center.y, self.radius)

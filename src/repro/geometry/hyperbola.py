@@ -1,0 +1,139 @@
+"""Extrema of the distance difference ``f(l) = ||p', l|| - ||po, l||``.
+
+Section 6.3.1 of the paper shows that the level sets of ``f`` are
+hyperbola branches with foci ``p'`` and ``po`` (Fig. 12) and proposes
+evaluating tile corners and the intersections of the tile boundary with
+the focal axis.  That candidate set is *incomplete*: restricted to a
+segment, ``f`` can attain its minimum at an interior point (consider
+``p'`` close to the segment and ``po`` far away — the minimum sits near
+the orthogonal projection of ``p'``).  Because Sum-GT-Verify needs a
+sound lower bound of ``f`` over each tile, we extend the candidate set
+with the analytic critical points of ``f`` along each edge.
+
+Derivation: parameterize the edge's line by arc length ``t``.  With
+``tA, hA`` the foot and height of ``p'`` and ``tB, hB`` those of
+``po``, the derivative of ``f`` vanishes iff
+
+    (t - tA) / sqrt((t - tA)^2 + hA^2) = (t - tB) / sqrt((t - tB)^2 + hB^2)
+
+whose solutions satisfy ``(t - tA) * hB = (t - tB) * hA``, i.e.
+
+    t* = (tA * hB - tB * hA) / (hB - hA)        (when hA != hB).
+
+Spurious roots introduced by squaring are harmless: every candidate is
+a genuine point of the tile, and we only take a min/max of ``f`` values
+over candidates.  Interior extrema of ``f`` over the 2-D tile lie on
+the focal axis (where the gradient vanishes) and are covered by the
+axis-crossing and focus-inside candidates.
+
+Sum-GT-Verify (Algorithm 6) relies on these routines to lower-bound the
+per-user contribution to ``F(p', po, L)`` of Equation (13).
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+def dist_diff(p_prime: Point, po: Point, l: Point) -> float:
+    """``f(l) = ||p', l|| - ||po, l||``."""
+    return p_prime.dist(l) - po.dist(l)
+
+
+def _axis_crossings_of_segment(
+    p_prime: Point, po: Point, a: Point, b: Point
+) -> list[Point]:
+    """Intersections of segment ``ab`` with the focal axis line ``p'-po``.
+
+    Returns at most one point (the segment and a line intersect in at
+    most one point unless collinear; collinear segments need no
+    crossing candidates because the endpoints already lie on the axis).
+    """
+    dx = po.x - p_prime.x
+    dy = po.y - p_prime.y
+    # Signed side of the axis for each endpoint (cross product).
+    side_a = dx * (a.y - p_prime.y) - dy * (a.x - p_prime.x)
+    side_b = dx * (b.y - p_prime.y) - dy * (b.x - p_prime.x)
+    if side_a == 0.0 and side_b == 0.0:
+        return []
+    if (side_a > 0.0 and side_b > 0.0) or (side_a < 0.0 and side_b < 0.0):
+        return []
+    denom = side_a - side_b
+    if denom == 0.0:
+        return []
+    t = side_a / denom
+    t = min(max(t, 0.0), 1.0)
+    return [Point(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y))]
+
+
+def _edge_critical_points(
+    p_prime: Point, po: Point, a: Point, b: Point
+) -> list[Point]:
+    """Interior critical points of ``f`` restricted to segment ``ab``.
+
+    See the module docstring for the derivation.  Returns zero or one
+    point inside the open segment.
+    """
+    ex = b.x - a.x
+    ey = b.y - a.y
+    length_sq = ex * ex + ey * ey
+    if length_sq == 0.0:
+        return []
+    # Foot parameter (in [0, 1] units of the segment) and height of
+    # each focus relative to the edge's supporting line.
+    import math
+
+    length = math.sqrt(length_sq)
+    ux = ex / length
+    uy = ey / length
+    t_a = (p_prime.x - a.x) * ux + (p_prime.y - a.y) * uy
+    t_b = (po.x - a.x) * ux + (po.y - a.y) * uy
+    h_a = abs(-(p_prime.x - a.x) * uy + (p_prime.y - a.y) * ux)
+    h_b = abs(-(po.x - a.x) * uy + (po.y - a.y) * ux)
+    if h_a == h_b:
+        # Equal heights: f' = 0 has no isolated root (or f is constant
+        # along the line); endpoints cover the extrema.
+        return []
+    t_star = (t_a * h_b - t_b * h_a) / (h_b - h_a)
+    if not 0.0 < t_star < length:
+        return []
+    return [Point(a.x + t_star * ux, a.y + t_star * uy)]
+
+
+def _candidate_points(p_prime: Point, po: Point, rect: Rect) -> list[Point]:
+    """Corner / axis / focus / edge-critical candidates for extrema."""
+    corners = list(rect.corners())
+    candidates = list(corners)
+    for k in range(4):
+        a = corners[k]
+        b = corners[(k + 1) % 4]
+        candidates.extend(_axis_crossings_of_segment(p_prime, po, a, b))
+        candidates.extend(_edge_critical_points(p_prime, po, a, b))
+    if rect.contains_point(p_prime):
+        candidates.append(p_prime)
+    if rect.contains_point(po):
+        candidates.append(po)
+    return candidates
+
+
+def min_dist_diff_segment(p_prime: Point, po: Point, a: Point, b: Point) -> float:
+    """Minimum of ``f`` over the segment ``ab``."""
+    candidates = [a, b]
+    candidates.extend(_axis_crossings_of_segment(p_prime, po, a, b))
+    candidates.extend(_edge_critical_points(p_prime, po, a, b))
+    return min(dist_diff(p_prime, po, c) for c in candidates)
+
+
+def min_dist_diff_tile(p_prime: Point, po: Point, rect: Rect) -> float:
+    """Minimum of ``f`` over a rectangle (tile), per Section 6.3.1."""
+    return min(dist_diff(p_prime, po, c) for c in _candidate_points(p_prime, po, rect))
+
+
+def max_dist_diff_tile(p_prime: Point, po: Point, rect: Rect) -> float:
+    """Maximum of ``f`` over a rectangle.
+
+    By symmetry (``max f = -min(-f)`` and ``-f`` swaps the foci), the
+    same candidate set applies.
+    """
+    return max(dist_diff(p_prime, po, c) for c in _candidate_points(p_prime, po, rect))

@@ -1,0 +1,71 @@
+"""Planar points and Euclidean distances (Definition 1 of the paper)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable point in the plane.
+
+    Users and POIs are both represented as points; per the paper we
+    "denote both a user and her location by ``ui``".
+    """
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def scale(self, factor: float) -> "Point":
+        return Point(self.x * factor, self.y * factor)
+
+    def dist(self, other: "Point") -> float:
+        """Euclidean distance ``||self, other||``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def dist_sq(self, other: "Point") -> float:
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def norm(self) -> float:
+        return math.hypot(self.x, self.y)
+
+    def heading(self) -> float:
+        """Angle of the vector from the origin to this point, in radians."""
+        return math.atan2(self.y, self.x)
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.x, self.y)
+
+
+def dist(a: Point | tuple[float, float], b: Point | tuple[float, float]) -> float:
+    """Euclidean distance between two points or coordinate pairs."""
+    ax, ay = a
+    bx, by = b
+    return math.hypot(ax - bx, ay - by)
+
+
+def dist_sq(a: Point | tuple[float, float], b: Point | tuple[float, float]) -> float:
+    """Squared Euclidean distance (avoids the sqrt for comparisons)."""
+    ax, ay = a
+    bx, by = b
+    dx = ax - bx
+    dy = ay - by
+    return dx * dx + dy * dy
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)

@@ -1,0 +1,154 @@
+"""The region protocol and composite tile regions.
+
+A *safe region* must answer ``||p, R||_min`` and ``||p, R||_max``
+(Definition 1) and membership tests.  Circles (Section 4) and tile sets
+(Section 5) both satisfy this protocol, so verification (Lemma 1) and
+the simulation engine are written once against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.tile import Tile
+
+
+@runtime_checkable
+class Region(Protocol):
+    """Anything that can serve as a user's safe region."""
+
+    def min_dist(self, p: Point) -> float: ...
+
+    def max_dist(self, p: Point) -> float: ...
+
+    def contains_point(self, p: Point, eps: float = 0.0) -> bool: ...
+
+
+@dataclass(frozen=True, slots=True)
+class PointRegion:
+    """A degenerate region consisting of a single location.
+
+    Useful for fixed (non-moving) group members and as the base case in
+    tests: for a point region, min and max distances coincide.
+    """
+
+    location: Point
+
+    def min_dist(self, p: Point) -> float:
+        return self.location.dist(p)
+
+    def max_dist(self, p: Point) -> float:
+        return self.location.dist(p)
+
+    def contains_point(self, p: Point, eps: float = 0.0) -> bool:
+        return self.location.dist(p) <= eps
+
+
+class TileRegion:
+    """A safe region assembled from tiles (Section 5).
+
+    Maintains the tile list plus the anchor (the user location at
+    computation time) so that ``r_up`` — the maximum distance from the
+    anchor to the region boundary, needed by the index-pruning Theorems
+    3 and 6 — is available in O(1).
+    """
+
+    __slots__ = ("anchor", "side", "_tiles", "_keys", "_r_up", "_maxdist_memo")
+
+    def __init__(self, anchor: Point, side: float, tiles: Iterable[Tile] = ()):
+        self.anchor = anchor
+        self.side = side
+        self._tiles: list[Tile] = []
+        self._keys: set[tuple] = set()
+        self._r_up = 0.0
+        self._maxdist_memo: dict[tuple[float, float], tuple[float, int]] = {}
+        for t in tiles:
+            self.add(t)
+
+    def __len__(self) -> int:
+        return len(self._tiles)
+
+    def __iter__(self):
+        return iter(self._tiles)
+
+    @property
+    def tiles(self) -> tuple[Tile, ...]:
+        return tuple(self._tiles)
+
+    @property
+    def r_up(self) -> float:
+        """Max distance from the anchor to the region boundary (r^up_i)."""
+        return self._r_up
+
+    def add(self, tile: Tile) -> None:
+        key = tile.key()
+        if key in self._keys:
+            return
+        self._keys.add(key)
+        self._tiles.append(tile)
+        self._r_up = max(self._r_up, tile.max_dist(self.anchor))
+
+    def has_key(self, key: tuple) -> bool:
+        return key in self._keys
+
+    def min_dist(self, p: Point) -> float:
+        """``||p, R||_min`` = min over the tiles of the union."""
+        if not self._tiles:
+            return self.anchor.dist(p)
+        return min(t.min_dist(p) for t in self._tiles)
+
+    def max_dist(self, p: Point) -> float:
+        """``||p, R||_max`` = max over the tiles of the union."""
+        if not self._tiles:
+            return self.anchor.dist(p)
+        return max(t.max_dist(p) for t in self._tiles)
+
+    def max_dist_memo(self, p: Point) -> float:
+        """Like :meth:`max_dist`, memoized per query point.
+
+        Safe because tiles are only ever appended: the cached maximum
+        is folded forward over tiles added since the last call (same
+        watermark idea as the Sum-GT-Verify hash tables, Section 6.3.1).
+        """
+        if not self._tiles:
+            return self.anchor.dist(p)
+        key = (p.x, p.y)
+        value, watermark = self._maxdist_memo.get(key, (0.0, 0))
+        n = len(self._tiles)
+        if watermark < n:
+            for t in self._tiles[watermark:]:
+                d = t.max_dist(p)
+                if d > value:
+                    value = d
+            self._maxdist_memo[key] = (value, n)
+        return value
+
+    def contains_point(self, p: Point, eps: float = 0.0) -> bool:
+        return any(t.contains_point(p, eps) for t in self._tiles)
+
+    def bounding_rect(self) -> Rect:
+        if not self._tiles:
+            return Rect.from_point(self.anchor)
+        rect = self._tiles[0].rect
+        for t in self._tiles[1:]:
+            rect = rect.union(t.rect)
+        return rect
+
+    def sample(self, rng) -> Point:
+        """A random point in the union, tiles weighted by area."""
+        if not self._tiles:
+            return self.anchor
+        weights = [t.rect.area for t in self._tiles]
+        total = sum(weights)
+        if total <= 0.0:
+            return self.anchor
+        pick = rng.uniform(0.0, total)
+        acc = 0.0
+        for t, w in zip(self._tiles, weights):
+            acc += w
+            if pick <= acc:
+                return t.rect.sample(rng)
+        return self._tiles[-1].rect.sample(rng)

@@ -1,0 +1,84 @@
+"""Tiles: grid-aligned squares used to assemble safe regions (Section 5).
+
+A *tile* is a square of side ``d`` placed on a grid whose origin cell is
+centered at the user's location.  Tiles carry their grid address
+``(ix, iy)`` and, when produced by Divide-Verify's recursive splitting
+(Algorithm 2), a ``sub_path`` of quadrant indices.  The address makes
+the lossless compression of tile sets possible (ICDE'13, ref. [12]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class Tile:
+    """A square region with a grid address.
+
+    Attributes:
+        rect: geometric footprint of the tile.
+        ix, iy: integer grid coordinates relative to the anchor (the
+            user's location when the safe region was computed); the
+            initial tile (Algorithm 3 line 4) is ``(0, 0)``.
+        sub_path: sequence of quadrant indices (0..3) recording the
+            Divide-Verify splits that produced this tile; empty for a
+            full-size tile.
+    """
+
+    rect: Rect
+    ix: int = 0
+    iy: int = 0
+    sub_path: tuple[int, ...] = field(default=())
+
+    @property
+    def side(self) -> float:
+        return self.rect.width
+
+    @property
+    def center(self) -> Point:
+        return self.rect.center
+
+    @property
+    def level(self) -> int:
+        """How many times this tile was split (0 = full-size)."""
+        return len(self.sub_path)
+
+    def min_dist(self, p: Point) -> float:
+        return self.rect.min_dist(p)
+
+    def max_dist(self, p: Point) -> float:
+        return self.rect.max_dist(p)
+
+    def contains_point(self, p: Point, eps: float = 0.0) -> bool:
+        return self.rect.contains_point(p, eps)
+
+    def split(self) -> tuple["Tile", "Tile", "Tile", "Tile"]:
+        """Divide into four equal sub-tiles (Algorithm 2, line 6)."""
+        quads = self.rect.quadrants()
+        return tuple(
+            Tile(q, self.ix, self.iy, self.sub_path + (k,))
+            for k, q in enumerate(quads)
+        )
+
+    def key(self) -> tuple[int, int, tuple[int, ...]]:
+        """Grid address; unique within one safe-region computation."""
+        return (self.ix, self.iy, self.sub_path)
+
+
+def tile_grid_origin(anchor: Point, side: float) -> Rect:
+    """The footprint of the origin tile: a square centered at ``anchor``."""
+    return Rect.square(anchor, side)
+
+
+def tile_at(anchor: Point, side: float, ix: int, iy: int) -> Tile:
+    """The full-size tile at grid address ``(ix, iy)``.
+
+    The grid is anchored so that tile ``(0, 0)`` is centered at
+    ``anchor`` (the user's location), matching Fig. 8 of the paper.
+    """
+    center = Point(anchor.x + ix * side, anchor.y + iy * side)
+    return Tile(Rect.square(center, side), ix, iy)

@@ -1,0 +1,35 @@
+"""Group (aggregate) nearest-neighbor search.
+
+The snapshot version of the paper's problem is the group nearest
+neighbor query of Papadias et al. (ref. [21]/[24]): find the POI
+minimizing an aggregate of its distances to all group members.  MPN
+uses the MAX aggregate (Definition 2, "MAX-GNN"); Sum-MPN uses the SUM
+aggregate (Definition 8, "SUM-GNN").  Algorithm 1 of the paper calls
+``FindMaxGNN(U, P, 2)`` — a k-best aggregate NN — which
+:func:`find_gnn` provides for any ``k``.
+"""
+
+from repro.gnn.aggregate import (
+    Aggregate,
+    MAX,
+    SUM,
+    aggregate_dist,
+    find_gnn,
+    find_max_gnn,
+    find_sum_gnn,
+    incremental_gnn,
+)
+from repro.gnn.bruteforce import brute_force_gnn, brute_force_aggregate
+
+__all__ = [
+    "Aggregate",
+    "MAX",
+    "SUM",
+    "aggregate_dist",
+    "find_gnn",
+    "find_max_gnn",
+    "find_sum_gnn",
+    "incremental_gnn",
+    "brute_force_gnn",
+    "brute_force_aggregate",
+]

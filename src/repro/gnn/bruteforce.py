@@ -1,0 +1,29 @@
+"""Exhaustive reference implementations for testing and small inputs."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.point import Point
+from repro.gnn.aggregate import Aggregate, aggregate_dist
+
+
+def brute_force_aggregate(
+    points: Sequence[Point], users: Sequence[Point], agg: Aggregate
+) -> list[tuple[float, int]]:
+    """All ``(aggregate_distance, index)`` pairs sorted ascending."""
+    scored = [
+        (aggregate_dist(p, users, agg), i) for i, p in enumerate(points)
+    ]
+    scored.sort()
+    return scored
+
+
+def brute_force_gnn(
+    points: Sequence[Point],
+    users: Sequence[Point],
+    k: int = 1,
+    agg: Aggregate = Aggregate.MAX,
+) -> list[tuple[float, int]]:
+    """The ``k`` best ``(distance, index)`` pairs by exhaustive scan."""
+    return brute_force_aggregate(points, users, agg)[:k]

@@ -1,0 +1,14 @@
+"""Spatial indexing substrate.
+
+The paper's server "manages a data set P of points-of-interest and
+indexes it by an R-tree" (Section 3.1).  This subpackage provides that
+R-tree: STR bulk loading for static POI sets, quadratic-split insertion
+for dynamic maintenance, range queries, and best-first k-nearest-
+neighbor search.  The aggregate (group) nearest-neighbor search of
+ref. [24] lives in :mod:`repro.gnn` and traverses this tree.
+"""
+
+from repro.index.rtree import RTree, RTreeNode, Entry
+from repro.index.knn import knn, nearest, range_query
+
+__all__ = ["RTree", "RTreeNode", "Entry", "knn", "nearest", "range_query"]

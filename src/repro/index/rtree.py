@@ -1,0 +1,329 @@
+"""An in-memory R-tree over planar points.
+
+Two construction paths are provided:
+
+* :meth:`RTree.bulk_load` — Sort-Tile-Recursive (STR) packing, the
+  standard way to index a static POI set;
+* :meth:`RTree.insert` — classic Guttman insertion with quadratic
+  split, for dynamic maintenance.
+
+Leaf entries hold ``(point, payload)`` pairs; interior entries hold
+child nodes.  All search algorithms (:mod:`repro.index.knn`,
+:mod:`repro.gnn.aggregate`) treat nodes uniformly through ``entries``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+DEFAULT_MAX_ENTRIES = 16
+
+
+@dataclass(slots=True)
+class Entry:
+    """A leaf entry: a data point and an opaque payload (e.g. POI id)."""
+
+    point: Point
+    payload: Any = None
+
+    @property
+    def rect(self) -> Rect:
+        return Rect.from_point(self.point)
+
+
+class RTreeNode:
+    """A node of the R-tree; ``is_leaf`` decides the child type."""
+
+    __slots__ = ("is_leaf", "children", "rect")
+
+    def __init__(self, is_leaf: bool, children: Optional[list] = None):
+        self.is_leaf = is_leaf
+        self.children: list = children if children is not None else []
+        self.rect: Rect = self._compute_rect()
+
+    def _compute_rect(self) -> Rect:
+        if not self.children:
+            return Rect(0.0, 0.0, 0.0, 0.0)
+        rects = [c.rect for c in self.children]
+        out = rects[0]
+        for r in rects[1:]:
+            out = out.union(r)
+        return out
+
+    def refresh_rect(self) -> None:
+        self.rect = self._compute_rect()
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+
+class RTree:
+    """R-tree over points with STR bulk loading and quadratic insert."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        if max_entries < 4:
+            raise ValueError("max_entries must be >= 4")
+        self.max_entries = max_entries
+        self.min_entries = max(2, max_entries // 3)
+        self.root = RTreeNode(is_leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Bulk loading (STR)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls,
+        points: Sequence[Point],
+        payloads: Optional[Sequence[Any]] = None,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> "RTree":
+        """Build a packed tree with Sort-Tile-Recursive.
+
+        Points are sorted by x, cut into vertical slabs of
+        ``ceil(sqrt(n / max_entries))`` runs, each slab sorted by y and
+        chopped into leaves; the process repeats one level up until a
+        single root remains.
+        """
+        tree = cls(max_entries=max_entries)
+        if payloads is None:
+            entries = [Entry(p, i) for i, p in enumerate(points)]
+        else:
+            if len(payloads) != len(points):
+                raise ValueError("payloads length must match points length")
+            entries = [Entry(p, payloads[i]) for i, p in enumerate(points)]
+        tree._size = len(entries)
+        if not entries:
+            return tree
+
+        def pack(items: list, is_leaf: bool) -> list[RTreeNode]:
+            n = len(items)
+            node_count = math.ceil(n / max_entries)
+            slab_count = max(1, math.ceil(math.sqrt(node_count)))
+            per_slab = math.ceil(n / slab_count)
+            items_sorted = sorted(items, key=lambda e: e.rect.center.x)
+            nodes: list[RTreeNode] = []
+            for s in range(0, n, per_slab):
+                slab = sorted(
+                    items_sorted[s : s + per_slab], key=lambda e: e.rect.center.y
+                )
+                for k in range(0, len(slab), max_entries):
+                    nodes.append(RTreeNode(is_leaf, slab[k : k + max_entries]))
+            return nodes
+
+        level = pack(entries, is_leaf=True)
+        while len(level) > 1:
+            level = pack(level, is_leaf=False)
+        tree.root = level[0]
+        return tree
+
+    # ------------------------------------------------------------------
+    # Dynamic insertion (Guttman, quadratic split)
+    # ------------------------------------------------------------------
+
+    def insert(self, point: Point, payload: Any = None) -> None:
+        entry = Entry(point, payload)
+        self._size += 1
+        split = self._insert_into(self.root, entry)
+        if split is not None:
+            old_root = self.root
+            self.root = RTreeNode(is_leaf=False, children=[old_root, split])
+
+    def _insert_into(self, node: RTreeNode, entry: Entry) -> Optional[RTreeNode]:
+        """Insert recursively; returns the sibling if ``node`` split."""
+        if node.is_leaf:
+            node.children.append(entry)
+        else:
+            child = self._choose_subtree(node, entry.rect)
+            split = self._insert_into(child, entry)
+            if split is not None:
+                node.children.append(split)
+        if len(node.children) > self.max_entries:
+            sibling = self._quadratic_split(node)
+            node.refresh_rect()
+            return sibling
+        node.rect = node.rect.union(entry.rect)
+        return None
+
+    @staticmethod
+    def _choose_subtree(node: RTreeNode, rect: Rect) -> RTreeNode:
+        """Least-enlargement child; ties broken by smaller area."""
+        return min(
+            node.children, key=lambda c: (c.rect.enlargement(rect), c.rect.area)
+        )
+
+    def _quadratic_split(self, node: RTreeNode) -> RTreeNode:
+        """Guttman's quadratic split; mutates ``node``, returns sibling."""
+        children = node.children
+        # Pick the pair wasting the most area as seeds.
+        worst = (-1.0, 0, 1)
+        for i in range(len(children)):
+            for j in range(i + 1, len(children)):
+                waste = (
+                    children[i].rect.union(children[j].rect).area
+                    - children[i].rect.area
+                    - children[j].rect.area
+                )
+                if waste > worst[0]:
+                    worst = (waste, i, j)
+        _, si, sj = worst
+        group_a = [children[si]]
+        group_b = [children[sj]]
+        rect_a = children[si].rect
+        rect_b = children[sj].rect
+        remaining = [c for k, c in enumerate(children) if k not in (si, sj)]
+        while remaining:
+            # Force-assign if one group must take all remaining members.
+            if len(group_a) + len(remaining) == self.min_entries:
+                group_a.extend(remaining)
+                for c in remaining:
+                    rect_a = rect_a.union(c.rect)
+                break
+            if len(group_b) + len(remaining) == self.min_entries:
+                group_b.extend(remaining)
+                for c in remaining:
+                    rect_b = rect_b.union(c.rect)
+                break
+            # Pick the member with the largest preference difference.
+            best_idx = max(
+                range(len(remaining)),
+                key=lambda k: abs(
+                    rect_a.enlargement(remaining[k].rect)
+                    - rect_b.enlargement(remaining[k].rect)
+                ),
+            )
+            c = remaining.pop(best_idx)
+            da = rect_a.enlargement(c.rect)
+            db = rect_b.enlargement(c.rect)
+            if (da, rect_a.area, len(group_a)) <= (db, rect_b.area, len(group_b)):
+                group_a.append(c)
+                rect_a = rect_a.union(c.rect)
+            else:
+                group_b.append(c)
+                rect_b = rect_b.union(c.rect)
+        node.children = group_a
+        node.refresh_rect()
+        sibling = RTreeNode(is_leaf=node.is_leaf, children=group_b)
+        return sibling
+
+    # ------------------------------------------------------------------
+    # Deletion (Guttman condense-tree with reinsertion)
+    # ------------------------------------------------------------------
+
+    def delete(self, point: Point, payload: Any = None) -> bool:
+        """Remove one leaf entry matching ``point`` (and ``payload`` if
+        given).  Returns False when no such entry exists.
+
+        Underfull nodes on the path are dissolved and their remaining
+        entries reinserted, preserving the tree invariants.
+        """
+        orphans: list = []
+        removed = self._delete_from(self.root, point, payload, orphans)
+        if not removed:
+            return False
+        self._size -= 1
+        # Shrink a root with a single non-leaf child.
+        while not self.root.is_leaf and len(self.root.children) == 1:
+            self.root = self.root.children[0]
+        if not self.root.children and not self.root.is_leaf:
+            self.root = RTreeNode(is_leaf=True)
+        for node in orphans:
+            for item in self._collect_entries(node):
+                self._size -= 1  # insert() will re-increment
+                self.insert(item.point, item.payload)
+        return True
+
+    def _delete_from(
+        self, node: RTreeNode, point: Point, payload: Any, orphans: list
+    ) -> bool:
+        if node.is_leaf:
+            for k, entry in enumerate(node.children):
+                if entry.point == point and (payload is None or entry.payload == payload):
+                    node.children.pop(k)
+                    node.refresh_rect()
+                    return True
+            return False
+        for k, child in enumerate(node.children):
+            if not child.rect.contains_point(point):
+                continue
+            if self._delete_from(child, point, payload, orphans):
+                if len(child.children) < self.min_entries:
+                    node.children.pop(k)
+                    orphans.append(child)
+                node.refresh_rect()
+                return True
+        return False
+
+    @staticmethod
+    def _collect_entries(node: RTreeNode) -> list[Entry]:
+        if node.is_leaf:
+            return list(node.children)
+        out: list[Entry] = []
+        stack = list(node.children)
+        while stack:
+            item = stack.pop()
+            if isinstance(item, Entry):
+                out.append(item)
+            elif item.is_leaf:
+                out.extend(item.children)
+            else:
+                stack.extend(item.children)
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection / iteration
+    # ------------------------------------------------------------------
+
+    def entries(self) -> Iterator[Entry]:
+        """All leaf entries, in tree order."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.children
+            else:
+                stack.extend(node.children)
+
+    def points(self) -> list[Point]:
+        return [e.point for e in self.entries()]
+
+    def height(self) -> int:
+        h = 1
+        node = self.root
+        while not node.is_leaf:
+            if not node.children:
+                break
+            node = node.children[0]
+            h += 1
+        return h
+
+    def validate(self) -> None:
+        """Check structural invariants; raises AssertionError on breach."""
+
+        def check(node: RTreeNode, depth: int, leaf_depths: list[int]) -> None:
+            if node is not self.root and len(node.children) == 0:
+                raise AssertionError("empty non-root node")
+            for c in node.children:
+                if not node.rect.contains_rect(c.rect):
+                    raise AssertionError("child MBR escapes parent MBR")
+            if node.is_leaf:
+                leaf_depths.append(depth)
+            else:
+                for c in node.children:
+                    check(c, depth + 1, leaf_depths)
+
+        leaf_depths: list[int] = []
+        check(self.root, 0, leaf_depths)
+        if leaf_depths and len(set(leaf_depths)) != 1:
+            raise AssertionError(f"leaves at unequal depths: {set(leaf_depths)}")
+        if sum(1 for _ in self.entries()) != self._size:
+            raise AssertionError("size counter out of sync")

@@ -1,0 +1,66 @@
+"""Direction prediction for the directed tile ordering (Section 5.2).
+
+"Existing studies [26] show that the travel direction of a user in the
+near future has a limited angle deviation theta from his current one;
+theta is learned from the user's recent travel directions."  This
+module maintains a sliding window of recent headings per user and
+reports (predicted_heading, theta).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.core.tiles import angle_diff
+from repro.geometry.point import Point
+
+
+class DirectionPredictor:
+    """Sliding-window heading tracker for one user."""
+
+    def __init__(
+        self,
+        window: int = 10,
+        theta_min: float = math.pi / 6.0,
+        theta_max: float = math.pi,
+    ):
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        if not 0.0 < theta_min <= theta_max <= math.pi:
+            raise ValueError("need 0 < theta_min <= theta_max <= pi")
+        self.window = window
+        self.theta_min = theta_min
+        self.theta_max = theta_max
+        self._positions: deque[Point] = deque(maxlen=window + 1)
+
+    def observe(self, position: Point) -> None:
+        """Record the user's location at the next timestamp."""
+        self._positions.append(position)
+
+    def _headings(self) -> list[float]:
+        out = []
+        pts = list(self._positions)
+        for a, b in zip(pts, pts[1:]):
+            if a != b:
+                out.append(math.atan2(b.y - a.y, b.x - a.x))
+        return out
+
+    @property
+    def heading(self) -> float | None:
+        """Predicted near-future heading: the most recent one observed."""
+        headings = self._headings()
+        return headings[-1] if headings else None
+
+    @property
+    def theta(self) -> float:
+        """Learned deviation bound: the max recent deviation, clamped."""
+        headings = self._headings()
+        if len(headings) < 2:
+            return self.theta_max
+        last = headings[-1]
+        deviation = max(angle_diff(h, last) for h in headings[:-1])
+        return min(max(deviation, self.theta_min), self.theta_max)
+
+    def reset(self) -> None:
+        self._positions.clear()

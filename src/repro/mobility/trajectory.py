@@ -1,0 +1,110 @@
+"""Trajectories: per-timestamp location sequences.
+
+A trajectory holds exactly one location per timestamp (the paper's
+trajectory sets have "above 10,000 timestamps" each).  The speed-
+scaling transform follows Section 7.2 verbatim: for speed ``x * V`` we
+take the trajectory prefix covering the first ``x`` fraction of
+timestamps and resample the full number of locations uniformly on those
+segments — consistent trajectories, slower traversal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """An immutable sequence of locations, one per timestamp."""
+
+    points: tuple[Point, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("trajectory must contain at least one point")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __getitem__(self, t: int) -> Point:
+        return self.points[t]
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self.points)
+
+    def at(self, t: int) -> Point:
+        """Location at timestamp ``t``; clamps past the end."""
+        if t < 0:
+            raise IndexError("negative timestamp")
+        if t >= len(self.points):
+            return self.points[-1]
+        return self.points[t]
+
+    def total_length(self) -> float:
+        return sum(
+            self.points[k].dist(self.points[k + 1])
+            for k in range(len(self.points) - 1)
+        )
+
+    def average_speed(self) -> float:
+        """Distance covered per timestamp."""
+        if len(self.points) < 2:
+            return 0.0
+        return self.total_length() / (len(self.points) - 1)
+
+    def heading_at(self, t: int) -> float | None:
+        """Travel direction entering timestamp ``t`` (None if static)."""
+        if t <= 0 or t >= len(self.points):
+            t = max(1, min(t, len(self.points) - 1))
+        prev = self.points[t - 1]
+        cur = self.points[t]
+        if prev == cur:
+            return None
+        return math.atan2(cur.y - prev.y, cur.x - prev.x)
+
+    def prefix(self, n: int) -> "Trajectory":
+        if n < 1:
+            raise ValueError("prefix length must be >= 1")
+        return Trajectory(self.points[:n])
+
+
+def resample_uniform(points: Sequence[Point], n: int) -> Trajectory:
+    """``n`` locations uniformly spaced in *time* along the polyline.
+
+    "Uniformly on those segments" (Section 7.2): parameterize the
+    polyline by its original timestamps and sample ``n`` equally spaced
+    parameter values, interpolating linearly inside segments.
+    """
+    if n < 1:
+        raise ValueError("need at least one sample")
+    if len(points) == 1:
+        return Trajectory(tuple(points) * n)
+    span = len(points) - 1
+    out = []
+    for k in range(n):
+        pos = (k / (n - 1)) * span if n > 1 else 0.0
+        idx = min(int(pos), span - 1)
+        frac = pos - idx
+        a = points[idx]
+        b = points[idx + 1]
+        out.append(Point(a.x + frac * (b.x - a.x), a.y + frac * (b.y - a.y)))
+    return Trajectory(tuple(out))
+
+
+def scale_speed(traj: Trajectory, fraction: float, n_samples: int | None = None) -> Trajectory:
+    """The paper's speed transform: prefix by ``fraction``, resample.
+
+    ``fraction = 1.0`` returns an equivalent trajectory at full speed;
+    ``fraction = 0.25`` travels only the first quarter of the route in
+    the same number of timestamps (one quarter the speed).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    n = n_samples if n_samples is not None else len(traj)
+    keep = max(2, int(round(len(traj) * fraction)))
+    keep = min(keep, len(traj))
+    return resample_uniform(traj.points[:keep], n)

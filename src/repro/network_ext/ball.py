@@ -1,0 +1,91 @@
+"""Network balls: range-search regions over road segments.
+
+The network analogue of the circular safe region: all positions within
+network distance ``r`` of a center.  Materialized as per-edge coverage:
+for edge ``(u, v)`` of length ``L``, the covered set is the union of a
+prefix ``[0, cover_u]`` (reached via ``u``) and a suffix
+``[L - cover_v, L]`` (reached via ``v``), where ``cover_u = max(0,
+r - d(c, u))``.  This is exactly the "range search region over road
+segments" the paper's conclusion sketches.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.network_ext.space import NetworkPosition, NetworkSpace
+
+
+class NetworkBall:
+    """The set of network positions within distance ``r`` of ``center``."""
+
+    def __init__(self, space: NetworkSpace, center: NetworkPosition, radius: float):
+        if radius < 0.0:
+            raise ValueError("negative radius")
+        self.space = space
+        self.center = center
+        self.radius = radius
+        # Distance from the center to every node (bounded by r + any
+        # incident edge, but the full map is cheap and cacheable).
+        self._node_dist: dict[Hashable, float] = {}
+        for node, d0 in space._anchors(center):
+            for target, d in space.node_distances(node).items():
+                total = d0 + d
+                old = self._node_dist.get(target)
+                if old is None or total < old:
+                    self._node_dist[target] = total
+        if center.edge is not None:
+            # The center's own edge is reachable directly.
+            pass
+
+    def node_distance(self, node: Hashable) -> float:
+        return self._node_dist.get(node, float("inf"))
+
+    def edge_coverage(self, u: Hashable, v: Hashable) -> tuple[float, float]:
+        """(cover_u, cover_v): covered prefix/suffix lengths of (u, v)."""
+        length = self.space.edge_length(u, v)
+        cover_u = max(0.0, min(length, self.radius - self.node_distance(u)))
+        cover_v = max(0.0, min(length, self.radius - self.node_distance(v)))
+        return cover_u, cover_v
+
+    def contains(self, pos: NetworkPosition, eps: float = 1e-9) -> bool:
+        """Is ``pos`` within network distance ``radius`` of the center?
+
+        Decided from the materialized coverage (plus the same-edge
+        shortcut when ``pos`` shares the center's edge), not by a fresh
+        shortest-path query.
+        """
+        if pos.node is not None:
+            return self.node_distance(pos.node) <= self.radius + eps
+        u, v = pos.edge
+        length = self.space.edge_length(u, v)
+        cover_u, cover_v = self.edge_coverage(u, v)
+        if pos.offset <= cover_u + eps or (length - pos.offset) <= cover_v + eps:
+            return True
+        if self.center.edge is not None:
+            ce = self.center.edge
+            if ce == pos.edge or ce == (v, u):
+                off = pos.offset if ce == pos.edge else length - pos.offset
+                if abs(off - self.center.offset) <= self.radius + eps:
+                    return True
+        return False
+
+    def covered_segments(self) -> list[tuple[Hashable, Hashable, float, float]]:
+        """All partially or fully covered edges as (u, v, cover_u, cover_v).
+
+        This is the wire representation: the server would ship these
+        interval endpoints to the client (2 values per touched edge
+        plus edge ids), replacing the 3-value circle of the Euclidean
+        setting.
+        """
+        out = []
+        for u, v in self.space.graph.edges:
+            cover_u, cover_v = self.edge_coverage(u, v)
+            if cover_u > 0.0 or cover_v > 0.0:
+                out.append((u, v, cover_u, cover_v))
+        return out
+
+    def wire_values(self) -> int:
+        """Payload size in doubles for the packet model of Section 7.1."""
+        # Edge id pair packed into one value + two interval endpoints.
+        return 3 * len(self.covered_segments()) + 1  # +1 for the radius

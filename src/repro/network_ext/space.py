@@ -1,0 +1,114 @@
+"""Positions and shortest-path distances on a road network.
+
+A :class:`NetworkPosition` is either a graph node or a point along an
+edge (``offset`` meters from the edge's ``u`` endpoint).  Distances are
+exact shortest-path lengths; single-source distance maps are computed
+with Dijkstra and cached per source node, so repeated queries (GNN
+aggregation, ball construction) stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class NetworkPosition:
+    """A location on the road network.
+
+    Node positions set ``edge=None``.  Edge positions carry the edge as
+    an ordered pair ``(u, v)`` and the offset from ``u`` in length
+    units; an offset of 0 (or the full edge length) degenerates to the
+    endpoint node.
+    """
+
+    node: Hashable = None
+    edge: Optional[tuple[Hashable, Hashable]] = None
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if (self.node is None) == (self.edge is None):
+            raise ValueError("exactly one of node/edge must be set")
+        if self.edge is not None and self.offset < 0.0:
+            raise ValueError("negative edge offset")
+
+    @classmethod
+    def at_node(cls, node: Hashable) -> "NetworkPosition":
+        return cls(node=node)
+
+    @classmethod
+    def on_edge(cls, u: Hashable, v: Hashable, offset: float) -> "NetworkPosition":
+        return cls(edge=(u, v), offset=offset)
+
+
+class NetworkSpace:
+    """A road graph with exact network distances and Dijkstra caching.
+
+    The graph must be connected, undirected, and carry a positive
+    ``length`` attribute on every edge (as produced by
+    :func:`repro.mobility.network.build_road_network`).
+    """
+
+    def __init__(self, graph: nx.Graph):
+        for a, b, data in graph.edges(data=True):
+            if data.get("length", 0.0) <= 0.0:
+                raise ValueError(f"edge {(a, b)} lacks a positive length")
+        if graph.number_of_nodes() == 0:
+            raise ValueError("empty road network")
+        if not nx.is_connected(graph):
+            raise ValueError("road network must be connected")
+        self.graph = graph
+        self._sssp_cache: dict[Hashable, dict[Hashable, float]] = {}
+
+    def edge_length(self, u: Hashable, v: Hashable) -> float:
+        return self.graph.edges[u, v]["length"]
+
+    def node_distances(self, source: Hashable) -> dict[Hashable, float]:
+        """All-nodes shortest-path distances from ``source`` (cached)."""
+        cached = self._sssp_cache.get(source)
+        if cached is None:
+            cached = nx.single_source_dijkstra_path_length(
+                self.graph, source, weight="length"
+            )
+            self._sssp_cache[source] = cached
+        return cached
+
+    def _anchors(self, pos: NetworkPosition) -> list[tuple[Hashable, float]]:
+        """(node, distance-to-node) pairs anchoring a position."""
+        if pos.node is not None:
+            return [(pos.node, 0.0)]
+        u, v = pos.edge
+        length = self.edge_length(u, v)
+        if not 0.0 <= pos.offset <= length + 1e-9:
+            raise ValueError(f"offset {pos.offset} outside edge of length {length}")
+        return [(u, pos.offset), (v, length - pos.offset)]
+
+    def distance(self, a: NetworkPosition, b: NetworkPosition) -> float:
+        """Exact shortest-path distance between two positions."""
+        # Same-edge shortcut: the direct along-edge path is a candidate
+        # (possibly beaten by a detour, covered by the anchor paths).
+        best = float("inf")
+        if a.edge is not None and b.edge is not None:
+            if a.edge == b.edge or a.edge == (b.edge[1], b.edge[0]):
+                u, v = a.edge
+                length = self.edge_length(u, v)
+                b_off = b.offset if a.edge == b.edge else length - b.offset
+                best = abs(a.offset - b_off)
+        for node_a, d_a in self._anchors(a):
+            dist_map = self.node_distances(node_a)
+            for node_b, d_b in self._anchors(b):
+                via = d_a + dist_map.get(node_b, float("inf")) + d_b
+                best = min(best, via)
+        return best
+
+    def distance_to_node(self, pos: NetworkPosition, node: Hashable) -> float:
+        return self.distance(pos, NetworkPosition.at_node(node))
+
+    def random_position(self, rng) -> NetworkPosition:
+        """A uniformly random position along a random edge."""
+        edges = list(self.graph.edges)
+        u, v = edges[rng.randrange(len(edges))]
+        return NetworkPosition.on_edge(u, v, rng.uniform(0.0, self.edge_length(u, v)))

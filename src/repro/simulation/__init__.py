@@ -1,0 +1,63 @@
+"""Client-server monitoring simulation (Section 3.1, Fig. 3).
+
+The engine replays trajectory groups against an MPN server.  Whenever a
+user leaves her safe region the three-step protocol runs: (1) she
+reports her location; (2) the server probes the other members;
+(3) the server notifies everyone of the new optimal meeting point and
+their new safe regions.  Message and packet accounting follows the
+paper's model (576-byte MTU, 40-byte header, 67 doubles per packet).
+"""
+
+from repro.simulation.messages import (
+    VALUES_PER_PACKET,
+    Message,
+    MessageKind,
+    packets_for_values,
+)
+from repro.simulation.metrics import SimulationMetrics
+from repro.simulation.policies import (
+    Policy,
+    PolicyKind,
+    circle_policy,
+    periodic_policy,
+    tile_policy,
+    tile_d_policy,
+    tile_d_b_policy,
+)
+from repro.simulation.server import MPNServer, ServerResponse
+from repro.simulation.client import SimClient
+from repro.simulation.engine import run_simulation, run_groups
+from repro.simulation.multigroup import MultiGroupServer, GroupSession
+from repro.simulation.adaptive import (
+    AdaptiveAlphaController,
+    AdaptiveConfig,
+    run_adaptive_simulation,
+)
+from repro.simulation.cost_model import CostEstimate, estimate_costs
+
+__all__ = [
+    "VALUES_PER_PACKET",
+    "Message",
+    "MessageKind",
+    "packets_for_values",
+    "SimulationMetrics",
+    "Policy",
+    "PolicyKind",
+    "circle_policy",
+    "periodic_policy",
+    "tile_policy",
+    "tile_d_policy",
+    "tile_d_b_policy",
+    "MPNServer",
+    "ServerResponse",
+    "SimClient",
+    "run_simulation",
+    "run_groups",
+    "MultiGroupServer",
+    "GroupSession",
+    "AdaptiveAlphaController",
+    "AdaptiveConfig",
+    "run_adaptive_simulation",
+    "CostEstimate",
+    "estimate_costs",
+]

@@ -1,0 +1,59 @@
+"""A simulated mobile client: trajectory playback plus safe-region test."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.geometry.point import Point
+from repro.geometry.region import Region
+from repro.mobility.direction import DirectionPredictor
+from repro.mobility.trajectory import Trajectory
+
+
+class SimClient:
+    """One group member replaying her trajectory.
+
+    The client holds the latest safe region the server assigned and
+    reports (via the engine) as soon as her next location escapes it —
+    the trigger of the three-step protocol in Fig. 3.
+    """
+
+    def __init__(self, trajectory: Trajectory, track_direction: bool = False):
+        self.trajectory = trajectory
+        self.region: Optional[Region] = None
+        self.predictor = DirectionPredictor() if track_direction else None
+        self._position = trajectory[0]
+        if self.predictor is not None:
+            self.predictor.observe(self._position)
+
+    @property
+    def position(self) -> Point:
+        return self._position
+
+    @property
+    def heading(self) -> Optional[float]:
+        if self.predictor is None:
+            return None
+        return self.predictor.heading
+
+    @property
+    def theta(self) -> Optional[float]:
+        if self.predictor is None:
+            return None
+        return self.predictor.theta
+
+    def advance(self, t: int) -> Point:
+        """Move to timestamp ``t``; returns the new position."""
+        self._position = self.trajectory.at(t)
+        if self.predictor is not None:
+            self.predictor.observe(self._position)
+        return self._position
+
+    def outside_region(self, eps: float = 1e-9) -> bool:
+        """Has the client escaped her current safe region?"""
+        if self.region is None:
+            return True
+        return not self.region.contains_point(self._position, eps)
+
+    def assign_region(self, region: Region) -> None:
+        self.region = region

@@ -1,0 +1,142 @@
+"""Cost model for monitoring runs (the paper's future work, Section 8).
+
+"Also, we will develop a cost model for estimating the update
+frequency, the communication cost, and the running time of our
+methods."
+
+The model calibrates itself from a handful of cheap *snapshot*
+safe-region computations (no trajectory replay):
+
+* **Update frequency.**  A user escapes a region of effective radius
+  ``R`` after roughly ``R / v`` timestamps of directionally-persistent
+  motion at speed ``v``; the group's first escape triggers the
+  protocol, so the event rate is ``escape_factor * v / R`` with
+  ``R = sqrt(area / pi)`` the equivalent-circle radius of the sampled
+  regions and ``escape_factor`` a calibration constant (default 1,
+  which matches ballistic motion re-centered on every update).
+* **Communication cost.**  Exact per-event packet counts from the
+  Section 7.1 message model, with region wire sizes sampled from the
+  same snapshots.
+* **Running time.**  The mean measured time of the sampled safe-region
+  computations.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.circle_msr import circle_msr
+from repro.core.compression import compress_region
+from repro.core.tile_msr import tile_msr
+from repro.index.rtree import RTree
+from repro.mobility.trajectory import Trajectory
+from repro.simulation.messages import (
+    CIRCLE_VALUES,
+    packets_for_values,
+    POINT_VALUES,
+)
+from repro.simulation.policies import Policy, PolicyKind
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted per-run metrics for one (policy, workload) pair."""
+
+    update_frequency: float  # events per timestamp
+    packets_per_event: float
+    cpu_per_update: float  # seconds
+    effective_radius: float
+    mean_speed: float
+
+    def predicted_events(self, timestamps: int) -> float:
+        return self.update_frequency * timestamps
+
+    def predicted_packets(self, timestamps: int) -> float:
+        return self.predicted_events(timestamps) * self.packets_per_event
+
+    def predicted_cpu_seconds(self, timestamps: int) -> float:
+        return self.predicted_events(timestamps) * self.cpu_per_update
+
+
+def _sample_group_positions(
+    trajectories: Sequence[Trajectory], group_size: int, rng: random.Random
+):
+    chosen = rng.sample(range(len(trajectories)), group_size)
+    t = rng.randrange(min(len(tr) for tr in trajectories))
+    return [trajectories[k].at(t) for k in chosen]
+
+
+def estimate_costs(
+    policy: Policy,
+    tree: RTree,
+    trajectories: Sequence[Trajectory],
+    group_size: int,
+    n_samples: int = 20,
+    escape_factor: float = 1.0,
+    seed: int = 0,
+) -> CostEstimate:
+    """Calibrate the model from ``n_samples`` snapshot computations."""
+    if policy.kind is PolicyKind.PERIODIC:
+        m = group_size
+        packets = m * (packets_for_values(2) + packets_for_values(POINT_VALUES))
+        return CostEstimate(
+            update_frequency=1.0,
+            packets_per_event=float(packets),
+            cpu_per_update=0.0,
+            effective_radius=0.0,
+            mean_speed=_mean_speed(trajectories),
+        )
+    if group_size > len(trajectories):
+        raise ValueError("group_size exceeds available trajectories")
+    rng = random.Random(seed)
+    radii: list[float] = []
+    region_values: list[int] = []
+    cpu: list[float] = []
+    for _ in range(n_samples):
+        users = _sample_group_positions(trajectories, group_size, rng)
+        start = time.perf_counter()
+        if policy.kind is PolicyKind.CIRCLE:
+            result = circle_msr(users, tree, policy.objective)
+            cpu.append(time.perf_counter() - start)
+            if result.radius != float("inf"):
+                radii.append(result.radius)
+            region_values.extend([CIRCLE_VALUES] * group_size)
+        else:
+            result = tile_msr(users, tree, policy.tile_config)
+            cpu.append(time.perf_counter() - start)
+            for region in result.regions:
+                area = sum(t.rect.area for t in region)
+                if area > 0.0 and area < 1e30:
+                    radii.append(math.sqrt(area / math.pi))
+                region_values.append(compress_region(region).value_count)
+    effective_radius = sum(radii) / len(radii) if radii else float("inf")
+    speed = _mean_speed(trajectories)
+    if effective_radius in (0.0, float("inf")):
+        frequency = 1.0 if effective_radius == 0.0 else 0.0
+    else:
+        frequency = min(1.0, escape_factor * speed / effective_radius)
+    m = group_size
+    mean_region_values = (
+        sum(region_values) / len(region_values) if region_values else CIRCLE_VALUES
+    )
+    packets_per_event = (
+        1  # trigger location update
+        + 2 * (m - 1)  # probe requests + replies
+        + m * packets_for_values(POINT_VALUES + round(mean_region_values))
+    )
+    return CostEstimate(
+        update_frequency=frequency,
+        packets_per_event=float(packets_per_event),
+        cpu_per_update=sum(cpu) / len(cpu),
+        effective_radius=effective_radius,
+        mean_speed=speed,
+    )
+
+
+def _mean_speed(trajectories: Sequence[Trajectory]) -> float:
+    speeds = [t.average_speed() for t in trajectories]
+    return sum(speeds) / len(speeds)

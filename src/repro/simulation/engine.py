@@ -1,0 +1,193 @@
+"""The monitoring loop: trajectory playback against the MPN server.
+
+One simulated run plays a group of trajectories for ``n_timestamps``
+steps.  Whenever some client's new location escapes her safe region,
+the three-step protocol of Fig. 3 executes and is charged to the
+metrics: one location update from the trigger client, ``m - 1`` probe
+requests and replies, and ``m`` result notifications carrying the new
+meeting point and safe regions.
+
+Setting ``check_every`` to a positive value asserts, every so many
+quiet timestamps, that the cached meeting point still equals the exact
+aggregate nearest neighbor — the paper's core guarantee (Definition 3).
+This is how the integration tests establish end-to-end soundness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.gnn.aggregate import find_gnn
+from repro.index.rtree import RTree
+from repro.mobility.trajectory import Trajectory
+from repro.simulation.client import SimClient
+from repro.simulation.messages import (
+    location_update,
+    periodic_reply,
+    periodic_report,
+    probe_request,
+    result_notify,
+)
+from repro.simulation.metrics import SimulationMetrics, average_metrics
+from repro.simulation.policies import Policy, PolicyKind
+from repro.simulation.server import MPNServer
+
+
+class SafeRegionViolation(AssertionError):
+    """The cached meeting point diverged from the exact one."""
+
+
+def run_simulation(
+    policy: Policy,
+    trajectories: Sequence[Trajectory],
+    tree: RTree,
+    n_timestamps: Optional[int] = None,
+    check_every: int = 0,
+) -> SimulationMetrics:
+    """Simulate one group under one policy; returns the metrics."""
+    if not trajectories:
+        raise ValueError("need at least one trajectory")
+    steps = n_timestamps if n_timestamps is not None else min(
+        len(t) for t in trajectories
+    )
+    if steps < 1:
+        raise ValueError("need at least one timestamp")
+    if policy.kind is PolicyKind.PERIODIC:
+        return _run_periodic(policy, trajectories, tree, steps)
+    return _run_safe_regions(policy, trajectories, tree, steps, check_every)
+
+
+def _run_periodic(
+    policy: Policy,
+    trajectories: Sequence[Trajectory],
+    tree: RTree,
+    steps: int,
+) -> SimulationMetrics:
+    """The strawman: every client reports every timestamp."""
+    import time
+
+    metrics = SimulationMetrics(timestamps=steps)
+    m = len(trajectories)
+    last_po = None
+    for t in range(steps):
+        users = [traj.at(t) for traj in trajectories]
+        start = time.perf_counter()
+        best = find_gnn(tree, users, 1, policy.objective)
+        metrics.server_cpu_seconds += time.perf_counter() - start
+        metrics.update_events += 1
+        po = best[0][1].point
+        if t > 0 and po != last_po:
+            metrics.result_changes += 1
+        last_po = po
+        for _ in range(m):
+            metrics.record_message(periodic_report())
+            metrics.record_message(periodic_reply())
+    return metrics
+
+
+def _run_safe_regions(
+    policy: Policy,
+    trajectories: Sequence[Trajectory],
+    tree: RTree,
+    steps: int,
+    check_every: int,
+) -> SimulationMetrics:
+    track_direction = (
+        policy.kind is PolicyKind.TILE
+        and policy.tile_config is not None
+        and policy.tile_config.ordering.value == "directed"
+    )
+    clients = [SimClient(traj, track_direction) for traj in trajectories]
+    server = MPNServer(tree, policy)
+    metrics = SimulationMetrics(timestamps=steps)
+    m = len(clients)
+
+    current_po = _recompute(server, clients, metrics, initial=True)
+
+    for t in range(1, steps):
+        for client in clients:
+            client.advance(t)
+        trigger = next((c for c in clients if c.outside_region()), None)
+        if trigger is None:
+            if check_every > 0 and t % check_every == 0:
+                _assert_result_valid(policy, tree, clients, current_po)
+            continue
+        # Step 1: the trigger reports its location.
+        metrics.record_message(location_update())
+        # Step 2: probe the other group members.
+        for _ in range(m - 1):
+            metrics.record_message(probe_request())
+            metrics.record_message(location_update())
+        new_po = _recompute(server, clients, metrics)
+        if new_po != current_po:
+            metrics.result_changes += 1
+        current_po = new_po
+    return metrics
+
+
+def _recompute(
+    server: MPNServer,
+    clients: list[SimClient],
+    metrics: SimulationMetrics,
+    initial: bool = False,
+) -> object:
+    """Steps 2-3: recompute safe regions, notify every client."""
+    users = [c.position for c in clients]
+    headings = [c.heading for c in clients]
+    thetas = [c.theta for c in clients]
+    response = server.compute(users, headings, thetas)
+    metrics.update_events += 1
+    metrics.server_cpu_seconds += response.cpu_seconds
+    metrics.index_node_accesses += response.stats.index_node_accesses
+    metrics.index_queries += response.stats.index_queries
+    metrics.tile_verifications += response.stats.tile_verifications
+    for client, region, values in zip(
+        clients, response.regions, response.region_values
+    ):
+        client.assign_region(region)
+        metrics.record_message(result_notify(values))
+        metrics.region_values_sent += values
+    if initial:
+        # Registration: every client reports its location first.
+        for _ in clients:
+            metrics.record_message(location_update())
+    return response.po
+
+
+def _assert_result_valid(
+    policy: Policy,
+    tree: RTree,
+    clients: list[SimClient],
+    current_po: object,
+) -> None:
+    """The headline guarantee: quiet users => the result is still exact.
+
+    Ties are tolerated: the exact best aggregate distance must equal
+    the cached point's aggregate distance (the optimal point need not
+    be unique).
+    """
+    from repro.gnn.aggregate import aggregate_dist
+
+    users = [c.position for c in clients]
+    best_dist, best_entry = find_gnn(tree, users, 1, policy.objective)[0]
+    cached_dist = aggregate_dist(current_po, users, policy.objective)
+    if cached_dist > best_dist + 1e-7:
+        raise SafeRegionViolation(
+            f"cached meeting point {current_po} has aggregate distance "
+            f"{cached_dist}, but {best_entry.point} achieves {best_dist}"
+        )
+
+
+def run_groups(
+    policy: Policy,
+    groups: Sequence[Sequence[Trajectory]],
+    tree: RTree,
+    n_timestamps: Optional[int] = None,
+    check_every: int = 0,
+) -> SimulationMetrics:
+    """Average metrics across user groups, as reported in Section 7.1."""
+    runs = [
+        run_simulation(policy, group, tree, n_timestamps, check_every)
+        for group in groups
+    ]
+    return average_metrics(runs)

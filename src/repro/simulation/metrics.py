@@ -1,0 +1,94 @@
+"""Metrics collected by the simulation engine (Section 7.1 measures)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulation.messages import Message
+
+
+@dataclass
+class SimulationMetrics:
+    """Counters for one simulated run of one group."""
+
+    timestamps: int = 0
+    update_events: int = 0  # server-side recomputations (initial excluded)
+    result_changes: int = 0  # how often the optimal point actually changed
+    messages_up: int = 0
+    messages_down: int = 0
+    packets_up: int = 0
+    packets_down: int = 0
+    server_cpu_seconds: float = 0.0
+    index_node_accesses: int = 0
+    index_queries: int = 0
+    tile_verifications: int = 0
+    region_values_sent: int = 0
+
+    def record_message(self, message: Message) -> None:
+        if message.upstream:
+            self.messages_up += 1
+            self.packets_up += message.packets
+        else:
+            self.messages_down += 1
+            self.packets_down += message.packets
+
+    @property
+    def messages_total(self) -> int:
+        return self.messages_up + self.messages_down
+
+    @property
+    def packets_total(self) -> int:
+        return self.packets_up + self.packets_down
+
+    @property
+    def update_frequency(self) -> float:
+        """Update events per timestamp (the paper's update frequency)."""
+        if self.timestamps == 0:
+            return 0.0
+        return self.update_events / self.timestamps
+
+    @property
+    def cpu_per_update(self) -> float:
+        """Computation time for safe regions per update (Section 7.1)."""
+        if self.update_events == 0:
+            return 0.0
+        return self.server_cpu_seconds / self.update_events
+
+    def merge(self, other: "SimulationMetrics") -> None:
+        self.timestamps += other.timestamps
+        self.update_events += other.update_events
+        self.result_changes += other.result_changes
+        self.messages_up += other.messages_up
+        self.messages_down += other.messages_down
+        self.packets_up += other.packets_up
+        self.packets_down += other.packets_down
+        self.server_cpu_seconds += other.server_cpu_seconds
+        self.index_node_accesses += other.index_node_accesses
+        self.index_queries += other.index_queries
+        self.tile_verifications += other.tile_verifications
+        self.region_values_sent += other.region_values_sent
+
+
+def average_metrics(runs: list[SimulationMetrics]) -> SimulationMetrics:
+    """Per-group average, as reported in Section 7.1."""
+    if not runs:
+        raise ValueError("no runs to average")
+    total = SimulationMetrics()
+    for run in runs:
+        total.merge(run)
+    n = len(runs)
+    out = SimulationMetrics(
+        timestamps=total.timestamps // n,
+        update_events=round(total.update_events / n),
+        result_changes=round(total.result_changes / n),
+        messages_up=round(total.messages_up / n),
+        messages_down=round(total.messages_down / n),
+        packets_up=round(total.packets_up / n),
+        packets_down=round(total.packets_down / n),
+        server_cpu_seconds=total.server_cpu_seconds / n,
+        index_node_accesses=round(total.index_node_accesses / n),
+        index_queries=round(total.index_queries / n),
+        tile_verifications=round(total.tile_verifications / n),
+        region_values_sent=round(total.region_values_sent / n),
+    )
+    return out

@@ -1,0 +1,148 @@
+"""A multi-group server with dynamic POI updates.
+
+The paper's protocol serves one group; a deployed server handles many
+groups against one shared POI R-tree, and the POI set itself changes
+(venues open and close).  Safe regions make both cheap:
+
+* **POI insertion.**  A new point ``p`` can only invalidate a group if
+  it could beat the group's current meeting point somewhere inside the
+  safe regions — exactly the conservative test of Lemma 1 (its SUM
+  analogue sums the per-user gaps).  Groups passing the test keep
+  their regions; only failing groups are recomputed and re-notified.
+* **POI deletion.**  Removing a point other than a group's ``po``
+  never invalidates that group: the regions guaranteed ``po`` beats
+  *every* other point, and deletion only removes competitors.  Only
+  groups whose meeting point itself disappears are recomputed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.verify import verify_regions
+from repro.geometry.point import Point
+from repro.geometry.region import Region
+from repro.gnn.aggregate import Aggregate
+from repro.index.rtree import RTree
+from repro.simulation.metrics import SimulationMetrics
+from repro.simulation.messages import result_notify
+from repro.simulation.policies import Policy
+from repro.simulation.server import MPNServer
+
+
+def sum_verify_regions(regions: Sequence[Region], po: Point, p: Point) -> bool:
+    """Lemma 1's SUM analogue: conservative validity of ``po`` vs ``p``.
+
+    ``sum_i min_dist(p, Ri) >= sum_i max_dist(po, Ri)`` guarantees
+    ``||p, L||_sum >= ||po, L||_sum`` for every instance ``L``.
+    """
+    gap = sum(r.min_dist(p) for r in regions) - sum(r.max_dist(po) for r in regions)
+    return gap >= 0.0
+
+
+@dataclass
+class GroupSession:
+    """Server-side state for one registered group."""
+
+    group_id: int
+    policy: Policy
+    positions: list[Point]
+    po: Optional[Point] = None
+    regions: list[Region] = field(default_factory=list)
+    metrics: SimulationMetrics = field(default_factory=SimulationMetrics)
+
+    def region_valid_against(self, p: Point) -> bool:
+        if self.po is None or p == self.po:
+            return True
+        if self.policy.objective is Aggregate.SUM:
+            return sum_verify_regions(self.regions, self.po, p)
+        return verify_regions(self.regions, self.po, p)
+
+
+class MultiGroupServer:
+    """Shared-index server for many concurrent MPN groups."""
+
+    def __init__(self, tree: RTree):
+        self.tree = tree
+        self._sessions: dict[int, GroupSession] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Group lifecycle
+    # ------------------------------------------------------------------
+
+    def register_group(self, users: Sequence[Point], policy: Policy) -> int:
+        """Register a group; computes its first result and regions."""
+        group_id = self._next_id
+        self._next_id += 1
+        session = GroupSession(group_id, policy, list(users))
+        self._sessions[group_id] = session
+        self._recompute(session)
+        return group_id
+
+    def unregister_group(self, group_id: int) -> None:
+        self._sessions.pop(group_id)
+
+    def session(self, group_id: int) -> GroupSession:
+        return self._sessions[group_id]
+
+    def group_ids(self) -> list[int]:
+        return sorted(self._sessions)
+
+    # ------------------------------------------------------------------
+    # Location updates
+    # ------------------------------------------------------------------
+
+    def report_locations(
+        self, group_id: int, positions: Sequence[Point]
+    ) -> tuple[Point, list[Region]]:
+        """The group's probe round: fresh positions, fresh regions.
+
+        Called when some member has escaped her region (the engine
+        decides that client-side); returns the new result and regions.
+        """
+        session = self._sessions[group_id]
+        if len(positions) != len(session.positions):
+            raise ValueError("position count does not match group size")
+        session.positions = list(positions)
+        self._recompute(session)
+        return session.po, session.regions
+
+    def _recompute(self, session: GroupSession) -> None:
+        server = MPNServer(self.tree, session.policy)
+        response = server.compute(session.positions)
+        session.po = response.po
+        session.regions = list(response.regions)
+        session.metrics.update_events += 1
+        session.metrics.server_cpu_seconds += response.cpu_seconds
+        for values in response.region_values:
+            session.metrics.record_message(result_notify(values))
+
+    # ------------------------------------------------------------------
+    # Dynamic POI updates
+    # ------------------------------------------------------------------
+
+    def add_poi(self, p: Point, payload=None) -> list[int]:
+        """Insert a POI; recompute only the groups it invalidates.
+
+        Returns the ids of the recomputed (re-notified) groups.
+        """
+        self.tree.insert(p, payload)
+        invalidated = []
+        for session in self._sessions.values():
+            if not session.region_valid_against(p):
+                self._recompute(session)
+                invalidated.append(session.group_id)
+        return invalidated
+
+    def remove_poi(self, p: Point, payload=None) -> list[int]:
+        """Delete a POI; only groups meeting *at* it are recomputed."""
+        if not self.tree.delete(p, payload):
+            raise KeyError(f"POI {p} not present")
+        invalidated = []
+        for session in self._sessions.values():
+            if session.po == p:
+                self._recompute(session)
+                invalidated.append(session.group_id)
+        return invalidated

@@ -1,0 +1,103 @@
+"""Safe-region policies: the method variants compared in Section 7.
+
+* ``Circle`` — Circle-MSR (Section 4).
+* ``Tile`` — Tile-MSR with undirected ordering, GT-Verify and index
+  pruning (Section 5).
+* ``Tile-D`` — Tile with the directed ordering (Section 5.2).
+* ``Tile-D-b`` — Tile-D with the buffering optimization (Section 5.4).
+* ``Periodic`` — the strawman from the introduction: every client
+  reports every timestamp.
+
+Each policy can target the MAX objective (MPN) or SUM (Sum-MPN).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Optional
+
+from repro.core.types import Ordering, TileMSRConfig, VerifierKind
+from repro.gnn.aggregate import Aggregate
+
+
+class PolicyKind(Enum):
+    CIRCLE = "circle"
+    TILE = "tile"
+    PERIODIC = "periodic"
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A named safe-region method with its configuration."""
+
+    name: str
+    kind: PolicyKind
+    objective: Aggregate = Aggregate.MAX
+    tile_config: Optional[TileMSRConfig] = None
+
+    def with_objective(self, objective: Aggregate) -> "Policy":
+        cfg = self.tile_config
+        if cfg is not None:
+            cfg = replace(cfg, objective=objective)
+        suffix = "-sum" if objective is Aggregate.SUM else ""
+        base = self.name.removesuffix("-sum")
+        return Policy(base + suffix, self.kind, objective, cfg)
+
+
+def periodic_policy(objective: Aggregate = Aggregate.MAX) -> Policy:
+    return Policy("Periodic", PolicyKind.PERIODIC, objective)
+
+
+def circle_policy(objective: Aggregate = Aggregate.MAX) -> Policy:
+    return Policy("Circle", PolicyKind.CIRCLE, objective)
+
+
+def tile_policy(
+    objective: Aggregate = Aggregate.MAX,
+    alpha: int = 30,
+    split_level: int = 2,
+    verifier: VerifierKind = VerifierKind.GT,
+) -> Policy:
+    cfg = TileMSRConfig(
+        alpha=alpha,
+        split_level=split_level,
+        ordering=Ordering.UNDIRECTED,
+        verifier=verifier,
+        objective=objective,
+    )
+    return Policy("Tile", PolicyKind.TILE, objective, cfg)
+
+
+def tile_d_policy(
+    objective: Aggregate = Aggregate.MAX,
+    alpha: int = 30,
+    split_level: int = 2,
+    verifier: VerifierKind = VerifierKind.GT,
+) -> Policy:
+    cfg = TileMSRConfig(
+        alpha=alpha,
+        split_level=split_level,
+        ordering=Ordering.DIRECTED,
+        verifier=verifier,
+        objective=objective,
+    )
+    return Policy("Tile-D", PolicyKind.TILE, objective, cfg)
+
+
+def tile_d_b_policy(
+    b: int = 100,
+    objective: Aggregate = Aggregate.MAX,
+    alpha: int = 30,
+    split_level: int = 2,
+    verifier: VerifierKind = VerifierKind.GT,
+) -> Policy:
+    cfg = TileMSRConfig(
+        alpha=alpha,
+        split_level=split_level,
+        ordering=Ordering.DIRECTED,
+        verifier=verifier,
+        objective=objective,
+        buffer_b=b,
+    )
+    return Policy(f"Tile-D-b{b}", PolicyKind.TILE, objective, cfg)

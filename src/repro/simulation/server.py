@@ -1,0 +1,75 @@
+"""The MPN server: safe-region computation behind one interface.
+
+Given the current user locations (and optionally their predicted
+headings) the server returns the optimal meeting point, a safe region
+per user, and the wire cost of shipping each region — 3 values for a
+circle, the compressed form of :mod:`repro.core.compression` for tile
+regions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.circle_msr import circle_msr
+from repro.core.compression import compress_region
+from repro.core.tile_msr import tile_msr
+from repro.core.types import SafeRegionStats
+from repro.geometry.point import Point
+from repro.geometry.region import Region
+from repro.index.rtree import RTree
+from repro.simulation.messages import CIRCLE_VALUES
+from repro.simulation.policies import Policy, PolicyKind
+
+
+@dataclass
+class ServerResponse:
+    """What the server sends back after a recomputation."""
+
+    po: Point
+    regions: list[Region]
+    region_values: list[int]  # wire size per region, in doubles
+    cpu_seconds: float
+    stats: SafeRegionStats
+
+
+class MPNServer:
+    """Holds the POI R-tree and computes safe regions per the policy."""
+
+    def __init__(self, tree: RTree, policy: Policy):
+        if policy.kind is PolicyKind.PERIODIC:
+            raise ValueError("the periodic baseline bypasses the server API")
+        self.tree = tree
+        self.policy = policy
+
+    def compute(
+        self,
+        users: Sequence[Point],
+        headings: Optional[Sequence[Optional[float]]] = None,
+        thetas: Optional[Sequence[Optional[float]]] = None,
+    ) -> ServerResponse:
+        start = time.perf_counter()
+        if self.policy.kind is PolicyKind.CIRCLE:
+            result = circle_msr(users, self.tree, self.policy.objective)
+            regions: list[Region] = list(result.circles)
+            values = [CIRCLE_VALUES] * len(users)
+            stats = result.stats
+            po = result.po
+        else:
+            result = tile_msr(
+                users, self.tree, self.policy.tile_config, headings, thetas
+            )
+            regions = list(result.regions)
+            values = [compress_region(r).value_count for r in result.regions]
+            stats = result.stats
+            po = result.po
+        cpu = time.perf_counter() - start
+        return ServerResponse(
+            po=po,
+            regions=regions,
+            region_values=values,
+            cpu_seconds=cpu,
+            stats=stats,
+        )

@@ -1,0 +1,14 @@
+"""SVG visualization of safe regions and experiment figures.
+
+The paper communicates its ideas through pictures (Figs. 1, 5-10);
+this subpackage renders the equivalent scenes from live data — users,
+POIs, the optimal meeting point, circular and tile-based safe regions —
+and plots experiment series as line charts.  Pure-string SVG, no
+plotting dependency.
+"""
+
+from repro.viz.svg import SvgCanvas
+from repro.viz.scene import render_scene, render_network_scene
+from repro.viz.chart import render_chart
+
+__all__ = ["SvgCanvas", "render_scene", "render_network_scene", "render_chart"]

@@ -1,0 +1,115 @@
+"""Line charts for experiment results (the paper's figure style)."""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.experiments.harness import ExperimentResult
+
+_SERIES_COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e")
+_MARKERS = ("circle", "square", "diamond", "triangle")
+
+
+def render_chart(
+    result: ExperimentResult,
+    measure: str = "update_events",
+    width: int = 640,
+    height: int = 440,
+    title: str | None = None,
+) -> str:
+    """An SVG line chart of one measure across the sweep, per method."""
+    series = result.series(measure)
+    if not series:
+        raise ValueError("empty experiment result")
+    x_labels: list[str] = []
+    for row in result.rows:
+        if row.x_label not in x_labels:
+            x_labels.append(row.x_label)
+    values = [v for points in series.values() for _, v in points]
+    v_max = max(values) if values else 1.0
+    v_max = v_max if v_max > 0 else 1.0
+
+    margin_left, margin_right = 70, 150
+    margin_top, margin_bottom = 50, 50
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    def px(i: int) -> float:
+        if len(x_labels) == 1:
+            return margin_left + plot_w / 2
+        return margin_left + plot_w * i / (len(x_labels) - 1)
+
+    def py(v: float) -> float:
+        return margin_top + plot_h * (1.0 - v / (v_max * 1.05))
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        '<rect width="100%" height="100%" fill="white"/>',
+        # Axes
+        f'<line x1="{margin_left}" y1="{margin_top}" x2="{margin_left}" '
+        f'y2="{margin_top + plot_h}" stroke="black"/>',
+        f'<line x1="{margin_left}" y1="{margin_top + plot_h}" '
+        f'x2="{margin_left + plot_w}" y2="{margin_top + plot_h}" stroke="black"/>',
+    ]
+    header = title if title is not None else f"{result.figure}: {measure}"
+    parts.append(
+        f'<text x="{width // 2}" y="24" font-size="16" text-anchor="middle" '
+        f'font-family="sans-serif">{escape(header)}</text>'
+    )
+    # X tick labels.
+    for i, label in enumerate(x_labels):
+        parts.append(
+            f'<text x="{px(i):.1f}" y="{margin_top + plot_h + 20}" '
+            f'font-size="12" text-anchor="middle" font-family="sans-serif">'
+            f"{escape(label)}</text>"
+        )
+    parts.append(
+        f'<text x="{margin_left + plot_w // 2}" y="{height - 8}" '
+        f'font-size="12" text-anchor="middle" font-family="sans-serif">'
+        f"{escape(result.x_name)}</text>"
+    )
+    # Y gridlines and labels.
+    for k in range(5):
+        v = v_max * 1.05 * k / 4
+        y = py(v)
+        parts.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" '
+            f'x2="{margin_left + plot_w}" y2="{y:.1f}" stroke="#eeeeee"/>'
+        )
+        label = f"{v:.3g}"
+        parts.append(
+            f'<text x="{margin_left - 6}" y="{y + 4:.1f}" font-size="11" '
+            f'text-anchor="end" font-family="sans-serif">{label}</text>'
+        )
+    # Series.
+    for s, (method, points) in enumerate(series.items()):
+        color = _SERIES_COLORS[s % len(_SERIES_COLORS)]
+        by_x = dict(points)
+        coords = [
+            (px(i), py(by_x[x])) for i, x in enumerate(x_labels) if x in by_x
+        ]
+        path = " ".join(
+            f"{'M' if k == 0 else 'L'}{x:.1f},{y:.1f}"
+            for k, (x, y) in enumerate(coords)
+        )
+        parts.append(
+            f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>'
+        )
+        for x, y in coords:
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" fill="{color}"/>'
+            )
+        # Legend entry.
+        ly = margin_top + 18 * s
+        lx = margin_left + plot_w + 14
+        parts.append(
+            f'<line x1="{lx}" y1="{ly}" x2="{lx + 22}" y2="{ly}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 28}" y="{ly + 4}" font-size="12" '
+            f'font-family="sans-serif">{escape(method)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"

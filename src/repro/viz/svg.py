@@ -1,0 +1,133 @@
+"""A minimal SVG canvas: world-coordinate drawing, string output."""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.geometry.rect import Rect
+
+
+class SvgCanvas:
+    """Accumulates SVG elements in world coordinates.
+
+    The world rectangle maps onto a ``width x height`` pixel viewport
+    with the y-axis flipped (SVG grows downward; our world grows
+    upward).
+    """
+
+    def __init__(self, world: Rect, width: int = 800, height: int = 800):
+        if width <= 0 or height <= 0:
+            raise ValueError("viewport must be positive")
+        if world.width <= 0 or world.height <= 0:
+            raise ValueError("world rectangle must have positive area")
+        self.world = world
+        self.width = width
+        self.height = height
+        self._elements: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Coordinate transforms
+    # ------------------------------------------------------------------
+
+    def tx(self, x: float) -> float:
+        return (x - self.world.x_lo) / self.world.width * self.width
+
+    def ty(self, y: float) -> float:
+        return self.height - (y - self.world.y_lo) / self.world.height * self.height
+
+    def scale(self, length: float) -> float:
+        return length / self.world.width * self.width
+
+    # ------------------------------------------------------------------
+    # Drawing primitives
+    # ------------------------------------------------------------------
+
+    def circle(
+        self,
+        cx: float,
+        cy: float,
+        r: float,
+        fill: str = "none",
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        self._elements.append(
+            f'<circle cx="{self.tx(cx):.2f}" cy="{self.ty(cy):.2f}" '
+            f'r="{max(self.scale(r), 0.5):.2f}" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{stroke_width}" opacity="{opacity}"/>'
+        )
+
+    def rect(
+        self,
+        x_lo: float,
+        y_lo: float,
+        x_hi: float,
+        y_hi: float,
+        fill: str = "none",
+        stroke: str = "black",
+        stroke_width: float = 0.5,
+        opacity: float = 1.0,
+    ) -> None:
+        self._elements.append(
+            f'<rect x="{self.tx(x_lo):.2f}" y="{self.ty(y_hi):.2f}" '
+            f'width="{self.scale(x_hi - x_lo):.2f}" '
+            f'height="{self.scale(y_hi - y_lo):.2f}" fill="{fill}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}" '
+            f'opacity="{opacity}"/>'
+        )
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        self._elements.append(
+            f'<line x1="{self.tx(x1):.2f}" y1="{self.ty(y1):.2f}" '
+            f'x2="{self.tx(x2):.2f}" y2="{self.ty(y2):.2f}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}" '
+            f'opacity="{opacity}"/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: int = 12,
+        fill: str = "black",
+        anchor: str = "start",
+    ) -> None:
+        self._elements.append(
+            f'<text x="{self.tx(x):.2f}" y="{self.ty(y):.2f}" '
+            f'font-size="{size}" fill="{fill}" text-anchor="{anchor}" '
+            f'font-family="sans-serif">{escape(content)}</text>'
+        )
+
+    def raw(self, element: str) -> None:
+        """Append a pre-built SVG element (pixel coordinates)."""
+        self._elements.append(element)
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n'
+            f'  <rect width="100%" height="100%" fill="white"/>\n'
+            f"  {body}\n"
+            f"</svg>\n"
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())

@@ -1,0 +1,36 @@
+"""Partitioning trajectory sets into user groups (Section 7.1).
+
+"We partition each trajectory set into 10 user groups and then report
+the average performance on these user groups."  For group size ``m``
+we cut the trajectory list into consecutive chunks of ``m``; the number
+of groups is bounded by both the requested count and the available
+trajectories.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.mobility.trajectory import Trajectory
+
+
+def partition_groups(
+    trajectories: Sequence[Trajectory],
+    group_size: int,
+    max_groups: int = 10,
+) -> list[list[Trajectory]]:
+    """Consecutive groups of ``group_size`` trajectories each."""
+    if group_size < 1:
+        raise ValueError("group_size must be >= 1")
+    if max_groups < 1:
+        raise ValueError("max_groups must be >= 1")
+    n_groups = min(max_groups, len(trajectories) // group_size)
+    if n_groups == 0:
+        raise ValueError(
+            f"not enough trajectories ({len(trajectories)}) for one group "
+            f"of size {group_size}"
+        )
+    return [
+        list(trajectories[g * group_size : (g + 1) * group_size])
+        for g in range(n_groups)
+    ]

@@ -1,0 +1,47 @@
+"""Shared fixtures: small seeded worlds, POI sets and trees."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.workloads.poi import build_poi_tree, clustered_pois, uniform_pois
+
+SMALL_WORLD = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+@pytest.fixture
+def world() -> Rect:
+    return SMALL_WORLD
+
+
+@pytest.fixture(scope="session")
+def pois_200() -> list[Point]:
+    return uniform_pois(200, SMALL_WORLD, seed=1)
+
+
+@pytest.fixture(scope="session")
+def pois_500() -> list[Point]:
+    return clustered_pois(500, SMALL_WORLD, seed=2)
+
+
+@pytest.fixture(scope="session")
+def tree_200(pois_200):
+    return build_poi_tree(pois_200)
+
+
+@pytest.fixture(scope="session")
+def tree_500(pois_500):
+    return build_poi_tree(pois_500)
+
+
+def random_users(rng: random.Random, m: int, world: Rect = SMALL_WORLD) -> list[Point]:
+    return [world.sample(rng) for _ in range(m)]

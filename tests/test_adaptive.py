@@ -1,0 +1,115 @@
+"""Tests for the self-tuning tile budget."""
+
+import pytest
+
+from repro.simulation.adaptive import (
+    AdaptiveAlphaController,
+    AdaptiveConfig,
+    run_adaptive_simulation,
+)
+from repro.simulation.engine import run_simulation
+from repro.simulation.policies import circle_policy, tile_policy
+from repro.workloads.datasets import DatasetSpec, build_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(
+        DatasetSpec(name="geolife", n_pois=600, n_trajectories=3, n_timestamps=300)
+    )
+
+
+class TestAdaptiveConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(alpha_min=0)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(alpha_min=10, alpha_max=5)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(grow_factor=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(shrink_factor=1.0)
+
+
+class TestController:
+    def test_initial_clamped(self):
+        cfg = AdaptiveConfig(alpha_min=8, alpha_max=16)
+        assert AdaptiveAlphaController(cfg, initial_alpha=100).alpha == 16
+        assert AdaptiveAlphaController(cfg, initial_alpha=1).alpha == 8
+
+    def test_short_intervals_grow_alpha(self):
+        cfg = AdaptiveConfig(target_interval=40.0)
+        controller = AdaptiveAlphaController(cfg, initial_alpha=8)
+        for _ in range(5):
+            controller.observe_update(interval=5.0, cpu_seconds=0.0)
+        assert controller.alpha > 8
+
+    def test_long_intervals_shrink_alpha(self):
+        cfg = AdaptiveConfig(target_interval=40.0)
+        controller = AdaptiveAlphaController(cfg, initial_alpha=32)
+        for _ in range(5):
+            controller.observe_update(interval=500.0, cpu_seconds=0.0)
+        assert controller.alpha < 32
+
+    def test_target_band_is_stable(self):
+        cfg = AdaptiveConfig(target_interval=40.0)
+        controller = AdaptiveAlphaController(cfg, initial_alpha=16)
+        controller.observe_update(interval=60.0, cpu_seconds=0.0)
+        assert controller.alpha == 16
+
+    def test_cpu_budget_overrides_growth(self):
+        cfg = AdaptiveConfig(target_interval=40.0, cpu_budget=0.01)
+        controller = AdaptiveAlphaController(cfg, initial_alpha=16)
+        controller.observe_update(interval=1.0, cpu_seconds=5.0)
+        assert controller.alpha < 16
+
+    def test_bounds_respected(self):
+        cfg = AdaptiveConfig(alpha_min=4, alpha_max=12, target_interval=40.0)
+        controller = AdaptiveAlphaController(cfg, initial_alpha=8)
+        for _ in range(20):
+            controller.observe_update(interval=1.0, cpu_seconds=0.0)
+        assert controller.alpha == 12
+        for _ in range(20):
+            controller.observe_update(interval=1e6, cpu_seconds=0.0)
+        assert controller.alpha == 4
+
+    def test_history_recorded(self):
+        controller = AdaptiveAlphaController(AdaptiveConfig(), initial_alpha=16)
+        controller.observe_update(10.0, 0.0)
+        controller.observe_update(10.0, 0.0)
+        assert len(controller.history) == 3
+
+
+class TestAdaptiveSimulation:
+    def test_rejects_non_tile_policy(self, dataset):
+        with pytest.raises(ValueError):
+            run_adaptive_simulation(
+                circle_policy(), dataset.trajectories, dataset.tree
+            )
+
+    def test_runs_and_adapts(self, dataset):
+        policy = tile_policy(alpha=8, split_level=1)
+        metrics, controller = run_adaptive_simulation(
+            policy,
+            dataset.trajectories,
+            dataset.tree,
+            AdaptiveConfig(alpha_min=2, alpha_max=24, target_interval=20.0),
+        )
+        assert metrics.update_events >= 1
+        assert len(controller.history) == metrics.update_events
+        assert all(2 <= a <= 24 for a in controller.history)
+
+    def test_adaptive_not_worse_than_smallest_alpha(self, dataset):
+        """Self-tuning should land between the fixed extremes."""
+        small = run_simulation(
+            tile_policy(alpha=2, split_level=1),
+            dataset.trajectories,
+            dataset.tree,
+        )
+        metrics, _ = run_adaptive_simulation(
+            tile_policy(alpha=2, split_level=1),
+            dataset.trajectories,
+            dataset.tree,
+            AdaptiveConfig(alpha_min=2, alpha_max=24, target_interval=25.0),
+        )
+        assert metrics.update_events <= small.update_events * 1.1

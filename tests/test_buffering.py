@@ -1,0 +1,131 @@
+"""Tests for the buffering optimization (Section 5.4, Theorems 4/7)."""
+
+import pytest
+
+from repro.core.buffering import BufferSlots
+from repro.core.types import SafeRegionStats
+from repro.geometry.point import Point
+from repro.geometry.region import TileRegion
+from repro.geometry.tile import tile_at
+from repro.gnn.aggregate import Aggregate, find_gnn
+from repro.gnn.bruteforce import brute_force_gnn
+from repro.index.rtree import RTree
+from tests.conftest import random_users
+
+
+def _slots(tree, users, b=20, objective=Aggregate.MAX):
+    return BufferSlots(tree, users, objective, b)
+
+
+class TestBufferSlots:
+    def test_b_validation(self, tree_500, rng):
+        with pytest.raises(ValueError):
+            BufferSlots(tree_500, random_users(rng, 2), Aggregate.MAX, 0)
+
+    def test_betas_nondecreasing(self, tree_500, rng):
+        slots = _slots(tree_500, random_users(rng, 3), b=50)
+        assert slots.betas == sorted(slots.betas)
+
+    def test_po_is_first_point(self, tree_500, pois_500, rng):
+        users = random_users(rng, 3)
+        slots = _slots(tree_500, users, b=10)
+        want = brute_force_gnn(pois_500, users, 1, Aggregate.MAX)[0]
+        assert max(slots.po.dist(u) for u in users) == pytest.approx(want[0])
+
+    def test_slot_monotone_in_extent(self, tree_500, rng):
+        slots = _slots(tree_500, random_users(rng, 3), b=50)
+        prev = 0
+        for extent in (0.0, 1.0, 10.0, 50.0, 200.0):
+            z = slots.slot_for(extent)
+            if z is None:
+                break
+            assert z >= prev
+            prev = z
+
+    def test_extent_beyond_beta_b_rejected(self, tree_500, rng):
+        slots = _slots(tree_500, random_users(rng, 3), b=5)
+        assert slots.slot_for(slots.betas[-1] + 1.0) is None
+
+    def test_slot_candidates_subset_of_gnn_list(self, tree_500, rng):
+        users = random_users(rng, 3)
+        slots = _slots(tree_500, users, b=30)
+        z = slots.slot_for(10.0)
+        if z is None:
+            pytest.skip("threshold too tight for this layout")
+        cands = slots.candidates_for_slot(z)
+        assert len(cands) == max(0, z - 1)
+        assert slots.po not in cands
+
+    def test_small_dataset_buffers_everything(self, rng):
+        points = [Point(i * 10.0, 0.0) for i in range(5)]
+        tree = RTree.bulk_load(points)
+        users = [Point(0, 5), Point(10, 5)]
+        slots = BufferSlots(tree, users, Aggregate.MAX, 100)
+        assert slots.exhausted_dataset
+        # With all of P buffered, no extent is rejected.
+        assert slots.slot_for(1e9) is not None
+
+    def test_theorem4_guarantee(self, tree_500, pois_500, rng):
+        """If all users stay within beta_z, the GNN is in the top z."""
+        for trial in range(5):
+            users = random_users(rng, 3)
+            slots = _slots(tree_500, users, b=30)
+            for z in (1, 5, 15, 30):
+                if z > len(slots.betas):
+                    continue
+                beta = slots.betas[z - 1]
+                top_z = {p.as_tuple() for p in slots.points[:z]}
+                for _ in range(40):
+                    locs = [
+                        Point(
+                            u.x + rng.uniform(-1, 1) * beta * 0.7071,
+                            u.y + rng.uniform(-1, 1) * beta * 0.7071,
+                        )
+                        for u in users
+                    ]
+                    best = brute_force_gnn(pois_500, locs, 1, Aggregate.MAX)[0]
+                    winner = pois_500[best[1]]
+                    d_best = best[0]
+                    # Ties allowed: the winner's distance must be
+                    # achieved by some buffered point.
+                    achieved = min(
+                        max(Point(*t).dist(l) for l in locs) for t in top_z
+                    )
+                    assert achieved <= d_best + 1e-7
+
+    def test_theorem7_guarantee_sum(self, tree_500, pois_500, rng):
+        """The SUM analogue (Theorem 7)."""
+        users = random_users(rng, 3)
+        slots = BufferSlots(tree_500, users, Aggregate.SUM, 30)
+        z = 10
+        beta = slots.betas[z - 1]
+        top_z = {p.as_tuple() for p in slots.points[:z]}
+        for _ in range(100):
+            locs = [
+                Point(
+                    u.x + rng.uniform(-1, 1) * beta * 0.7071,
+                    u.y + rng.uniform(-1, 1) * beta * 0.7071,
+                )
+                for u in users
+            ]
+            best = brute_force_gnn(pois_500, locs, 1, Aggregate.SUM)[0]
+            achieved = min(
+                sum(Point(*t).dist(l) for l in locs) for t in top_z
+            )
+            assert achieved <= best[0] + 1e-7
+
+    def test_region_extent_accounts_for_new_tile(self, tree_500, rng):
+        users = random_users(rng, 2)
+        slots = _slots(tree_500, users, b=10)
+        side = 8.0
+        regions = [TileRegion(u, side, [tile_at(u, side, 0, 0)]) for u in users]
+        near = tile_at(users[0], side, 0, 0)
+        far = tile_at(users[0], side, 6, 6)
+        assert slots.region_extent(regions, 0, far) > slots.region_extent(
+            regions, 0, near
+        )
+
+    def test_stats_single_index_query(self, tree_500, rng):
+        stats = SafeRegionStats()
+        BufferSlots(tree_500, random_users(rng, 2), Aggregate.MAX, 10, stats)
+        assert stats.index_queries == 1

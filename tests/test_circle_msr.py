@@ -1,0 +1,98 @@
+"""Tests for Circle-MSR (Algorithm 1) and Theorems 1 / 5."""
+
+import pytest
+
+from repro.core.circle_msr import circle_msr, maximal_circle_radius
+from repro.geometry.point import Point
+from repro.gnn.aggregate import Aggregate, aggregate_dist
+from repro.gnn.bruteforce import brute_force_gnn
+from repro.index.rtree import RTree
+from tests.conftest import random_users
+
+
+class TestRadiusFormula:
+    def test_max_formula(self):
+        # gap / 2 (Theorem 1)
+        assert maximal_circle_radius(10.0, 16.0, 3, Aggregate.MAX) == 3.0
+
+    def test_sum_formula(self):
+        # gap / (2m) (Theorem 5)
+        assert maximal_circle_radius(10.0, 22.0, 3, Aggregate.SUM) == 2.0
+
+    def test_zero_gap(self):
+        assert maximal_circle_radius(5.0, 5.0, 2, Aggregate.MAX) == 0.0
+
+    def test_negative_gap_raises(self):
+        with pytest.raises(ValueError):
+            maximal_circle_radius(5.0, 4.0, 2, Aggregate.MAX)
+
+
+class TestCircleMSR:
+    def test_empty_users_raises(self, tree_200):
+        with pytest.raises(ValueError):
+            circle_msr([], tree_200)
+
+    def test_empty_tree_raises(self):
+        with pytest.raises(ValueError):
+            circle_msr([Point(0, 0)], RTree())
+
+    def test_single_poi_infinite_radius(self):
+        tree = RTree.bulk_load([Point(50, 50)])
+        result = circle_msr([Point(0, 0), Point(100, 0)], tree)
+        assert result.radius == float("inf")
+        assert result.po == Point(50, 50)
+
+    def test_po_is_exact_gnn(self, tree_500, pois_500, rng):
+        for _ in range(10):
+            users = random_users(rng, 3)
+            result = circle_msr(users, tree_500)
+            want = brute_force_gnn(pois_500, users, 1, Aggregate.MAX)[0]
+            assert result.po_dist == pytest.approx(want[0])
+
+    def test_one_circle_per_user_centered_at_user(self, tree_500, rng):
+        users = random_users(rng, 4)
+        result = circle_msr(users, tree_500)
+        assert len(result.circles) == 4
+        for circle, user in zip(result.circles, users):
+            assert circle.center == user
+            assert circle.radius == result.radius
+
+    def test_radius_halves_the_gap(self, tree_500, rng):
+        users = random_users(rng, 3)
+        result = circle_msr(users, tree_500)
+        assert result.radius == pytest.approx(
+            (result.second_dist - result.po_dist) / 2.0
+        )
+
+    def _soundness(self, tree, pois, rng, objective, m=3, instances=150):
+        users = random_users(rng, m)
+        result = circle_msr(users, tree, objective)
+        for _ in range(instances):
+            locs = [c.sample(rng) for c in result.circles]
+            best = brute_force_gnn(pois, locs, 1, objective)[0]
+            po_dist = aggregate_dist(result.po, locs, objective)
+            assert po_dist <= best[0] + 1e-7, (
+                f"optimal point changed inside circles: {po_dist} > {best[0]}"
+            )
+
+    def test_max_soundness(self, tree_500, pois_500, rng):
+        """Theorem 1: po stays optimal while users stay in circles."""
+        for _ in range(5):
+            self._soundness(tree_500, pois_500, rng, Aggregate.MAX)
+
+    def test_sum_soundness(self, tree_500, pois_500, rng):
+        """Theorem 5: the SUM analogue."""
+        for _ in range(5):
+            self._soundness(tree_500, pois_500, rng, Aggregate.SUM)
+
+    def test_sum_soundness_large_groups(self, tree_500, pois_500, rng):
+        self._soundness(tree_500, pois_500, rng, Aggregate.SUM, m=6)
+
+    def test_users_on_same_spot(self, tree_500):
+        users = [Point(500, 500)] * 3
+        result = circle_msr(users, tree_500)
+        assert result.radius >= 0.0
+
+    def test_stats_populated(self, tree_500, rng):
+        result = circle_msr(random_users(rng, 2), tree_500)
+        assert result.stats.elapsed_seconds >= 0.0

@@ -1,0 +1,49 @@
+"""Tests for the `python -m repro.experiments` CLI."""
+
+import pytest
+
+import repro.experiments.__main__ as cli
+from repro.experiments.harness import ExperimentResult, ExperimentRow
+
+
+def _stub_figure(scale=None, dataset_name="geolife", progress=None, **kwargs):
+    if progress is not None:
+        progress("stub running")
+    rows = [
+        ExperimentRow("Circle", "2", 0.5, 10, 80, 0.01),
+        ExperimentRow("Tile", "2", 0.25, 5, 40, 0.10),
+    ]
+    return ExperimentResult("figstub", "m", rows)
+
+
+class TestCli:
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["nope"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig13", "--scale", "gigantic"])
+
+    def test_single_figure_runs(self, monkeypatch, capsys):
+        monkeypatch.setattr(cli, "ALL_FIGURES", {"fig13": _stub_figure})
+        assert cli.main(["fig13", "--scale", "bench"]) == 0
+        out = capsys.readouterr().out
+        assert "figstub" in out
+        assert "update_events" in out
+        assert "Circle" in out and "Tile" in out
+
+    def test_all_runs_every_figure(self, monkeypatch, capsys):
+        calls = []
+
+        def recording(**kwargs):
+            calls.append(kwargs.get("dataset_name"))
+            return _stub_figure(**kwargs)
+
+        monkeypatch.setattr(
+            cli, "ALL_FIGURES", {"a1": recording, "a2": recording}
+        )
+        assert cli.main(["all", "--dataset", "oldenburg"]) == 0
+        assert calls == ["oldenburg", "oldenburg"]
+        out = capsys.readouterr().out
+        assert out.count("regenerated") == 2

@@ -1,0 +1,114 @@
+"""Tests for lossless tile-set compression (ICDE'13 ref. [12])."""
+
+import random
+
+import pytest
+
+from repro.core.compression import compress_region, decompress_region
+from repro.core.tile_msr import tile_msr
+from repro.core.types import TileMSRConfig
+from repro.geometry.point import Point
+from repro.geometry.region import TileRegion
+from repro.geometry.tile import tile_at
+from tests.conftest import random_users
+
+
+def _roundtrip(region):
+    compressed = compress_region(region)
+    restored = decompress_region(compressed)
+    assert {t.key() for t in restored} == {t.key() for t in region}
+    for a, b in zip(
+        sorted(region, key=lambda t: t.key()),
+        sorted(restored, key=lambda t: t.key()),
+    ):
+        assert a.rect == b.rect
+    return compressed
+
+
+class TestRoundtrip:
+    def test_empty_region(self):
+        region = TileRegion(Point(1, 2), 4.0)
+        compressed = _roundtrip(region)
+        assert compressed.value_count == 4  # header + window only
+
+    def test_single_tile(self):
+        region = TileRegion(Point(0, 0), 4.0, [tile_at(Point(0, 0), 4.0, 0, 0)])
+        compressed = _roundtrip(region)
+        assert compressed.value_count >= 4
+
+    def test_full_tiles_grid(self):
+        anchor = Point(10, -5)
+        tiles = [tile_at(anchor, 3.0, ix, iy) for ix in range(-2, 3) for iy in range(-2, 3)]
+        region = TileRegion(anchor, 3.0, tiles)
+        _roundtrip(region)
+
+    def test_sub_tiles(self):
+        anchor = Point(0, 0)
+        base = tile_at(anchor, 4.0, 1, 1)
+        region = TileRegion(anchor, 4.0)
+        for sub in base.split()[:2]:
+            region.add(sub)
+        region.add(base.split()[3].split()[2])
+        _roundtrip(region)
+
+    def test_mixed_whole_and_sub_tiles(self):
+        anchor = Point(5, 5)
+        region = TileRegion(anchor, 2.0)
+        region.add(tile_at(anchor, 2.0, 0, 0))
+        region.add(tile_at(anchor, 2.0, 1, 0).split()[1])
+        region.add(tile_at(anchor, 2.0, -2, 3))
+        _roundtrip(region)
+
+    def test_randomized_roundtrips(self):
+        rng = random.Random(42)
+        for _ in range(50):
+            anchor = Point(rng.uniform(-100, 100), rng.uniform(-100, 100))
+            region = TileRegion(anchor, rng.uniform(0.5, 10.0))
+            for _ in range(rng.randint(0, 25)):
+                t = tile_at(
+                    anchor, region.side, rng.randint(-5, 5), rng.randint(-5, 5)
+                )
+                for _ in range(rng.randint(0, 2)):
+                    t = t.split()[rng.randrange(4)]
+                region.add(t)
+            _roundtrip(region)
+
+    def test_real_tile_msr_output(self, tree_500, rng):
+        users = random_users(rng, 3)
+        result = tile_msr(users, tree_500, TileMSRConfig(alpha=8, split_level=2))
+        for region in result.regions:
+            _roundtrip(region)
+
+
+class TestWireSize:
+    def test_compact_versus_naive(self, tree_500, rng):
+        """Compressed form beats 3-values-per-square encoding."""
+        users = random_users(rng, 3)
+        result = tile_msr(users, tree_500, TileMSRConfig(alpha=12, split_level=2))
+        for region in result.regions:
+            if len(region) < 4:
+                continue
+            compressed = compress_region(region)
+            naive = 3 * len(region)
+            assert compressed.value_count < naive
+
+    def test_value_count_formula(self):
+        region = TileRegion(Point(0, 0), 4.0, [tile_at(Point(0, 0), 4.0, 0, 0)])
+        compressed = compress_region(region)
+        payload_values = (len(compressed.bits) + 63) // 64
+        assert compressed.value_count == 3 + 1 + payload_values
+
+    def test_corrupt_stream_raises(self):
+        from repro.core.compression import CompressedRegion, decompress_region
+
+        bad = CompressedRegion(
+            anchor=Point(0, 0),
+            side=2.0,
+            min_ix=0,
+            min_iy=0,
+            width=1,
+            height=1,
+            bits=(1, 0, 0),  # presence bit then the invalid code 00
+        )
+        with pytest.raises(ValueError):
+            decompress_region(bad)

@@ -1,0 +1,97 @@
+"""Tests for the cost model (future-work extension).
+
+An estimator, not an oracle: predictions must land within a modest
+factor of the measured simulation and preserve the methods' ordering.
+"""
+
+import pytest
+
+from repro.simulation.cost_model import CostEstimate, estimate_costs
+from repro.simulation.engine import run_simulation
+from repro.simulation.policies import circle_policy, periodic_policy, tile_policy
+from repro.workloads.datasets import DatasetSpec, build_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(
+        DatasetSpec(name="geolife", n_pois=800, n_trajectories=6, n_timestamps=400)
+    )
+
+
+class TestCostEstimate:
+    def test_prediction_arithmetic(self):
+        est = CostEstimate(
+            update_frequency=0.1,
+            packets_per_event=10.0,
+            cpu_per_update=0.01,
+            effective_radius=100.0,
+            mean_speed=10.0,
+        )
+        assert est.predicted_events(500) == 50.0
+        assert est.predicted_packets(500) == 500.0
+        assert est.predicted_cpu_seconds(500) == pytest.approx(0.5)
+
+
+class TestEstimator:
+    def test_periodic_predicts_every_timestamp(self, dataset):
+        est = estimate_costs(
+            periodic_policy(), dataset.tree, dataset.trajectories, 3
+        )
+        assert est.update_frequency == 1.0
+
+    def test_group_size_validated(self, dataset):
+        with pytest.raises(ValueError):
+            estimate_costs(circle_policy(), dataset.tree, dataset.trajectories, 99)
+
+    def test_circle_estimate_within_factor_of_measurement(self, dataset):
+        policy = circle_policy()
+        est = estimate_costs(
+            policy, dataset.tree, dataset.trajectories, 3, n_samples=25
+        )
+        measured = run_simulation(
+            policy, dataset.trajectories[:3], dataset.tree
+        )
+        predicted = est.predicted_events(measured.timestamps)
+        assert predicted > 0
+        ratio = measured.update_events / predicted
+        assert 0.2 < ratio < 5.0, (
+            f"prediction off by more than 5x: predicted {predicted}, "
+            f"measured {measured.update_events}"
+        )
+
+    def test_packets_estimate_within_factor(self, dataset):
+        policy = circle_policy()
+        est = estimate_costs(
+            policy, dataset.tree, dataset.trajectories, 3, n_samples=25
+        )
+        measured = run_simulation(policy, dataset.trajectories[:3], dataset.tree)
+        predicted = est.predicted_packets(measured.timestamps)
+        ratio = measured.packets_total / predicted
+        assert 0.2 < ratio < 5.0
+
+    def test_model_preserves_method_ordering(self, dataset):
+        """Tile's predicted update frequency must beat Circle's."""
+        circle_est = estimate_costs(
+            circle_policy(), dataset.tree, dataset.trajectories, 3, n_samples=15
+        )
+        tile_est = estimate_costs(
+            tile_policy(alpha=8, split_level=1),
+            dataset.tree,
+            dataset.trajectories,
+            3,
+            n_samples=8,
+        )
+        assert tile_est.update_frequency < circle_est.update_frequency
+        assert tile_est.cpu_per_update > circle_est.cpu_per_update
+        assert tile_est.effective_radius > circle_est.effective_radius
+
+    def test_deterministic_per_seed(self, dataset):
+        a = estimate_costs(
+            circle_policy(), dataset.tree, dataset.trajectories, 2, seed=7
+        )
+        b = estimate_costs(
+            circle_policy(), dataset.tree, dataset.trajectories, 2, seed=7
+        )
+        assert a.update_frequency == b.update_frequency
+        assert a.effective_radius == b.effective_radius

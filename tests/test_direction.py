@@ -1,0 +1,74 @@
+"""Tests for the direction predictor used by Tile-D (Section 5.2)."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.mobility.direction import DirectionPredictor
+
+
+class TestDirectionPredictor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DirectionPredictor(window=1)
+        with pytest.raises(ValueError):
+            DirectionPredictor(theta_min=0.0)
+        with pytest.raises(ValueError):
+            DirectionPredictor(theta_min=2.0, theta_max=1.0)
+
+    def test_no_observations(self):
+        p = DirectionPredictor()
+        assert p.heading is None
+        assert p.theta == p.theta_max
+
+    def test_static_user_has_no_heading(self):
+        p = DirectionPredictor()
+        for _ in range(5):
+            p.observe(Point(1, 1))
+        assert p.heading is None
+
+    def test_straight_line_heading(self):
+        p = DirectionPredictor()
+        for i in range(6):
+            p.observe(Point(float(i), 0.0))
+        assert p.heading == pytest.approx(0.0)
+        # Perfectly straight motion learns the tightest bound.
+        assert p.theta == p.theta_min
+
+    def test_heading_follows_most_recent(self):
+        p = DirectionPredictor()
+        for i in range(4):
+            p.observe(Point(float(i), 0.0))
+        for j in range(1, 4):
+            p.observe(Point(3.0, float(j)))
+        assert p.heading == pytest.approx(math.pi / 2)
+
+    def test_erratic_motion_widens_theta(self):
+        p = DirectionPredictor(window=6)
+        zigzag = [Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1), Point(0, 0)]
+        for q in zigzag:
+            p.observe(q)
+        assert p.theta > p.theta_min
+
+    def test_theta_clamped_to_max(self):
+        p = DirectionPredictor(window=4, theta_max=math.pi / 2)
+        # A full reversal deviates by pi, clamped to pi/2.
+        for q in (Point(0, 0), Point(1, 0), Point(0, 0), Point(1, 0)):
+            p.observe(q)
+        assert p.theta == math.pi / 2
+
+    def test_window_forgets_old_headings(self):
+        p = DirectionPredictor(window=3)
+        p.observe(Point(0, 0))
+        p.observe(Point(0, 1))  # northward
+        for i in range(5):  # eastward, enough to evict the north move
+            p.observe(Point(float(i), 1.0))
+        assert p.theta == p.theta_min
+
+    def test_reset(self):
+        p = DirectionPredictor()
+        p.observe(Point(0, 0))
+        p.observe(Point(1, 0))
+        p.reset()
+        assert p.heading is None

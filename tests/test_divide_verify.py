@@ -1,0 +1,82 @@
+"""Tests for the divide-and-conquer tile verification (Algorithm 2)."""
+
+from repro.core.divide_verify import divide_verify
+from repro.core.types import SafeRegionStats
+from repro.geometry.point import Point
+from repro.geometry.region import TileRegion
+from repro.geometry.tile import tile_at
+
+
+def _region():
+    return TileRegion(Point(0, 0), 4.0)
+
+
+class TestDivideVerify:
+    def test_whole_tile_accepted(self):
+        region = _region()
+        t = tile_at(Point(0, 0), 4.0, 1, 0)
+        stats = SafeRegionStats()
+        assert divide_verify(region, t, 2, lambda s: True, stats)
+        assert len(region) == 1
+        assert region.tiles[0] == t
+        assert stats.tiles_added == 1
+
+    def test_rejected_without_levels(self):
+        region = _region()
+        t = tile_at(Point(0, 0), 4.0, 1, 0)
+        stats = SafeRegionStats()
+        assert not divide_verify(region, t, 0, lambda s: False, stats)
+        assert len(region) == 0
+        assert stats.tiles_rejected == 1
+
+    def test_splits_on_failure(self):
+        """A predicate accepting only the left half yields 2 sub-tiles."""
+        region = _region()
+        t = tile_at(Point(0, 0), 4.0, 1, 0)
+
+        def left_half_only(s):
+            return s.rect.x_hi <= t.rect.center.x
+
+        assert divide_verify(region, t, 1, left_half_only)
+        assert len(region) == 2
+        assert all(s.level == 1 for s in region)
+        assert all(s.rect.x_hi <= t.rect.center.x for s in region)
+
+    def test_recursion_depth_bounded(self):
+        region = _region()
+        t = tile_at(Point(0, 0), 4.0, 0, 1)
+        calls = []
+
+        def never(s):
+            calls.append(s.level)
+            return False
+
+        assert not divide_verify(region, t, 2, never)
+        # 1 whole + 4 level-1 + 16 level-2 verifications.
+        assert len(calls) == 21
+        assert max(calls) == 2
+
+    def test_partial_acceptance_reports_true(self):
+        """One accepted grandchild is enough for a True result."""
+        region = _region()
+        t = tile_at(Point(0, 0), 4.0, 1, 1)
+        target = t.split()[0].split()[3]
+
+        def only_target(s):
+            return s.key() == target.key()
+
+        assert divide_verify(region, t, 2, only_target)
+        assert len(region) == 1
+        assert region.tiles[0].key() == target.key()
+
+    def test_accepted_subtiles_cover_accepting_area(self):
+        """Sub-tiles adopted by the recursion tile the accepted half."""
+        region = _region()
+        t = tile_at(Point(0, 0), 4.0, 0, 2)
+
+        def bottom_half(s):
+            return s.rect.y_hi <= t.rect.center.y
+
+        divide_verify(region, t, 3, bottom_half)
+        area = sum(s.rect.area for s in region)
+        assert area == t.rect.area / 2

@@ -1,0 +1,95 @@
+"""Edge-case tests for the simulation engine."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.index.rtree import RTree
+from repro.mobility.trajectory import Trajectory
+from repro.simulation.engine import run_simulation
+from repro.simulation.policies import circle_policy, tile_policy
+
+
+def _static_trajectory(p: Point, n: int) -> Trajectory:
+    return Trajectory((p,) * n)
+
+
+@pytest.fixture
+def tiny_tree():
+    return RTree.bulk_load(
+        [Point(0, 0), Point(100, 0), Point(50, 80), Point(200, 200)]
+    )
+
+
+class TestEngineEdgeCases:
+    def test_static_group_updates_once(self, tiny_tree):
+        """Users who never move only pay the registration round."""
+        group = [
+            _static_trajectory(Point(10, 10), 100),
+            _static_trajectory(Point(90, 10), 100),
+        ]
+        metrics = run_simulation(circle_policy(), group, tiny_tree, check_every=10)
+        assert metrics.update_events == 1
+        assert metrics.result_changes == 0
+
+    def test_single_user_group(self, tiny_tree):
+        traj = Trajectory(tuple(Point(float(i), 0.0) for i in range(0, 300, 3)))
+        metrics = run_simulation(circle_policy(), [traj], tiny_tree, check_every=5)
+        assert metrics.update_events >= 1
+        # No probes in a single-user group: each event is 1 up + 1 down.
+        assert metrics.messages_up == metrics.update_events
+        assert metrics.messages_down == metrics.update_events
+
+    def test_zero_timestamps_rejected(self, tiny_tree):
+        group = [_static_trajectory(Point(0, 0), 5)]
+        with pytest.raises(ValueError):
+            run_simulation(circle_policy(), group, tiny_tree, n_timestamps=0)
+
+    def test_simultaneous_escape_single_event(self, tiny_tree):
+        """Two users teleporting together trigger one protocol round."""
+        a = Trajectory((Point(10, 10),) * 5 + (Point(180, 180),) * 5)
+        b = Trajectory((Point(20, 10),) * 5 + (Point(190, 180),) * 5)
+        metrics = run_simulation(circle_policy(), [a, b], tiny_tree)
+        # Registration + one escape event (both moved at t=5).
+        assert metrics.update_events == 2
+
+    def test_message_counts_per_event(self, tiny_tree):
+        """Each event: 1 trigger + (m-1) probes/replies + m notifies."""
+        m = 3
+        group = [
+            Trajectory((Point(10 + k, 10),) * 5 + (Point(180 + k, 180),) * 5)
+            for k in range(m)
+        ]
+        metrics = run_simulation(circle_policy(), group, tiny_tree)
+        events = metrics.update_events
+        # Up: m at registration, then 1 + (m-1) per later event.
+        later = events - 1
+        assert metrics.messages_up == m + later * m
+        # Down: m notifies per event + (m-1) probe requests per later.
+        assert metrics.messages_down == events * m + later * (m - 1)
+
+    def test_tile_policy_on_tiny_poi_set(self, tiny_tree):
+        group = [
+            Trajectory(tuple(Point(10 + i, 10 + i) for i in range(50))),
+            Trajectory(tuple(Point(90 - i, 10 + i) for i in range(50))),
+        ]
+        metrics = run_simulation(
+            tile_policy(alpha=4, split_level=1), group, tiny_tree, check_every=5
+        )
+        assert metrics.update_events >= 1
+
+    def test_single_poi_never_updates_after_registration(self):
+        tree = RTree.bulk_load([Point(500, 500)])
+        group = [
+            Trajectory(tuple(Point(float(i * 10), 0.0) for i in range(100))),
+            Trajectory(tuple(Point(0.0, float(i * 10)) for i in range(100))),
+        ]
+        for policy in (circle_policy(), tile_policy(alpha=4)):
+            metrics = run_simulation(policy, group, tree, check_every=10)
+            assert metrics.update_events == 1
+
+    def test_longer_n_timestamps_clamps_trajectories(self, tiny_tree):
+        group = [_static_trajectory(Point(10, 10), 20)]
+        metrics = run_simulation(
+            circle_policy(), group, tiny_tree, n_timestamps=50
+        )
+        assert metrics.timestamps == 50

@@ -1,0 +1,78 @@
+"""Tests for the experiment harness and figure builders (tiny scale)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    fig13_group_size,
+    fig14_data_size,
+    fig15_speed,
+    fig16_buffering,
+)
+from repro.experiments.harness import format_table
+from repro.experiments.scales import BENCH, SCALES, ExperimentScale
+
+TINY = ExperimentScale(
+    name="tiny",
+    n_pois=300,
+    n_trajectories=4,
+    n_timestamps=80,
+    max_groups=1,
+    alpha=4,
+    split_level=1,
+    default_group_size=2,
+)
+
+
+class TestScales:
+    def test_registry(self):
+        assert set(SCALES) == {"bench", "small", "full"}
+        assert SCALES["full"].n_pois == 21287  # the paper's N
+
+    def test_bench_is_smallest(self):
+        assert BENCH.n_pois < SCALES["small"].n_pois < SCALES["full"].n_pois
+
+
+class TestFigureBuilders:
+    def test_all_figures_registered(self):
+        assert set(ALL_FIGURES) == {
+            "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+        }
+
+    @pytest.fixture(scope="class")
+    def fig13(self):
+        return fig13_group_size(scale=TINY, group_sizes=(2,))
+
+    def test_fig13_rows(self, fig13):
+        assert {r.method for r in fig13.rows} == {"Circle", "Tile", "Tile-D"}
+        assert all(r.x_label == "2" for r in fig13.rows)
+        assert all(r.update_events >= 1 for r in fig13.rows)
+
+    def test_series_extraction(self, fig13):
+        series = fig13.series("update_events")
+        assert set(series) == {"Circle", "Tile", "Tile-D"}
+        assert all(len(v) == 1 for v in series.values())
+
+    def test_format_table_renders(self, fig13):
+        text = format_table(fig13, "update_events")
+        assert "fig13" in text
+        assert "Circle" in text and "Tile-D" in text
+
+    def test_fig14_sweeps_fractions(self):
+        result = fig14_data_size(scale=TINY, fractions=(0.5, 1.0))
+        labels = {r.x_label for r in result.rows}
+        assert labels == {"0.5N", "1N"}
+
+    def test_fig15_sweeps_speed(self):
+        result = fig15_speed(scale=TINY, fractions=(0.5, 1.0))
+        labels = {r.x_label for r in result.rows}
+        assert labels == {"0.5V", "1V"}
+
+    def test_fig16_has_reference_and_buffered(self):
+        result = fig16_buffering(scale=TINY, b_values=(10,))
+        assert {r.method for r in result.rows} == {"Tile-D", "Tile-D-b"}
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        fig13_group_size(scale=TINY, group_sizes=(2,), progress=seen.append)
+        assert len(seen) == 3  # one per policy

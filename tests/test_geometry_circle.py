@@ -1,0 +1,81 @@
+"""Unit and property tests for circular safe regions (Section 4)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+
+coord = st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False)
+radius = st.floats(0.0, 1e4, allow_nan=False, allow_infinity=False)
+
+
+class TestCircleBasics:
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            Circle(Point(0, 0), -1.0)
+
+    def test_contains(self):
+        c = Circle(Point(0, 0), 5.0)
+        assert c.contains_point(Point(3, 4))
+        assert not c.contains_point(Point(3.1, 4))
+        assert c.contains_point(Point(3.1, 4), eps=0.2)
+
+    def test_min_dist(self):
+        c = Circle(Point(0, 0), 2.0)
+        assert c.min_dist(Point(5, 0)) == 3.0
+        assert c.min_dist(Point(1, 0)) == 0.0  # inside
+
+    def test_max_dist(self):
+        c = Circle(Point(0, 0), 2.0)
+        assert c.max_dist(Point(5, 0)) == 7.0
+        assert c.max_dist(Point(0, 0)) == 2.0
+
+    def test_bounding_rect(self):
+        r = Circle(Point(1, 2), 3.0).bounding_rect()
+        assert (r.x_lo, r.y_lo, r.x_hi, r.y_hi) == (-2, -1, 4, 5)
+
+    def test_inscribed_square_side(self):
+        sq = Circle(Point(0, 0), 1.0).inscribed_square()
+        assert sq.width == pytest.approx(math.sqrt(2))
+        # Every corner lies on the circle.
+        for corner in sq.corners():
+            assert corner.dist(Point(0, 0)) == pytest.approx(1.0)
+
+    def test_as_values(self):
+        assert Circle(Point(1, 2), 3.0).as_values() == (1.0, 2.0, 3.0)
+
+    def test_sample_uniform_inside(self):
+        rng = random.Random(7)
+        c = Circle(Point(10, 10), 4.0)
+        for _ in range(100):
+            assert c.contains_point(c.sample(rng), eps=1e-9)
+
+
+class TestCircleProperties:
+    @given(coord, coord, radius, coord, coord)
+    def test_min_le_max(self, cx, cy, r, px, py):
+        c = Circle(Point(cx, cy), r)
+        p = Point(px, py)
+        assert c.min_dist(p) <= c.max_dist(p) + 1e-9
+
+    @given(coord, coord, radius, coord, coord)
+    def test_bounds_vs_center_distance(self, cx, cy, r, px, py):
+        c = Circle(Point(cx, cy), r)
+        p = Point(px, py)
+        d = p.dist(c.center)
+        assert math.isclose(c.max_dist(p), d + r, rel_tol=1e-9, abs_tol=1e-9)
+        assert math.isclose(
+            c.min_dist(p), max(d - r, 0.0), rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    @given(coord, coord, radius, st.randoms(use_true_random=False))
+    def test_inscribed_square_inside(self, cx, cy, r, rnd):
+        c = Circle(Point(cx, cy), r)
+        sq = c.inscribed_square()
+        sample = sq.sample(rnd)
+        assert c.contains_point(sample, eps=1e-6 * (1.0 + r))

@@ -1,0 +1,136 @@
+"""Tests for distance-difference extrema over tiles (Section 6.3.1).
+
+The key claim (used by Sum-GT-Verify): the minimum of
+``f(l) = ||p', l|| - ||po, l||`` over a rectangle is attained at a
+corner, at an intersection of the boundary with the focal axis, or at
+an interior focus.  We validate against dense grid sampling.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.hyperbola import (
+    dist_diff,
+    max_dist_diff_tile,
+    min_dist_diff_segment,
+    min_dist_diff_tile,
+)
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+coord = st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False)
+
+
+def _grid_samples(rect: Rect, n: int = 21):
+    for i in range(n):
+        for j in range(n):
+            x = rect.x_lo + rect.width * i / (n - 1) if n > 1 else rect.x_lo
+            y = rect.y_lo + rect.height * j / (n - 1) if n > 1 else rect.y_lo
+            yield Point(x, y)
+
+
+class TestDistDiffBasics:
+    def test_on_perpendicular_bisector_is_zero(self):
+        po, pp = Point(1, 0), Point(-1, 0)
+        for y in (-3.0, 0.0, 5.0):
+            assert dist_diff(pp, po, Point(0, y)) == pytest.approx(0.0)
+
+    def test_at_focus(self):
+        po, pp = Point(1, 0), Point(-1, 0)
+        assert dist_diff(pp, po, pp) == pytest.approx(-2.0)
+        assert dist_diff(pp, po, po) == pytest.approx(2.0)
+
+    def test_bounded_by_focal_distance(self):
+        po, pp = Point(3, 4), Point(-2, 1)
+        focal = po.dist(pp)
+        rng = random.Random(0)
+        for _ in range(200):
+            l = Point(rng.uniform(-50, 50), rng.uniform(-50, 50))
+            assert -focal - 1e-9 <= dist_diff(pp, po, l) <= focal + 1e-9
+
+
+class TestSegmentMinimum:
+    def test_segment_crossing_axis(self):
+        po, pp = Point(1, 0), Point(-1, 0)
+        # Vertical segment at x=2 crossing the focal axis: min at ends.
+        val = min_dist_diff_segment(pp, po, Point(2, -1), Point(2, 1))
+        expected = math.sqrt(10) - math.sqrt(2)
+        assert val == pytest.approx(expected)
+
+    def test_segment_on_axis(self):
+        po, pp = Point(1, 0), Point(-1, 0)
+        val = min_dist_diff_segment(pp, po, Point(-3, 0), Point(3, 0))
+        assert val == pytest.approx(-2.0)
+
+    def test_dense_sampling_agrees(self):
+        rng = random.Random(5)
+        for _ in range(50):
+            po = Point(rng.uniform(-10, 10), rng.uniform(-10, 10))
+            pp = Point(rng.uniform(-10, 10), rng.uniform(-10, 10))
+            a = Point(rng.uniform(-10, 10), rng.uniform(-10, 10))
+            b = Point(rng.uniform(-10, 10), rng.uniform(-10, 10))
+            analytic = min_dist_diff_segment(pp, po, a, b)
+            sampled = min(
+                dist_diff(pp, po, Point(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)))
+                for t in [k / 400 for k in range(401)]
+            )
+            assert analytic <= sampled + 1e-6
+
+
+class TestTileExtrema:
+    def test_focus_inside_tile_gives_global_min(self):
+        po, pp = Point(5, 0), Point(0, 0)
+        rect = Rect(-1, -1, 1, 1)  # contains p'
+        assert min_dist_diff_tile(pp, po, rect) == pytest.approx(-5.0)
+
+    def test_po_inside_tile_gives_global_max(self):
+        po, pp = Point(0, 0), Point(5, 0)
+        rect = Rect(-1, -1, 1, 1)  # contains po
+        assert max_dist_diff_tile(pp, po, rect) == pytest.approx(5.0)
+
+    def test_min_le_max(self):
+        po, pp = Point(2, 3), Point(-1, 0)
+        rect = Rect(0, 0, 4, 4)
+        assert min_dist_diff_tile(pp, po, rect) <= max_dist_diff_tile(pp, po, rect)
+
+    def test_identical_foci(self):
+        p = Point(1, 1)
+        rect = Rect(0, 0, 4, 4)
+        assert min_dist_diff_tile(p, p, rect) == pytest.approx(0.0)
+        assert max_dist_diff_tile(p, p, rect) == pytest.approx(0.0)
+
+    @settings(max_examples=150, deadline=None)
+    @given(coord, coord, coord, coord, coord, coord, st.floats(0.1, 50.0))
+    def test_min_is_lower_bound_of_samples(self, pox, poy, ppx, ppy, cx, cy, side):
+        po, pp = Point(pox, poy), Point(ppx, ppy)
+        rect = Rect(cx - side / 2, cy - side / 2, cx + side / 2, cy + side / 2)
+        analytic = min_dist_diff_tile(pp, po, rect)
+        for sample in _grid_samples(rect, 13):
+            assert analytic <= dist_diff(pp, po, sample) + 1e-6
+
+    @settings(max_examples=150, deadline=None)
+    @given(coord, coord, coord, coord, coord, coord, st.floats(0.1, 50.0))
+    def test_max_is_upper_bound_of_samples(self, pox, poy, ppx, ppy, cx, cy, side):
+        po, pp = Point(pox, poy), Point(ppx, ppy)
+        rect = Rect(cx - side / 2, cy - side / 2, cx + side / 2, cy + side / 2)
+        analytic = max_dist_diff_tile(pp, po, rect)
+        for sample in _grid_samples(rect, 13):
+            assert analytic >= dist_diff(pp, po, sample) - 1e-6
+
+    def test_min_is_attained_tightly(self):
+        """The analytic min matches dense sampling, not just bounds it."""
+        rng = random.Random(11)
+        for _ in range(30):
+            po = Point(rng.uniform(-10, 10), rng.uniform(-10, 10))
+            pp = Point(rng.uniform(-10, 10), rng.uniform(-10, 10))
+            c = Point(rng.uniform(-10, 10), rng.uniform(-10, 10))
+            rect = Rect.square(c, rng.uniform(0.5, 8.0))
+            analytic = min_dist_diff_tile(pp, po, rect)
+            sampled = min(dist_diff(pp, po, s) for s in _grid_samples(rect, 41))
+            # Sampling can only overshoot (grid resolution), never undershoot.
+            assert analytic <= sampled + 1e-9
+            assert sampled - analytic < 0.05 * (1.0 + rect.width)

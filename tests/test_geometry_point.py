@@ -1,0 +1,79 @@
+"""Unit tests for points and Euclidean distances (Definition 1)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point, dist, dist_sq, midpoint
+
+coords = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestPointBasics:
+    def test_distance_345(self):
+        assert Point(0, 0).dist(Point(3, 4)) == 5.0
+
+    def test_distance_zero(self):
+        p = Point(2.5, -7.0)
+        assert p.dist(p) == 0.0
+
+    def test_dist_sq(self):
+        assert Point(0, 0).dist_sq(Point(3, 4)) == 25.0
+
+    def test_module_level_dist_accepts_tuples(self):
+        assert dist((0, 0), (3, 4)) == 5.0
+        assert dist_sq((1, 1), (4, 5)) == 25.0
+
+    def test_iteration_unpacks(self):
+        x, y = Point(1.5, 2.5)
+        assert (x, y) == (1.5, 2.5)
+
+    def test_add_sub(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_scale(self):
+        assert Point(1, -2).scale(3.0) == Point(3, -6)
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == 5.0
+
+    def test_heading(self):
+        assert Point(1, 0).heading() == 0.0
+        assert Point(0, 1).heading() == pytest.approx(math.pi / 2)
+
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(2, 4)) == Point(1, 2)
+
+    def test_as_tuple(self):
+        assert Point(1, 2).as_tuple() == (1.0, 2.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1.0  # type: ignore[misc]
+
+    def test_hashable(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+
+class TestPointProperties:
+    @given(coords, coords, coords, coords)
+    def test_symmetry(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert a.dist(b) == b.dist(a)
+
+    @given(coords, coords, coords, coords, coords, coords)
+    def test_triangle_inequality(self, ax, ay, bx, by, cx, cy):
+        a, b, c = Point(ax, ay), Point(bx, by), Point(cx, cy)
+        assert a.dist(c) <= a.dist(b) + b.dist(c) + 1e-6
+
+    @given(coords, coords, coords, coords)
+    def test_dist_sq_consistent(self, ax, ay, bx, by):
+        a, b = Point(ax, ay), Point(bx, by)
+        assert math.isclose(a.dist(b) ** 2, a.dist_sq(b), rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(coords, coords)
+    def test_nonnegative(self, x, y):
+        assert Point(0, 0).dist(Point(x, y)) >= 0.0

@@ -1,0 +1,107 @@
+"""Unit tests for the region protocol and composite tile regions."""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.region import PointRegion, Region, TileRegion
+from repro.geometry.tile import tile_at
+
+
+class TestPointRegion:
+    def test_min_equals_max(self):
+        r = PointRegion(Point(1, 1))
+        p = Point(4, 5)
+        assert r.min_dist(p) == r.max_dist(p) == 5.0
+
+    def test_contains_only_itself(self):
+        r = PointRegion(Point(1, 1))
+        assert r.contains_point(Point(1, 1))
+        assert not r.contains_point(Point(1.001, 1))
+        assert r.contains_point(Point(1.001, 1), eps=0.01)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(PointRegion(Point(0, 0)), Region)
+
+
+class TestTileRegion:
+    def _region(self, tiles=()):
+        return TileRegion(Point(0, 0), 2.0, tiles)
+
+    def test_empty_region_uses_anchor(self):
+        r = self._region()
+        assert r.min_dist(Point(3, 4)) == 5.0
+        assert r.max_dist(Point(3, 4)) == 5.0
+        assert len(r) == 0
+        assert r.r_up == 0.0
+
+    def test_satisfies_protocol(self):
+        assert isinstance(self._region(), Region)
+
+    def test_add_and_contains(self):
+        r = self._region([tile_at(Point(0, 0), 2.0, 0, 0)])
+        assert len(r) == 1
+        assert r.contains_point(Point(0.5, 0.5))
+        assert not r.contains_point(Point(1.5, 0.5))
+        r.add(tile_at(Point(0, 0), 2.0, 1, 0))
+        assert r.contains_point(Point(1.5, 0.5))
+
+    def test_duplicate_add_ignored(self):
+        r = self._region()
+        t = tile_at(Point(0, 0), 2.0, 0, 0)
+        r.add(t)
+        r.add(t)
+        assert len(r) == 1
+
+    def test_r_up_grows_monotonically(self):
+        r = self._region([tile_at(Point(0, 0), 2.0, 0, 0)])
+        before = r.r_up
+        r.add(tile_at(Point(0, 0), 2.0, 3, 0))
+        assert r.r_up > before
+        # r_up equals the max corner distance over tiles.
+        expected = max(t.max_dist(Point(0, 0)) for t in r)
+        assert r.r_up == pytest.approx(expected)
+
+    def test_min_max_over_union(self):
+        tiles = [tile_at(Point(0, 0), 2.0, 0, 0), tile_at(Point(0, 0), 2.0, 2, 0)]
+        r = self._region(tiles)
+        p = Point(10, 0)
+        assert r.min_dist(p) == min(t.min_dist(p) for t in tiles)
+        assert r.max_dist(p) == max(t.max_dist(p) for t in tiles)
+
+    def test_max_dist_memo_matches_plain(self):
+        r = self._region([tile_at(Point(0, 0), 2.0, 0, 0)])
+        p = Point(7, 3)
+        assert r.max_dist_memo(p) == pytest.approx(r.max_dist(p))
+        # Adding tiles must refresh the memo (watermark logic).
+        r.add(tile_at(Point(0, 0), 2.0, -3, 2))
+        assert r.max_dist_memo(p) == pytest.approx(r.max_dist(p))
+        r.add(tile_at(Point(0, 0), 2.0, 5, 5))
+        assert r.max_dist_memo(p) == pytest.approx(r.max_dist(p))
+
+    def test_bounding_rect(self):
+        r = self._region(
+            [tile_at(Point(0, 0), 2.0, 0, 0), tile_at(Point(0, 0), 2.0, 2, 1)]
+        )
+        bounds = r.bounding_rect()
+        for t in r:
+            assert bounds.contains_rect(t.rect)
+
+    def test_sample_lands_inside(self):
+        rng = random.Random(3)
+        r = self._region(
+            [tile_at(Point(0, 0), 2.0, 0, 0), tile_at(Point(0, 0), 2.0, 0, 1)]
+        )
+        for _ in range(100):
+            assert r.contains_point(r.sample(rng), eps=1e-9)
+
+    def test_sample_empty_returns_anchor(self):
+        rng = random.Random(3)
+        assert self._region().sample(rng) == Point(0, 0)
+
+    def test_iteration_order_is_insertion_order(self):
+        t1 = tile_at(Point(0, 0), 2.0, 0, 0)
+        t2 = tile_at(Point(0, 0), 2.0, 1, 0)
+        r = self._region([t1, t2])
+        assert list(r) == [t1, t2]

@@ -1,0 +1,74 @@
+"""Unit tests for grid tiles and their addressing (Section 5)."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.tile import Tile, tile_at, tile_grid_origin
+from repro.geometry.rect import Rect
+
+
+class TestTileGrid:
+    def test_origin_tile_centered_at_anchor(self):
+        anchor = Point(10, 20)
+        t = tile_at(anchor, 4.0, 0, 0)
+        assert t.center == anchor
+        assert t.side == 4.0
+        assert (t.ix, t.iy) == (0, 0)
+
+    def test_grid_offsets(self):
+        anchor = Point(0, 0)
+        t = tile_at(anchor, 2.0, 3, -1)
+        assert t.center == Point(6.0, -2.0)
+
+    def test_adjacent_tiles_touch_without_overlap(self):
+        anchor = Point(0, 0)
+        a = tile_at(anchor, 2.0, 0, 0)
+        b = tile_at(anchor, 2.0, 1, 0)
+        assert a.rect.x_hi == b.rect.x_lo
+
+    def test_grid_origin_matches_tile_zero(self):
+        anchor = Point(5, 5)
+        assert tile_grid_origin(anchor, 3.0) == tile_at(anchor, 3.0, 0, 0).rect
+
+
+class TestTileSplit:
+    def test_split_produces_four_quadrants(self):
+        t = tile_at(Point(0, 0), 4.0, 0, 0)
+        subs = t.split()
+        assert len(subs) == 4
+        assert all(s.side == 2.0 for s in subs)
+        assert sum(s.rect.area for s in subs) == pytest.approx(t.rect.area)
+        for s in subs:
+            assert t.rect.contains_rect(s.rect)
+
+    def test_split_paths_unique(self):
+        t = tile_at(Point(0, 0), 4.0, 1, 1)
+        subs = t.split()
+        assert len({s.sub_path for s in subs}) == 4
+        assert all(s.sub_path == (k,) for k, s in enumerate(subs))
+        assert all((s.ix, s.iy) == (1, 1) for s in subs)
+
+    def test_nested_split_levels(self):
+        t = tile_at(Point(0, 0), 4.0, 0, 0)
+        grandchild = t.split()[2].split()[1]
+        assert grandchild.level == 2
+        assert grandchild.sub_path == (2, 1)
+        assert grandchild.side == 1.0
+
+    def test_keys_identify_tiles(self):
+        t = tile_at(Point(0, 0), 4.0, 2, 3)
+        assert t.key() == (2, 3, ())
+        assert t.split()[0].key() == (2, 3, (0,))
+
+
+class TestTileDistances:
+    def test_min_max_dist_delegate_to_rect(self):
+        t = Tile(Rect(0, 0, 2, 2))
+        p = Point(5, 0)
+        assert t.min_dist(p) == 3.0
+        assert t.max_dist(p) == pytest.approx((29) ** 0.5)
+
+    def test_contains(self):
+        t = tile_at(Point(0, 0), 2.0, 0, 0)
+        assert t.contains_point(Point(0.9, -0.9))
+        assert not t.contains_point(Point(1.1, 0))

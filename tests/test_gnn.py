@@ -1,0 +1,92 @@
+"""Tests for aggregate (group) nearest-neighbor search (refs. [21]/[24])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.gnn.aggregate import (
+    Aggregate,
+    aggregate_dist,
+    find_gnn,
+    find_max_gnn,
+    find_sum_gnn,
+    incremental_gnn,
+)
+from repro.gnn.bruteforce import brute_force_gnn
+from repro.index.rtree import RTree
+
+coord = st.floats(-500.0, 500.0, allow_nan=False, allow_infinity=False)
+points_strategy = st.tuples(coord, coord).map(lambda t: Point(*t))
+point_lists = st.lists(points_strategy, min_size=1, max_size=60)
+user_lists = st.lists(points_strategy, min_size=1, max_size=6)
+
+
+class TestAggregateDist:
+    def test_max(self):
+        users = [Point(0, 0), Point(10, 0)]
+        assert aggregate_dist(Point(0, 0), users, Aggregate.MAX) == 10.0
+
+    def test_sum(self):
+        users = [Point(0, 0), Point(10, 0)]
+        assert aggregate_dist(Point(0, 0), users, Aggregate.SUM) == 10.0
+        assert aggregate_dist(Point(5, 0), users, Aggregate.SUM) == 10.0
+
+    def test_single_user_max_equals_sum(self):
+        users = [Point(3, 4)]
+        p = Point(0, 0)
+        assert aggregate_dist(p, users, Aggregate.MAX) == aggregate_dist(
+            p, users, Aggregate.SUM
+        )
+
+
+class TestFindGnn:
+    def test_empty_users_raises(self, tree_200):
+        with pytest.raises(ValueError):
+            find_gnn(tree_200, [], 1)
+
+    def test_k_zero(self, tree_200):
+        assert find_gnn(tree_200, [Point(0, 0)], 0) == []
+
+    def test_k_exceeds_dataset(self):
+        tree = RTree.bulk_load([Point(0, 0), Point(1, 1)])
+        assert len(find_gnn(tree, [Point(0, 0)], 10)) == 2
+
+    def test_single_user_reduces_to_nn(self, tree_200, pois_200):
+        q = Point(123, 456)
+        d, entry = find_max_gnn(tree_200, [q], 1)[0]
+        assert d == pytest.approx(min(p.dist(q) for p in pois_200))
+
+    def test_results_sorted(self, tree_500):
+        users = [Point(100, 100), Point(300, 200), Point(150, 400)]
+        for agg in (Aggregate.MAX, Aggregate.SUM):
+            dists = [d for d, _ in find_gnn(tree_500, users, 10, agg)]
+            assert dists == sorted(dists)
+
+    def test_incremental_covers_all(self, tree_200, pois_200):
+        users = [Point(1, 1), Point(999, 999)]
+        results = list(incremental_gnn(tree_200, users, Aggregate.MAX))
+        assert len(results) == len(pois_200)
+
+    @settings(max_examples=50, deadline=None)
+    @given(point_lists, user_lists, st.integers(1, 10))
+    def test_max_gnn_matches_brute_force(self, points, users, k):
+        tree = RTree.bulk_load(points, max_entries=5)
+        got = [d for d, _ in find_max_gnn(tree, users, k)]
+        want = [d for d, _ in brute_force_gnn(points, users, k, Aggregate.MAX)]
+        assert got == pytest.approx(want)
+
+    @settings(max_examples=50, deadline=None)
+    @given(point_lists, user_lists, st.integers(1, 10))
+    def test_sum_gnn_matches_brute_force(self, points, users, k):
+        tree = RTree.bulk_load(points, max_entries=5)
+        got = [d for d, _ in find_sum_gnn(tree, users, k)]
+        want = [d for d, _ in brute_force_gnn(points, users, k, Aggregate.SUM)]
+        assert got == pytest.approx(want)
+
+    def test_k2_supports_circle_msr(self, tree_500):
+        """Algorithm 1 needs the best two MAX-GNNs; sanity-check the gap."""
+        users = [Point(10, 10), Point(20, 30)]
+        (d1, e1), (d2, e2) = find_max_gnn(tree_500, users, 2)
+        assert d1 <= d2
+        assert e1.point != e2.point

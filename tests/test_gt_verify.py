@@ -1,0 +1,182 @@
+"""Tests for IT-Verify, GT-Verify (Theorem 2) and the exact verifier.
+
+Key relationships (all sampled over randomized safe-region layouts):
+
+* ``it_verify`` enumerates tile groups — the ground truth;
+* ``exact_verify`` must agree with ``it_verify`` exactly;
+* ``gt_verify`` must be sound (True implies IT true); thanks to the
+  exact case-4 fallback it should agree with IT in practice;
+* the caching ``MaxVerifier`` must agree with its uncached counterpart.
+"""
+
+import random
+
+import pytest
+
+from repro.core.gt_verify import MaxVerifier, exact_verify, gt_verify, it_verify
+from repro.core.types import SafeRegionStats
+from repro.geometry.point import Point
+from repro.geometry.region import TileRegion
+from repro.geometry.tile import tile_at
+
+
+def _random_layout(rng, m=3, tiles_per_user=5, side=4.0, world=200.0):
+    """Random users with random (not necessarily valid) tile regions."""
+    regions = []
+    for _ in range(m):
+        anchor = Point(rng.uniform(0, world), rng.uniform(0, world))
+        region = TileRegion(anchor, side)
+        region.add(tile_at(anchor, side, 0, 0))
+        for _ in range(tiles_per_user - 1):
+            ix = rng.randint(-3, 3)
+            iy = rng.randint(-3, 3)
+            region.add(tile_at(anchor, side, ix, iy))
+        regions.append(region)
+    return regions
+
+
+def _random_case(rng, m=3):
+    regions = _random_layout(rng, m)
+    user_idx = rng.randrange(m)
+    anchor = regions[user_idx].anchor
+    s = tile_at(anchor, regions[user_idx].side, rng.randint(-4, 4), rng.randint(-4, 4))
+    po = Point(rng.uniform(0, 200), rng.uniform(0, 200))
+    p = Point(rng.uniform(0, 200), rng.uniform(0, 200))
+    return regions, user_idx, s, p, po
+
+
+def _valid_case(rng, m=3, side=5.0, world=200.0, n_pois=10, grow_steps=25):
+    """A *valid* safe-region group grown tile-by-tile, plus a fresh tile.
+
+    GT-Verify's contract (Theorem 2) assumes the existing group is
+    valid, so soundness comparisons must start from one.  Regions are
+    grown by adding random tiles only when the exact verifier accepts
+    them against every non-result point.
+    """
+    pois = [Point(rng.uniform(0, world), rng.uniform(0, world)) for _ in range(n_pois)]
+    users = [Point(rng.uniform(0, world), rng.uniform(0, world)) for _ in range(m)]
+    po = min(pois, key=lambda q: max(q.dist(u) for u in users))
+    candidates = [q for q in pois if q != po]
+    regions = [TileRegion(u, side) for u in users]
+    for _ in range(grow_steps):
+        i = rng.randrange(m)
+        t = tile_at(users[i], side, rng.randint(-3, 3), rng.randint(-3, 3))
+        if regions[i].has_key(t.key()):
+            continue
+        if all(exact_verify(regions, i, t, q, po) for q in candidates):
+            regions[i].add(t)
+    i = rng.randrange(m)
+    s = tile_at(users[i], side, rng.randint(-4, 4), rng.randint(-4, 4))
+    p = rng.choice(candidates)
+    return regions, i, s, p, po
+
+
+class TestAgreement:
+    def test_exact_matches_it_randomized(self):
+        """The exact verifier agrees with enumeration on *any* input,
+        valid or not (it decides exactly the groups containing s)."""
+        rng = random.Random(99)
+        for _ in range(300):
+            regions, i, s, p, po = _random_case(rng, m=rng.randint(1, 3))
+            assert exact_verify(regions, i, s, p, po) == it_verify(
+                regions, i, s, p, po
+            )
+
+    def test_gt_sound_wrt_it_on_valid_groups(self):
+        rng = random.Random(7)
+        accepts = 0
+        agreements = 0
+        total = 150
+        for _ in range(total):
+            regions, i, s, p, po = _valid_case(rng, m=rng.randint(2, 3))
+            gt = gt_verify(regions, i, s, p, po)
+            it = it_verify(regions, i, s, p, po)
+            if gt:
+                accepts += 1
+                assert it, "GT-Verify accepted a group IT-Verify rejects"
+            if gt == it:
+                agreements += 1
+        assert accepts > 5, "accept path never exercised"
+        # GT may be conservative (False where IT is True) but should
+        # agree in the vast majority of valid configurations.
+        assert agreements >= total * 0.9
+
+    def test_cached_verifier_matches_uncached(self):
+        rng = random.Random(13)
+        for kind, reference in (("gt", gt_verify), ("exact", exact_verify)):
+            regions, i, s, p, po = _random_case(rng)
+            verifier = MaxVerifier(po, kind)
+            for _ in range(50):
+                _, _, s, p, _ = _random_case(rng)
+                s = tile_at(
+                    regions[i].anchor, regions[i].side,
+                    rng.randint(-4, 4), rng.randint(-4, 4),
+                )
+                assert verifier.verify(regions, i, s, p, po) == reference(
+                    regions, i, s, p, po
+                )
+
+    def test_cached_verifier_tracks_region_growth(self):
+        """Adding tiles between calls must invalidate cached pairs."""
+        rng = random.Random(21)
+        regions, i, s, p, po = _random_case(rng)
+        verifier = MaxVerifier(po, "exact")
+        assert verifier.verify(regions, i, s, p, po) == exact_verify(
+            regions, i, s, p, po
+        )
+        other = (i + 1) % len(regions)
+        regions[other].add(tile_at(regions[other].anchor, regions[other].side, 4, 4))
+        assert verifier.verify(regions, i, s, p, po) == exact_verify(
+            regions, i, s, p, po
+        )
+
+
+class TestSemantics:
+    def test_single_user_group(self):
+        anchor = Point(0, 0)
+        region = TileRegion(anchor, 2.0, [tile_at(anchor, 2.0, 0, 0)])
+        s = tile_at(anchor, 2.0, 1, 0)
+        po = Point(0, 10)
+        far = Point(0, -100)
+        near = Point(0, -1)
+        assert it_verify([region], 0, s, far, po)
+        assert exact_verify([region], 0, s, far, po)
+        assert not it_verify([region], 0, s, near, po)
+        assert not exact_verify([region], 0, s, near, po)
+
+    def test_ground_truth_by_sampling(self):
+        """IT acceptance must mean every sampled instance keeps po."""
+        rng = random.Random(3)
+        checked = 0
+        for _ in range(200):
+            regions, i, s, p, po = _random_case(rng, m=2)
+            if not it_verify(regions, i, s, p, po):
+                continue
+            checked += 1
+            for _ in range(25):
+                locs = []
+                for j, region in enumerate(regions):
+                    if j == i:
+                        locs.append(s.rect.sample(rng))
+                    else:
+                        locs.append(region.sample(rng))
+                top = max(po.dist(l) for l in locs)
+                bot = max(p.dist(l) for l in locs)
+                assert top <= bot + 1e-9
+        assert checked > 10, "sampling never exercised the accept path"
+
+    def test_stats_counted(self):
+        rng = random.Random(5)
+        regions, i, s, p, po = _random_case(rng)
+        stats = SafeRegionStats()
+        gt_verify(regions, i, s, p, po, stats)
+        exact_verify(regions, i, s, p, po, stats)
+        it_verify(regions, i, s, p, po, stats)
+        assert stats.tile_verifications >= 3
+
+    def test_verifier_rejects_wrong_po(self):
+        rng = random.Random(5)
+        regions, i, s, p, po = _random_case(rng)
+        verifier = MaxVerifier(po, "gt")
+        with pytest.raises(ValueError):
+            verifier.verify(regions, i, s, p, Point(po.x + 1, po.y))

@@ -1,0 +1,90 @@
+"""Tests for best-first kNN and range queries against brute force."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.knn import (
+    circle_range_query,
+    incremental_nearest,
+    knn,
+    nearest,
+    range_query,
+)
+from repro.index.rtree import RTree
+
+coord = st.floats(-500.0, 500.0, allow_nan=False, allow_infinity=False)
+point_lists = st.lists(
+    st.tuples(coord, coord).map(lambda t: Point(*t)), min_size=1, max_size=80
+)
+
+
+def _tree(points):
+    return RTree.bulk_load(points, max_entries=5)
+
+
+class TestKnn:
+    def test_k_zero(self, tree_200):
+        assert knn(tree_200, Point(0, 0), 0) == []
+
+    def test_k_exceeds_size(self):
+        tree = _tree([Point(0, 0), Point(1, 1)])
+        assert len(knn(tree, Point(0, 0), 10)) == 2
+
+    def test_nearest_empty_tree(self):
+        assert nearest(RTree(), Point(0, 0)) is None
+
+    def test_nearest_trivial(self):
+        tree = _tree([Point(0, 0), Point(10, 10), Point(5, 5)])
+        assert nearest(tree, Point(4, 4)).point == Point(5, 5)
+
+    def test_incremental_order_is_nondecreasing(self, tree_200, pois_200):
+        q = Point(500, 500)
+        dists = [e.point.dist(q) for e in incremental_nearest(tree_200, q)]
+        assert dists == sorted(dists)
+        assert len(dists) == len(pois_200)
+
+    @settings(max_examples=60, deadline=None)
+    @given(point_lists, coord, coord, st.integers(1, 20))
+    def test_matches_brute_force(self, points, qx, qy, k):
+        tree = _tree(points)
+        q = Point(qx, qy)
+        result = [e.point.dist(q) for e in knn(tree, q, k)]
+        expected = sorted(p.dist(q) for p in points)[:k]
+        assert result == pytest.approx(expected)
+
+
+class TestRangeQueries:
+    def test_window_query_brute_force(self, tree_200, pois_200, rng):
+        for _ in range(25):
+            x1, x2 = sorted((rng.uniform(0, 1000), rng.uniform(0, 1000)))
+            y1, y2 = sorted((rng.uniform(0, 1000), rng.uniform(0, 1000)))
+            window = Rect(x1, y1, x2, y2)
+            got = sorted(e.point.as_tuple() for e in range_query(tree_200, window))
+            want = sorted(
+                p.as_tuple() for p in pois_200 if window.contains_point(p)
+            )
+            assert got == want
+
+    def test_circle_query_brute_force(self, tree_200, pois_200, rng):
+        for _ in range(25):
+            center = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            radius = rng.uniform(10, 400)
+            got = sorted(
+                e.point.as_tuple()
+                for e in circle_range_query(tree_200, center, radius)
+            )
+            want = sorted(
+                p.as_tuple() for p in pois_200 if p.dist(center) <= radius
+            )
+            assert got == want
+
+    def test_empty_window(self, tree_200):
+        assert range_query(tree_200, Rect(-10, -10, -5, -5)) == []
+
+    def test_window_covering_everything(self, tree_200, pois_200):
+        assert len(range_query(tree_200, Rect(-1, -1, 1001, 1001))) == len(pois_200)

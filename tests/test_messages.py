@@ -1,0 +1,68 @@
+"""Tests for the packet accounting model (Section 7.1)."""
+
+import pytest
+
+from repro.simulation.messages import (
+    CIRCLE_VALUES,
+    VALUES_PER_PACKET,
+    Message,
+    MessageKind,
+    location_update,
+    packets_for_values,
+    periodic_reply,
+    periodic_report,
+    probe_request,
+    result_notify,
+)
+
+
+class TestPacketModel:
+    def test_paper_constant(self):
+        # (576 - 40) / 8 = 67 doubles per packet.
+        assert VALUES_PER_PACKET == 67
+
+    def test_zero_values_still_one_packet(self):
+        assert packets_for_values(0) == 1
+
+    def test_exact_fit(self):
+        assert packets_for_values(67) == 1
+        assert packets_for_values(68) == 2
+        assert packets_for_values(134) == 2
+        assert packets_for_values(135) == 3
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            packets_for_values(-1)
+
+
+class TestMessages:
+    def test_location_update(self):
+        msg = location_update()
+        assert msg.kind is MessageKind.LOCATION_UPDATE
+        assert msg.upstream
+        assert msg.values == 2
+        assert msg.packets == 1
+
+    def test_probe_request_is_downstream(self):
+        msg = probe_request()
+        assert not msg.upstream
+        assert msg.packets == 1
+
+    def test_result_notify_includes_point_and_region(self):
+        msg = result_notify(CIRCLE_VALUES)
+        assert msg.values == 2 + 3
+        assert msg.packets == 1
+
+    def test_large_region_spans_packets(self):
+        msg = result_notify(200)
+        assert msg.packets == packets_for_values(202)
+        assert msg.packets == 4
+
+    def test_periodic_pair(self):
+        assert periodic_report().upstream
+        assert not periodic_reply().upstream
+
+    def test_message_is_frozen(self):
+        msg = location_update()
+        with pytest.raises(AttributeError):
+            msg.values = 5  # type: ignore[misc]

@@ -1,0 +1,48 @@
+"""Tests for simulation metrics aggregation."""
+
+import pytest
+
+from repro.simulation.messages import location_update, result_notify
+from repro.simulation.metrics import SimulationMetrics, average_metrics
+
+
+class TestSimulationMetrics:
+    def test_record_up_and_down(self):
+        m = SimulationMetrics()
+        m.record_message(location_update())
+        m.record_message(result_notify(3))
+        assert m.messages_up == 1
+        assert m.messages_down == 1
+        assert m.packets_total == 2
+
+    def test_update_frequency(self):
+        m = SimulationMetrics(timestamps=200, update_events=50)
+        assert m.update_frequency == 0.25
+        assert SimulationMetrics().update_frequency == 0.0
+
+    def test_cpu_per_update(self):
+        m = SimulationMetrics(update_events=4, server_cpu_seconds=2.0)
+        assert m.cpu_per_update == 0.5
+        assert SimulationMetrics().cpu_per_update == 0.0
+
+    def test_merge(self):
+        a = SimulationMetrics(timestamps=10, update_events=2, packets_up=5)
+        b = SimulationMetrics(timestamps=10, update_events=3, packets_up=7)
+        a.merge(b)
+        assert a.timestamps == 20
+        assert a.update_events == 5
+        assert a.packets_up == 12
+
+    def test_average(self):
+        runs = [
+            SimulationMetrics(timestamps=100, update_events=10, packets_up=20),
+            SimulationMetrics(timestamps=100, update_events=20, packets_up=40),
+        ]
+        avg = average_metrics(runs)
+        assert avg.timestamps == 100
+        assert avg.update_events == 15
+        assert avg.packets_up == 30
+
+    def test_average_empty_raises(self):
+        with pytest.raises(ValueError):
+            average_metrics([])

@@ -1,0 +1,186 @@
+"""Tests for the multi-group server and dynamic POI updates."""
+
+import random
+
+import pytest
+
+from repro.gnn.aggregate import Aggregate
+from repro.gnn.bruteforce import brute_force_gnn
+from repro.geometry.point import Point
+from repro.simulation.multigroup import MultiGroupServer, sum_verify_regions
+from repro.simulation.policies import circle_policy, tile_policy
+from repro.workloads.poi import build_poi_tree, uniform_pois
+from tests.conftest import SMALL_WORLD, random_users
+
+
+@pytest.fixture
+def server():
+    pois = uniform_pois(300, SMALL_WORLD, seed=8)
+    return MultiGroupServer(build_poi_tree(pois)), pois
+
+
+def _current_pois(server):
+    return [e.point for e in server.tree.entries()]
+
+
+def _assert_group_result_exact(server, group_id, rng, samples=40):
+    """The headline invariant: sampled instances inside the group's
+    regions keep its cached meeting point optimal over the CURRENT
+    POI set."""
+    session = server.session(group_id)
+    pois = _current_pois(server)
+    objective = session.policy.objective
+    for _ in range(samples):
+        locs = [r.sample(rng) for r in session.regions]
+        best = brute_force_gnn(pois, locs, 1, objective)[0]
+        if objective is Aggregate.MAX:
+            d_po = max(session.po.dist(l) for l in locs)
+        else:
+            d_po = sum(session.po.dist(l) for l in locs)
+        assert d_po <= best[0] + 1e-7
+
+
+class TestGroupLifecycle:
+    def test_register_computes_result(self, server, rng):
+        srv, _ = server
+        gid = srv.register_group(random_users(rng, 3), circle_policy())
+        session = srv.session(gid)
+        assert session.po is not None
+        assert len(session.regions) == 3
+        assert session.metrics.update_events == 1
+
+    def test_multiple_groups_independent(self, server, rng):
+        srv, _ = server
+        a = srv.register_group(random_users(rng, 2), circle_policy())
+        b = srv.register_group(random_users(rng, 3), tile_policy(alpha=4))
+        assert srv.group_ids() == [a, b]
+        assert len(srv.session(a).regions) == 2
+        assert len(srv.session(b).regions) == 3
+        srv.unregister_group(a)
+        assert srv.group_ids() == [b]
+
+    def test_report_locations_validates_count(self, server, rng):
+        srv, _ = server
+        gid = srv.register_group(random_users(rng, 3), circle_policy())
+        with pytest.raises(ValueError):
+            srv.report_locations(gid, random_users(rng, 2))
+
+    def test_report_locations_refreshes(self, server, rng):
+        srv, _ = server
+        gid = srv.register_group(random_users(rng, 2), circle_policy())
+        po, regions = srv.report_locations(gid, random_users(rng, 2))
+        assert po == srv.session(gid).po
+        assert srv.session(gid).metrics.update_events == 2
+
+
+class TestPoiInsertion:
+    def test_far_poi_invalidates_nobody(self, server, rng):
+        srv, _ = server
+        users = [Point(100, 100), Point(150, 120)]
+        gid = srv.register_group(users, circle_policy())
+        invalidated = srv.add_poi(Point(10_000.0, 10_000.0))
+        assert invalidated == []
+        _assert_group_result_exact(srv, gid, rng)
+
+    def test_poi_at_group_center_invalidates(self, server, rng):
+        srv, _ = server
+        users = [Point(100, 100), Point(200, 200)]
+        gid = srv.register_group(users, circle_policy())
+        # A venue right between the users beats any existing one.
+        invalidated = srv.add_poi(Point(150, 150))
+        assert gid in invalidated
+        assert srv.session(gid).po == Point(150, 150)
+        _assert_group_result_exact(srv, gid, rng)
+
+    def test_insertion_keeps_guarantee_randomized(self, server, rng):
+        """Whether or not groups get recomputed, the invariant holds."""
+        srv, _ = server
+        gids = [
+            srv.register_group(random_users(rng, 3), circle_policy())
+            for _ in range(4)
+        ]
+        for _ in range(15):
+            srv.add_poi(SMALL_WORLD.sample(rng))
+        for gid in gids:
+            _assert_group_result_exact(srv, gid, rng, samples=25)
+
+    def test_insertion_with_tile_regions(self, server, rng):
+        srv, _ = server
+        gid = srv.register_group(
+            random_users(rng, 3), tile_policy(alpha=5, split_level=1)
+        )
+        for _ in range(10):
+            srv.add_poi(SMALL_WORLD.sample(rng))
+        _assert_group_result_exact(srv, gid, rng, samples=25)
+
+    def test_insertion_sum_objective(self, server, rng):
+        srv, _ = server
+        gid = srv.register_group(
+            random_users(rng, 3), circle_policy(Aggregate.SUM)
+        )
+        for _ in range(10):
+            srv.add_poi(SMALL_WORLD.sample(rng))
+        _assert_group_result_exact(srv, gid, rng, samples=25)
+
+
+class TestPoiDeletion:
+    def test_missing_poi_raises(self, server):
+        srv, _ = server
+        with pytest.raises(KeyError):
+            srv.remove_poi(Point(-1, -1))
+
+    def test_removing_non_result_invalidates_nobody(self, server, rng):
+        srv, pois = server
+        gid = srv.register_group(random_users(rng, 3), circle_policy())
+        victim = next(p for p in pois if p != srv.session(gid).po)
+        invalidated = srv.remove_poi(victim)
+        assert invalidated == []
+        assert srv.session(gid).metrics.update_events == 1
+        _assert_group_result_exact(srv, gid, rng)
+
+    def test_removing_result_recomputes(self, server, rng):
+        srv, _ = server
+        gid = srv.register_group(random_users(rng, 3), circle_policy())
+        old_po = srv.session(gid).po
+        invalidated = srv.remove_poi(old_po)
+        assert gid in invalidated
+        assert srv.session(gid).po != old_po
+        _assert_group_result_exact(srv, gid, rng)
+
+    def test_mass_churn_keeps_guarantee(self, server, rng):
+        srv, pois = server
+        gids = [
+            srv.register_group(random_users(rng, 2), circle_policy())
+            for _ in range(3)
+        ]
+        alive = list(pois)
+        for _ in range(30):
+            if rng.random() < 0.5 and len(alive) > 10:
+                victim = alive.pop(rng.randrange(len(alive)))
+                srv.remove_poi(victim)
+            else:
+                p = SMALL_WORLD.sample(rng)
+                srv.add_poi(p)
+                alive.append(p)
+        for gid in gids:
+            _assert_group_result_exact(srv, gid, rng, samples=20)
+
+
+class TestSumVerify:
+    def test_sum_verify_conservative(self, rng):
+        from repro.geometry.circle import Circle
+
+        for _ in range(50):
+            regions = [
+                Circle(SMALL_WORLD.sample(rng), rng.uniform(1, 30))
+                for _ in range(3)
+            ]
+            po = SMALL_WORLD.sample(rng)
+            p = SMALL_WORLD.sample(rng)
+            if not sum_verify_regions(regions, po, p):
+                continue
+            for _ in range(30):
+                locs = [c.sample(rng) for c in regions]
+                assert sum(po.dist(l) for l in locs) <= (
+                    sum(p.dist(l) for l in locs) + 1e-7
+                )

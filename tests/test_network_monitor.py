@@ -1,0 +1,60 @@
+"""Tests for the network monitoring loop (both region methods)."""
+
+import random
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.mobility.network import NetworkParams, build_road_network
+from repro.network_ext import NetworkSpace, run_network_simulation
+from repro.network_ext.monitor import network_trajectory
+
+WORLD = Rect(0, 0, 2000, 2000)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = build_road_network(WORLD, NetworkParams(grid_size=5), seed=21)
+    space = NetworkSpace(graph)
+    rng = random.Random(6)
+    pois = rng.sample(list(graph.nodes), 8)
+    trajectories = [
+        network_trajectory(space, 120, speed=25.0, rng=rng) for _ in range(3)
+    ]
+    return space, pois, trajectories
+
+
+class TestNetworkMonitor:
+    def test_unknown_method_rejected(self, setup):
+        space, pois, trajectories = setup
+        with pytest.raises(ValueError):
+            run_network_simulation(space, pois, trajectories, method="square")
+
+    def test_circle_method_with_checks(self, setup):
+        space, pois, trajectories = setup
+        metrics = run_network_simulation(
+            space, pois, trajectories, check_every=10, method="circle"
+        )
+        assert metrics.update_events >= 1
+        assert metrics.messages_up >= len(trajectories)
+
+    def test_tile_method_with_checks(self, setup):
+        space, pois, trajectories = setup
+        metrics = run_network_simulation(
+            space, pois, trajectories, check_every=10, method="tile"
+        )
+        assert metrics.update_events >= 1
+
+    def test_tile_updates_not_worse_than_circle(self, setup):
+        """Recursive partitions extend balls, so they cannot trigger
+        more updates on the same trajectories."""
+        space, pois, trajectories = setup
+        circle = run_network_simulation(space, pois, trajectories, method="circle")
+        tile = run_network_simulation(space, pois, trajectories, method="tile")
+        assert tile.update_events <= circle.update_events
+
+    def test_region_values_accounted(self, setup):
+        space, pois, trajectories = setup
+        metrics = run_network_simulation(space, pois, trajectories)
+        assert metrics.region_values_sent > 0
+        assert metrics.packets_down >= metrics.update_events * len(trajectories)

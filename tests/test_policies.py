@@ -1,0 +1,51 @@
+"""Tests for the policy catalogue (Section 7.1 configurations)."""
+
+from repro.core.types import Ordering, VerifierKind
+from repro.gnn.aggregate import Aggregate
+from repro.simulation.policies import (
+    PolicyKind,
+    circle_policy,
+    periodic_policy,
+    tile_d_b_policy,
+    tile_d_policy,
+    tile_policy,
+)
+
+
+class TestPolicyFactories:
+    def test_circle(self):
+        p = circle_policy()
+        assert p.kind is PolicyKind.CIRCLE
+        assert p.tile_config is None
+
+    def test_periodic(self):
+        assert periodic_policy().kind is PolicyKind.PERIODIC
+
+    def test_tile_defaults_match_paper(self):
+        p = tile_policy()
+        assert p.tile_config.alpha == 30  # Table 2
+        assert p.tile_config.split_level == 2
+        assert p.tile_config.ordering is Ordering.UNDIRECTED
+        assert p.tile_config.verifier is VerifierKind.GT
+        assert p.tile_config.buffer_b is None
+
+    def test_tile_d_uses_directed_ordering(self):
+        assert tile_d_policy().tile_config.ordering is Ordering.DIRECTED
+
+    def test_tile_d_b_sets_buffer(self):
+        p = tile_d_b_policy(b=100)
+        assert p.tile_config.buffer_b == 100
+        assert p.name == "Tile-D-b100"
+
+    def test_with_objective(self):
+        p = tile_policy().with_objective(Aggregate.SUM)
+        assert p.objective is Aggregate.SUM
+        assert p.tile_config.objective is Aggregate.SUM
+        assert p.name.endswith("-sum")
+        back = p.with_objective(Aggregate.MAX)
+        assert back.name == "Tile"
+
+    def test_with_objective_on_circle(self):
+        p = circle_policy().with_objective(Aggregate.SUM)
+        assert p.objective is Aggregate.SUM
+        assert p.tile_config is None

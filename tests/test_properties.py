@@ -1,0 +1,211 @@
+"""Cross-module property tests (hypothesis) for the paper's invariants.
+
+These complement the per-module suites with randomized end-to-end
+properties: the safe-region guarantee (Definition 3) for both region
+shapes and objectives, verifier agreement, pruning soundness, and
+compression totality, all driven by hypothesis-generated scenarios.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.circle_msr import circle_msr
+from repro.core.compression import compress_region, decompress_region
+from repro.core.gt_verify import exact_verify, it_verify
+from repro.core.pruning import max_candidates
+from repro.core.tile_msr import tile_msr
+from repro.core.types import TileMSRConfig
+from repro.core.verify import dominant_distance
+from repro.geometry.point import Point
+from repro.geometry.region import TileRegion
+from repro.geometry.tile import tile_at
+from repro.gnn.aggregate import Aggregate, aggregate_dist
+from repro.gnn.bruteforce import brute_force_gnn
+from repro.index.rtree import RTree
+
+coord = st.floats(0.0, 1000.0, allow_nan=False, allow_infinity=False)
+points = st.tuples(coord, coord).map(lambda t: Point(*t))
+poi_sets = st.lists(points, min_size=2, max_size=40, unique=True)
+user_sets = st.lists(points, min_size=1, max_size=5)
+
+relaxed = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestCircleGuarantee:
+    @relaxed
+    @given(poi_sets, user_sets, st.integers(0, 2**31), st.sampled_from(list(Aggregate)))
+    def test_definition3_holds_inside_circles(self, pois, users, seed, objective):
+        tree = RTree.bulk_load(pois, max_entries=5)
+        result = circle_msr(users, tree, objective)
+        rng = random.Random(seed)
+        for _ in range(25):
+            locs = [c.sample(rng) for c in result.circles]
+            best = brute_force_gnn(pois, locs, 1, objective)[0]
+            assert aggregate_dist(result.po, locs, objective) <= best[0] + 1e-6
+
+    @relaxed
+    @given(poi_sets, user_sets)
+    def test_radius_never_negative(self, pois, users):
+        tree = RTree.bulk_load(pois, max_entries=5)
+        result = circle_msr(users, tree)
+        assert result.radius >= 0.0
+
+    @relaxed
+    @given(poi_sets, user_sets)
+    def test_sum_radius_at_most_max_radius(self, pois, users):
+        """Theorem 5 divides by 2m >= 2, so SUM circles are no larger
+        when the gaps coincide — check via the formulas directly."""
+        tree = RTree.bulk_load(pois, max_entries=5)
+        max_result = circle_msr(users, tree, Aggregate.MAX)
+        sum_result = circle_msr(users, tree, Aggregate.SUM)
+        m = len(users)
+        if sum_result.radius != float("inf"):
+            expected = (sum_result.second_dist - sum_result.po_dist) / (2 * m)
+            assert sum_result.radius == expected
+
+
+class TestTileGuarantee:
+    @relaxed
+    @given(
+        st.lists(points, min_size=3, max_size=25, unique=True),
+        st.lists(points, min_size=2, max_size=3),
+        st.integers(0, 2**31),
+    )
+    def test_definition3_holds_inside_tiles(self, pois, users, seed):
+        tree = RTree.bulk_load(pois, max_entries=5)
+        result = tile_msr(users, tree, TileMSRConfig(alpha=3, split_level=1))
+        rng = random.Random(seed)
+        for _ in range(20):
+            locs = [r.sample(rng) for r in result.regions]
+            best = brute_force_gnn(pois, locs, 1, Aggregate.MAX)[0]
+            assert aggregate_dist(result.po, locs, Aggregate.MAX) <= best[0] + 1e-6
+
+    @relaxed
+    @given(
+        st.lists(points, min_size=3, max_size=20, unique=True),
+        st.lists(points, min_size=2, max_size=3),
+        st.integers(0, 2**31),
+    )
+    def test_definition3_sum_objective(self, pois, users, seed):
+        tree = RTree.bulk_load(pois, max_entries=5)
+        config = TileMSRConfig(alpha=3, split_level=1, objective=Aggregate.SUM)
+        result = tile_msr(users, tree, config)
+        rng = random.Random(seed)
+        for _ in range(20):
+            locs = [r.sample(rng) for r in result.regions]
+            best = brute_force_gnn(pois, locs, 1, Aggregate.SUM)[0]
+            assert aggregate_dist(result.po, locs, Aggregate.SUM) <= best[0] + 1e-6
+
+
+class TestVerifierProperties:
+    @st.composite
+    @staticmethod
+    def verification_cases(draw):
+        side = draw(st.floats(1.0, 20.0))
+        m = draw(st.integers(1, 3))
+        regions = []
+        for _ in range(m):
+            anchor = draw(points)
+            tiles = [tile_at(anchor, side, 0, 0)]
+            for _ in range(draw(st.integers(0, 4))):
+                tiles.append(
+                    tile_at(
+                        anchor,
+                        side,
+                        draw(st.integers(-3, 3)),
+                        draw(st.integers(-3, 3)),
+                    )
+                )
+            regions.append(TileRegion(anchor, side, tiles))
+        i = draw(st.integers(0, m - 1))
+        s = tile_at(
+            regions[i].anchor, side, draw(st.integers(-4, 4)), draw(st.integers(-4, 4))
+        )
+        p = draw(points)
+        po = draw(points)
+        return regions, i, s, p, po
+
+    @relaxed
+    @given(verification_cases())
+    def test_exact_equals_enumeration(self, case):
+        regions, i, s, p, po = case
+        assert exact_verify(regions, i, s, p, po) == it_verify(regions, i, s, p, po)
+
+    @relaxed
+    @given(verification_cases(), st.integers(0, 2**31))
+    def test_acceptance_implies_instances_valid(self, case, seed):
+        regions, i, s, p, po = case
+        if not exact_verify(regions, i, s, p, po):
+            return
+        rng = random.Random(seed)
+        for _ in range(15):
+            locs = [
+                s.rect.sample(rng) if j == i else r.sample(rng)
+                for j, r in enumerate(regions)
+            ]
+            assert dominant_distance(po, locs) <= dominant_distance(p, locs) + 1e-7
+
+
+class TestPruningProperties:
+    @relaxed
+    @given(
+        st.lists(points, min_size=5, max_size=40, unique=True),
+        st.lists(points, min_size=2, max_size=3),
+        st.integers(0, 2**31),
+    )
+    def test_pruned_points_never_win(self, pois, users, seed):
+        tree = RTree.bulk_load(pois, max_entries=5)
+        side = 15.0
+        regions = [TileRegion(u, side, [tile_at(u, side, 0, 0)]) for u in users]
+        po = min(pois, key=lambda q: max(q.dist(u) for u in users))
+        kept = {
+            q.as_tuple() for q in max_candidates(tree, users, regions, 0, None, po)
+        }
+        pruned = [q for q in pois if q != po and q.as_tuple() not in kept]
+        rng = random.Random(seed)
+        for _ in range(20):
+            locs = [r.sample(rng) for r in regions]
+            d_po = dominant_distance(po, locs)
+            for q in pruned:
+                assert dominant_distance(q, locs) >= d_po - 1e-7
+
+
+class TestCompressionProperties:
+    @st.composite
+    @staticmethod
+    def tile_regions(draw):
+        anchor = draw(points)
+        side = draw(st.floats(0.5, 20.0))
+        region = TileRegion(anchor, side)
+        for _ in range(draw(st.integers(0, 15))):
+            t = tile_at(
+                anchor, side, draw(st.integers(-6, 6)), draw(st.integers(-6, 6))
+            )
+            for _ in range(draw(st.integers(0, 2))):
+                t = t.split()[draw(st.integers(0, 3))]
+            region.add(t)
+        return region
+
+    @relaxed
+    @given(tile_regions())
+    def test_roundtrip_exact(self, region):
+        restored = decompress_region(compress_region(region))
+        assert {t.key() for t in restored} == {t.key() for t in region}
+
+    @relaxed
+    @given(tile_regions())
+    def test_value_count_positive_and_bounded(self, region):
+        compressed = compress_region(region)
+        assert compressed.value_count >= 4
+        if len(region) > 0:
+            # Never worse than a naive 3-values-per-tile encoding plus
+            # fixed overhead.
+            assert compressed.value_count <= 3 * len(region) + 64

@@ -1,0 +1,118 @@
+"""Tests for index pruning of candidate points (Theorems 3 and 6)."""
+
+import random
+
+import pytest
+
+from repro.core.pruning import all_candidates, max_candidates, sum_candidates
+from repro.core.types import SafeRegionStats
+from repro.core.verify import dominant_distance
+from repro.gnn.bruteforce import brute_force_gnn
+from repro.gnn.aggregate import Aggregate
+from repro.geometry.point import Point
+from repro.geometry.region import TileRegion
+from repro.geometry.tile import tile_at
+from repro.workloads.poi import build_poi_tree
+from tests.conftest import SMALL_WORLD, random_users
+
+
+def _setup(rng, pois, m=3, side=30.0, tiles=4):
+    users = random_users(rng, m)
+    po = min(pois, key=lambda q: max(q.dist(u) for u in users))
+    regions = []
+    for u in users:
+        region = TileRegion(u, side, [tile_at(u, side, 0, 0)])
+        for _ in range(tiles - 1):
+            region.add(tile_at(u, side, rng.randint(-1, 1), rng.randint(-1, 1)))
+        regions.append(region)
+    return users, regions, po
+
+
+class TestMaxPruning:
+    def test_pruned_points_can_never_win(self, pois_500, tree_500, rng):
+        """Theorem 3 soundness: a pruned point loses for EVERY instance."""
+        for _ in range(10):
+            users, regions, po = _setup(rng, pois_500)
+            kept = set(
+                p.as_tuple()
+                for p in max_candidates(tree_500, users, regions, 0, None, po)
+            )
+            pruned = [
+                p for p in pois_500 if p != po and p.as_tuple() not in kept
+            ]
+            for _ in range(50):
+                locs = [r.sample(rng) for r in regions]
+                d_po = dominant_distance(po, locs)
+                for q in random.Random(0).sample(pruned, min(20, len(pruned))):
+                    assert dominant_distance(q, locs) >= d_po - 1e-9
+
+    def test_result_excludes_po(self, tree_500, pois_500, rng):
+        users, regions, po = _setup(rng, pois_500)
+        candidates = max_candidates(tree_500, users, regions, 0, None, po)
+        assert po not in candidates
+
+    def test_prunes_most_of_the_dataset(self, tree_500, pois_500, rng):
+        users, regions, po = _setup(rng, pois_500, side=10.0, tiles=1)
+        candidates = max_candidates(tree_500, users, regions, 0, None, po)
+        assert len(candidates) < len(pois_500) / 3
+
+    def test_extra_tile_widens_candidates(self, tree_500, pois_500, rng):
+        users, regions, po = _setup(rng, pois_500)
+        base = max_candidates(tree_500, users, regions, 0, None, po)
+        big = tile_at(users[0], regions[0].side, 5, 5)
+        extended = max_candidates(tree_500, users, regions, 0, big, po)
+        assert len(extended) >= len(base)
+
+    def test_stats_counters(self, tree_500, pois_500, rng):
+        users, regions, po = _setup(rng, pois_500)
+        stats = SafeRegionStats()
+        max_candidates(tree_500, users, regions, 0, None, po, stats)
+        assert stats.index_queries == 1
+        assert stats.index_node_accesses >= 1
+
+
+class TestSumPruning:
+    def test_pruned_points_can_never_win_sum(self, pois_500, tree_500, rng):
+        """Theorem 6 soundness for the SUM objective."""
+        for _ in range(10):
+            users, regions, po_max = _setup(rng, pois_500)
+            po = min(pois_500, key=lambda q: sum(q.dist(u) for u in users))
+            kept = set(
+                p.as_tuple()
+                for p in sum_candidates(tree_500, users, regions, 0, None, po)
+            )
+            pruned = [
+                p for p in pois_500 if p != po and p.as_tuple() not in kept
+            ]
+            for _ in range(50):
+                locs = [r.sample(rng) for r in regions]
+                d_po = sum(po.dist(l) for l in locs)
+                for q in random.Random(0).sample(pruned, min(20, len(pruned))):
+                    assert sum(q.dist(l) for l in locs) >= d_po - 1e-9
+
+    def test_candidate_superset_contains_true_challengers(
+        self, pois_500, tree_500, rng
+    ):
+        """Any point that CAN become SUM-GNN for some instance is kept."""
+        users, _, _ = _setup(rng, pois_500)
+        po = min(pois_500, key=lambda q: sum(q.dist(u) for u in users))
+        side = 40.0
+        regions = [TileRegion(u, side, [tile_at(u, side, 0, 0)]) for u in users]
+        kept = set(
+            p.as_tuple()
+            for p in sum_candidates(tree_500, users, regions, 0, None, po)
+        )
+        for _ in range(200):
+            locs = [r.sample(rng) for r in regions]
+            best = brute_force_gnn(pois_500, locs, 1, Aggregate.SUM)[0]
+            winner = pois_500[best[1]]
+            if winner != po:
+                assert winner.as_tuple() in kept
+
+
+class TestAllCandidates:
+    def test_full_scan(self, tree_500, pois_500):
+        po = pois_500[0]
+        result = all_candidates(tree_500, po)
+        assert len(result) == len(pois_500) - 1
+        assert po not in result

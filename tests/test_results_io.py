@@ -1,0 +1,85 @@
+"""Tests for experiment result persistence."""
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult, ExperimentRow
+from repro.experiments.results_io import (
+    load_csv,
+    load_json,
+    result_from_dict,
+    result_to_dict,
+    save_csv,
+    save_json,
+)
+
+
+@pytest.fixture
+def sample():
+    rows = [
+        ExperimentRow("Circle", "2", 0.5, 100, 800, 0.125),
+        ExperimentRow("Tile", "2", 0.25, 50, 400, 2.5),
+        ExperimentRow("Circle", "4", 0.4, 80, 900, 0.25),
+        ExperimentRow("Tile", "4", 0.2, 40, 500, 3.75),
+    ]
+    return ExperimentResult("fig13", "m", rows)
+
+
+class TestDictRoundtrip:
+    def test_roundtrip(self, sample):
+        restored = result_from_dict(result_to_dict(sample))
+        assert restored.figure == sample.figure
+        assert restored.x_name == sample.x_name
+        assert len(restored.rows) == len(sample.rows)
+        for a, b in zip(restored.rows, sample.rows):
+            assert (a.method, a.x_label, a.update_events) == (
+                b.method,
+                b.x_label,
+                b.update_events,
+            )
+            assert a.cpu_seconds == b.cpu_seconds
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            result_from_dict({"figure": "f"})
+        with pytest.raises(ValueError):
+            result_from_dict(
+                {"figure": "f", "x_name": "x", "rows": [{"method": "A"}]}
+            )
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "result.json"
+        save_json(sample, path)
+        restored = load_json(path)
+        assert restored.series("update_events") == sample.series("update_events")
+
+    def test_series_survive(self, sample, tmp_path):
+        path = tmp_path / "r.json"
+        save_json(sample, path)
+        restored = load_json(path)
+        assert restored.methods() == ["Circle", "Tile"]
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, sample, tmp_path):
+        path = tmp_path / "result.csv"
+        save_csv(sample, path)
+        restored = load_csv(path)
+        assert restored.figure == "fig13"
+        assert restored.series("packets") == sample.series("packets")
+
+    def test_empty_csv_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("figure,x_name,method,x_label,update_frequency,"
+                        "update_events,packets,cpu_seconds\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_chart_renders_from_loaded_result(self, sample, tmp_path):
+        from repro.viz.chart import render_chart
+
+        path = tmp_path / "r.csv"
+        save_csv(sample, path)
+        svg = render_chart(load_csv(path), "update_events")
+        assert svg.startswith("<svg")

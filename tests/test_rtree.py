@@ -1,0 +1,126 @@
+"""Unit and property tests for the R-tree substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.rtree import Entry, RTree
+
+coord = st.floats(-1000.0, 1000.0, allow_nan=False, allow_infinity=False)
+point_lists = st.lists(
+    st.tuples(coord, coord).map(lambda t: Point(*t)), min_size=0, max_size=120
+)
+
+
+class TestConstruction:
+    def test_max_entries_validation(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=3)
+
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert list(tree.entries()) == []
+        tree.validate()
+
+    def test_bulk_load_empty(self):
+        tree = RTree.bulk_load([])
+        assert len(tree) == 0
+        tree.validate()
+
+    def test_bulk_load_payload_mismatch(self):
+        with pytest.raises(ValueError):
+            RTree.bulk_load([Point(0, 0)], payloads=[1, 2])
+
+    def test_bulk_load_default_payloads_are_indices(self):
+        points = [Point(i, i) for i in range(10)]
+        tree = RTree.bulk_load(points)
+        payloads = sorted(e.payload for e in tree.entries())
+        assert payloads == list(range(10))
+
+    def test_bulk_load_custom_payloads(self):
+        points = [Point(0, 0), Point(1, 1)]
+        tree = RTree.bulk_load(points, payloads=["a", "b"])
+        assert {e.payload for e in tree.entries()} == {"a", "b"}
+
+    def test_bulk_load_preserves_all_points(self):
+        rng = random.Random(0)
+        points = [Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(500)]
+        tree = RTree.bulk_load(points, max_entries=8)
+        assert len(tree) == 500
+        assert sorted(p.as_tuple() for p in tree.points()) == sorted(
+            p.as_tuple() for p in points
+        )
+        tree.validate()
+
+    def test_bulk_load_height_logarithmic(self):
+        points = [Point(i % 40, i // 40) for i in range(1600)]
+        tree = RTree.bulk_load(points, max_entries=16)
+        assert tree.height() <= 4
+        tree.validate()
+
+
+class TestInsertion:
+    def test_insert_single(self):
+        tree = RTree()
+        tree.insert(Point(1, 2), "x")
+        assert len(tree) == 1
+        assert list(tree.entries())[0].payload == "x"
+        tree.validate()
+
+    def test_insert_many_validates(self):
+        rng = random.Random(1)
+        tree = RTree(max_entries=6)
+        points = [Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(300)]
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        assert len(tree) == 300
+        tree.validate()
+        assert sorted(e.payload for e in tree.entries()) == list(range(300))
+
+    def test_insert_duplicate_locations(self):
+        tree = RTree(max_entries=4)
+        for i in range(50):
+            tree.insert(Point(5, 5), i)
+        assert len(tree) == 50
+        tree.validate()
+
+    def test_insert_collinear(self):
+        tree = RTree(max_entries=4)
+        for i in range(100):
+            tree.insert(Point(float(i), 0.0), i)
+        assert len(tree) == 100
+        tree.validate()
+
+    @settings(max_examples=40, deadline=None)
+    @given(point_lists)
+    def test_insert_arbitrary_sets(self, points):
+        tree = RTree(max_entries=5)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        assert len(tree) == len(points)
+        tree.validate()
+
+
+class TestStructure:
+    def test_entry_rect_degenerate(self):
+        e = Entry(Point(3, 4), None)
+        assert e.rect == Rect(3, 4, 3, 4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(point_lists)
+    def test_bulk_load_structure(self, points):
+        tree = RTree.bulk_load(points, max_entries=4)
+        assert len(tree) == len(points)
+        tree.validate()
+
+    def test_root_mbr_covers_everything(self):
+        rng = random.Random(2)
+        points = [Point(rng.uniform(-50, 50), rng.uniform(-50, 50)) for _ in range(200)]
+        tree = RTree.bulk_load(points)
+        for p in points:
+            assert tree.root.rect.contains_point(p)

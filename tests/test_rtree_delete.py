@@ -1,0 +1,100 @@
+"""Tests for R-tree deletion (condense-tree with reinsertion)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.index.knn import knn
+from repro.index.rtree import RTree
+
+coord = st.floats(-500.0, 500.0, allow_nan=False, allow_infinity=False)
+point_lists = st.lists(
+    st.tuples(coord, coord).map(lambda t: Point(*t)), min_size=1, max_size=60
+)
+
+
+class TestDelete:
+    def test_delete_missing_returns_false(self):
+        tree = RTree.bulk_load([Point(0, 0)])
+        assert not tree.delete(Point(5, 5))
+        assert len(tree) == 1
+
+    def test_delete_single(self):
+        tree = RTree.bulk_load([Point(0, 0), Point(1, 1)])
+        assert tree.delete(Point(0, 0))
+        assert len(tree) == 1
+        assert [e.point for e in tree.entries()] == [Point(1, 1)]
+        tree.validate()
+
+    def test_delete_by_payload(self):
+        tree = RTree()
+        tree.insert(Point(2, 2), "a")
+        tree.insert(Point(2, 2), "b")
+        assert tree.delete(Point(2, 2), "b")
+        assert [e.payload for e in tree.entries()] == ["a"]
+
+    def test_delete_to_empty(self):
+        tree = RTree.bulk_load([Point(i, 0) for i in range(5)], max_entries=4)
+        for i in range(5):
+            assert tree.delete(Point(i, 0))
+        assert len(tree) == 0
+        tree.validate()
+
+    def test_delete_half_of_large_tree(self):
+        rng = random.Random(5)
+        points = [Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(400)]
+        tree = RTree.bulk_load(points, max_entries=8)
+        keep = points[200:]
+        for p in points[:200]:
+            assert tree.delete(p), f"failed to delete {p}"
+            tree.validate()
+        assert len(tree) == 200
+        assert sorted(p.as_tuple() for p in tree.points()) == sorted(
+            p.as_tuple() for p in keep
+        )
+
+    def test_queries_correct_after_deletions(self):
+        rng = random.Random(9)
+        points = [Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(150)]
+        tree = RTree.bulk_load(points, max_entries=6)
+        removed = set()
+        for p in rng.sample(points, 70):
+            tree.delete(p)
+            removed.add(p.as_tuple())
+        remaining = [p for p in points if p.as_tuple() not in removed]
+        q = Point(50, 50)
+        got = [e.point.dist(q) for e in knn(tree, q, 10)]
+        want = sorted(p.dist(q) for p in remaining)[:10]
+        assert got == pytest.approx(want)
+
+    def test_interleaved_insert_delete(self):
+        rng = random.Random(13)
+        tree = RTree(max_entries=5)
+        live: list[Point] = []
+        for step in range(500):
+            if live and rng.random() < 0.45:
+                victim = live.pop(rng.randrange(len(live)))
+                assert tree.delete(victim)
+            else:
+                p = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+                tree.insert(p)
+                live.append(p)
+            if step % 50 == 0:
+                tree.validate()
+        assert len(tree) == len(live)
+        tree.validate()
+
+    @settings(max_examples=30, deadline=None)
+    @given(point_lists, st.integers(0, 2**31))
+    def test_delete_random_subset_property(self, points, seed):
+        tree = RTree.bulk_load(points, max_entries=4)
+        rng = random.Random(seed)
+        victims = rng.sample(points, len(points) // 2)
+        # Deleting by point removes one matching entry per call.
+        for v in victims:
+            assert tree.delete(v)
+        assert len(tree) == len(points) - len(victims)
+        tree.validate()

@@ -1,0 +1,165 @@
+"""Integration tests for the client-server monitoring loop.
+
+The crucial one is ``check_every``: it recomputes the exact aggregate
+nearest neighbor on quiet timestamps and raises if the cached meeting
+point has silently become suboptimal — the end-to-end statement of
+Definition 3 across the whole stack (safe regions, messaging, engine).
+"""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.gnn.aggregate import Aggregate
+from repro.mobility.trajectory import Trajectory
+from repro.simulation.client import SimClient
+from repro.simulation.engine import run_groups, run_simulation
+from repro.simulation.policies import (
+    PolicyKind,
+    circle_policy,
+    periodic_policy,
+    tile_d_b_policy,
+    tile_d_policy,
+    tile_policy,
+)
+from repro.simulation.server import MPNServer
+from repro.workloads.datasets import DatasetSpec, build_dataset
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return build_dataset(
+        DatasetSpec(name="geolife", n_pois=400, n_trajectories=6, n_timestamps=250)
+    )
+
+
+class TestSimClient:
+    def test_initially_outside(self):
+        client = SimClient(Trajectory((Point(0, 0), Point(1, 0))))
+        assert client.outside_region()
+
+    def test_region_assignment(self):
+        from repro.geometry.circle import Circle
+
+        client = SimClient(Trajectory((Point(0, 0), Point(1, 0), Point(50, 0))))
+        client.assign_region(Circle(Point(0, 0), 5.0))
+        assert not client.outside_region()
+        client.advance(1)
+        assert not client.outside_region()
+        client.advance(2)
+        assert client.outside_region()
+
+    def test_direction_tracking(self):
+        traj = Trajectory(tuple(Point(float(i), 0.0) for i in range(5)))
+        client = SimClient(traj, track_direction=True)
+        for t in range(1, 5):
+            client.advance(t)
+        assert client.heading == pytest.approx(0.0)
+        assert client.theta is not None
+
+    def test_no_direction_tracking(self):
+        client = SimClient(Trajectory((Point(0, 0),)))
+        assert client.heading is None
+        assert client.theta is None
+
+
+class TestServer:
+    def test_periodic_policy_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            MPNServer(small_dataset.tree, periodic_policy())
+
+    def test_circle_response(self, small_dataset):
+        server = MPNServer(small_dataset.tree, circle_policy())
+        users = [Point(100, 100), Point(200, 150)]
+        response = server.compute(users)
+        assert len(response.regions) == 2
+        assert response.region_values == [3, 3]
+
+    def test_tile_response_compressed_values(self, small_dataset):
+        server = MPNServer(small_dataset.tree, tile_policy(alpha=5))
+        users = [Point(100, 100), Point(200, 150)]
+        response = server.compute(users)
+        assert len(response.regions) == 2
+        assert all(v >= 4 for v in response.region_values)
+
+
+class TestEngine:
+    def test_empty_group_raises(self, small_dataset):
+        with pytest.raises(ValueError):
+            run_simulation(circle_policy(), [], small_dataset.tree)
+
+    def test_periodic_baseline_counts(self, small_dataset):
+        group = small_dataset.trajectories[:2]
+        metrics = run_simulation(
+            periodic_policy(), group, small_dataset.tree, n_timestamps=50
+        )
+        assert metrics.update_events == 50
+        assert metrics.messages_up == 2 * 50
+        assert metrics.messages_down == 2 * 50
+
+    def test_circle_correctness_checked(self, small_dataset):
+        """check_every raises SafeRegionViolation if po goes stale."""
+        group = small_dataset.trajectories[:3]
+        metrics = run_simulation(
+            circle_policy(), group, small_dataset.tree, check_every=10
+        )
+        assert metrics.update_events >= 1
+
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [tile_policy, tile_d_policy, lambda **kw: tile_d_b_policy(b=30, **kw)],
+        ids=["tile", "tile-d", "tile-d-b"],
+    )
+    def test_tile_policies_correct_max(self, small_dataset, policy_factory):
+        group = small_dataset.trajectories[:3]
+        policy = policy_factory(alpha=6, split_level=1)
+        metrics = run_simulation(
+            policy, group, small_dataset.tree, n_timestamps=150, check_every=10
+        )
+        assert metrics.update_events >= 1
+        assert metrics.packets_total > 0
+
+    def test_tile_policy_correct_sum(self, small_dataset):
+        group = small_dataset.trajectories[:3]
+        policy = tile_policy(objective=Aggregate.SUM, alpha=6, split_level=1)
+        metrics = run_simulation(
+            policy, group, small_dataset.tree, n_timestamps=150, check_every=10
+        )
+        assert metrics.update_events >= 1
+
+    def test_safe_regions_beat_periodic(self, small_dataset):
+        group = small_dataset.trajectories[:3]
+        periodic = run_simulation(
+            periodic_policy(), group, small_dataset.tree, n_timestamps=150
+        )
+        circle = run_simulation(
+            circle_policy(), group, small_dataset.tree, n_timestamps=150
+        )
+        assert circle.update_events < periodic.update_events
+        assert circle.packets_total < periodic.packets_total
+
+    def test_tile_beats_circle_on_updates(self, small_dataset):
+        group = small_dataset.trajectories[:3]
+        circle = run_simulation(
+            circle_policy(), group, small_dataset.tree, n_timestamps=200
+        )
+        tile = run_simulation(
+            tile_policy(alpha=10, split_level=2),
+            group,
+            small_dataset.tree,
+            n_timestamps=200,
+        )
+        assert tile.update_events <= circle.update_events
+
+    def test_run_groups_averages(self, small_dataset):
+        groups = [small_dataset.trajectories[:2], small_dataset.trajectories[2:4]]
+        metrics = run_groups(
+            circle_policy(), groups, small_dataset.tree, n_timestamps=80
+        )
+        assert metrics.timestamps == 80
+
+    def test_cpu_time_recorded(self, small_dataset):
+        group = small_dataset.trajectories[:2]
+        metrics = run_simulation(
+            circle_policy(), group, small_dataset.tree, n_timestamps=60
+        )
+        assert metrics.server_cpu_seconds > 0.0

@@ -1,0 +1,129 @@
+"""Tests for Sum-GT-Verify (Algorithm 6) and its memoization."""
+
+import random
+
+import pytest
+
+from repro.core.sum_verify import SumVerifier, sum_instance_objective
+from repro.geometry.point import Point
+from repro.geometry.region import TileRegion
+from repro.geometry.tile import tile_at
+
+
+def _case(rng, m=3, side=5.0, world=120.0, tiles_per_user=4):
+    regions = []
+    for _ in range(m):
+        anchor = Point(rng.uniform(0, world), rng.uniform(0, world))
+        region = TileRegion(anchor, side, [tile_at(anchor, side, 0, 0)])
+        for _ in range(tiles_per_user - 1):
+            region.add(tile_at(anchor, side, rng.randint(-2, 2), rng.randint(-2, 2)))
+        regions.append(region)
+    i = rng.randrange(m)
+    s = tile_at(regions[i].anchor, side, rng.randint(-3, 3), rng.randint(-3, 3))
+    po = Point(rng.uniform(0, world), rng.uniform(0, world))
+    p = Point(rng.uniform(0, world), rng.uniform(0, world))
+    return regions, i, s, p, po
+
+
+class TestSumVerifier:
+    def test_accept_implies_all_instances_valid(self):
+        """True means sum(po) <= sum(p) for every sampled instance."""
+        rng = random.Random(31)
+        accepted = 0
+        for _ in range(200):
+            regions, i, s, p, po = _case(rng, m=rng.randint(1, 3))
+            verifier = SumVerifier(po)
+            if not verifier.verify(regions, i, s, p, po):
+                continue
+            accepted += 1
+            for _ in range(30):
+                locs = []
+                for j, region in enumerate(regions):
+                    locs.append(s.rect.sample(rng) if j == i else region.sample(rng))
+                assert sum_instance_objective(locs, po) <= (
+                    sum_instance_objective(locs, p) + 1e-7
+                )
+        assert accepted > 10, "accept path never exercised"
+
+    def test_reject_has_a_witness(self):
+        """False should come with a location instance where p wins.
+
+        The per-user minimization is exact, so a rejection implies the
+        existence of a violating instance; we find one by locating each
+        user's minimizing tile corner/axis point via dense sampling.
+        """
+        rng = random.Random(17)
+        rejected = 0
+        for _ in range(200):
+            regions, i, s, p, po = _case(rng, m=2)
+            verifier = SumVerifier(po)
+            if verifier.verify(regions, i, s, p, po):
+                continue
+            rejected += 1
+            # Search for a witness by sampling many instances.
+            best = float("inf")
+            for _ in range(4000):
+                locs = []
+                for j, region in enumerate(regions):
+                    locs.append(s.rect.sample(rng) if j == i else region.sample(rng))
+                gap = sum_instance_objective(locs, p) - sum_instance_objective(
+                    locs, po
+                )
+                best = min(best, gap)
+            # The infimum over instances is negative; sampling should
+            # get close to (or below) zero.
+            assert best < 0.05 * (1.0 + abs(best)), (
+                f"no near-witness found for rejection (best gap {best})"
+            )
+            if rejected >= 10:
+                break
+        assert rejected >= 10, "reject path never exercised"
+
+    def test_memo_consistency_as_regions_grow(self):
+        """The watermarked memo must match a fresh verifier's answer."""
+        rng = random.Random(5)
+        regions, i, s, p, po = _case(rng, m=3)
+        cached = SumVerifier(po)
+        assert cached.verify(regions, i, s, p, po) == SumVerifier(po).verify(
+            regions, i, s, p, po
+        )
+        # Grow another user's region and re-verify with the same point.
+        other = (i + 1) % 3
+        regions[other].add(
+            tile_at(regions[other].anchor, regions[other].side, 3, 3)
+        )
+        assert cached.verify(regions, i, s, p, po) == SumVerifier(po).verify(
+            regions, i, s, p, po
+        )
+
+    def test_memo_survives_candidate_churn(self):
+        """A point that leaves and re-enters the candidate set must see
+        the grown regions (the unsound-staleness scenario)."""
+        rng = random.Random(9)
+        regions, i, s, p1, po = _case(rng, m=2)
+        p2 = Point(p1.x + 30, p1.y - 20)
+        cached = SumVerifier(po)
+        cached.verify(regions, i, s, p1, po)  # p1 cached
+        cached.verify(regions, i, s, p2, po)
+        other = (i + 1) % 2
+        regions[other].add(tile_at(regions[other].anchor, regions[other].side, -3, 1))
+        # p1 re-enters: must reflect the new tile.
+        assert cached.verify(regions, i, s, p1, po) == SumVerifier(po).verify(
+            regions, i, s, p1, po
+        )
+
+    def test_wrong_po_raises(self):
+        rng = random.Random(1)
+        regions, i, s, p, po = _case(rng)
+        verifier = SumVerifier(po)
+        with pytest.raises(ValueError):
+            verifier.verify(regions, i, s, p, Point(po.x + 1, po.y))
+
+    def test_single_user(self):
+        anchor = Point(0, 0)
+        region = TileRegion(anchor, 2.0, [tile_at(anchor, 2.0, 0, 0)])
+        s = tile_at(anchor, 2.0, 1, 0)
+        po = Point(0, 5)
+        verifier = SumVerifier(po)
+        assert verifier.verify([region], 0, s, Point(0, -100), po)
+        assert not verifier.verify([region], 0, s, Point(0, -0.5), po)

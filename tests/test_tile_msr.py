@@ -1,0 +1,166 @@
+"""End-to-end tests for Tile-MSR (Algorithm 3), both objectives.
+
+The headline property (Definition 3): for EVERY instance of user
+locations inside their safe regions, the optimal meeting point is
+unchanged.  We check it by dense sampling on randomized scenarios, for
+every verifier kind, with and without buffering.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.tile_msr import tile_msr
+from repro.core.types import Ordering, TileMSRConfig, VerifierKind
+from repro.gnn.aggregate import Aggregate, aggregate_dist
+from repro.gnn.bruteforce import brute_force_gnn
+from repro.geometry.point import Point
+from repro.index.rtree import RTree
+from tests.conftest import random_users
+
+
+def _check_soundness(result, pois, rng, objective, instances=120):
+    for _ in range(instances):
+        locs = [r.sample(rng) for r in result.regions]
+        best = brute_force_gnn(pois, locs, 1, objective)[0]
+        d_po = aggregate_dist(result.po, locs, objective)
+        assert d_po <= best[0] + 1e-7, (
+            f"meeting point changed inside regions ({d_po} > {best[0]})"
+        )
+
+
+class TestTileMSRBasics:
+    def test_regions_contain_users(self, tree_500, rng):
+        users = random_users(rng, 3)
+        result = tile_msr(users, tree_500, TileMSRConfig(alpha=5, split_level=1))
+        for region, user in zip(result.regions, users):
+            assert region.contains_point(user, eps=1e-9)
+
+    def test_initial_tile_is_inscribed_square(self, tree_500, rng):
+        users = random_users(rng, 2)
+        result = tile_msr(users, tree_500, TileMSRConfig(alpha=1, split_level=0))
+        assert result.tile_side == pytest.approx(math.sqrt(2) * result.radius)
+        for region in result.regions:
+            origin = region.tiles[0]
+            assert (origin.ix, origin.iy) == (0, 0)
+
+    def test_tile_regions_extend_circles(self, tree_500, rng):
+        """Tiles should (usually) cover more area than the circles."""
+        users = random_users(rng, 3)
+        result = tile_msr(users, tree_500, TileMSRConfig(alpha=20, split_level=2))
+        circle_area = math.pi * result.radius**2
+        total_tile_area = sum(
+            sum(t.rect.area for t in region) for region in result.regions
+        )
+        assert total_tile_area > 0.8 * circle_area * len(users)
+
+    def test_single_poi_whole_plane(self, rng):
+        tree = RTree.bulk_load([Point(500, 500)])
+        users = random_users(rng, 2)
+        result = tile_msr(users, tree)
+        assert result.radius == float("inf")
+        for region in result.regions:
+            assert region.contains_point(Point(-1e6, 1e6))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TileMSRConfig(alpha=0)
+        with pytest.raises(ValueError):
+            TileMSRConfig(split_level=-1)
+        with pytest.raises(ValueError):
+            TileMSRConfig(buffer_b=0)
+        with pytest.raises(ValueError):
+            TileMSRConfig(theta=0.0)
+
+    def test_headings_must_align(self, tree_500, rng):
+        users = random_users(rng, 3)
+        with pytest.raises(ValueError):
+            tile_msr(users, tree_500, TileMSRConfig(), headings=[0.0])
+
+    def test_stats_accumulate(self, tree_500, rng):
+        users = random_users(rng, 3)
+        result = tile_msr(users, tree_500, TileMSRConfig(alpha=5, split_level=1))
+        assert result.stats.tiles_added >= len(users)
+        assert result.stats.index_queries >= 1
+        assert result.stats.elapsed_seconds > 0.0
+
+
+class TestTileMSRSoundness:
+    @pytest.mark.parametrize("verifier", list(VerifierKind))
+    def test_max_soundness_all_verifiers(
+        self, tree_500, pois_500, rng, verifier
+    ):
+        users = random_users(rng, 3)
+        config = TileMSRConfig(alpha=6, split_level=1, verifier=verifier)
+        result = tile_msr(users, tree_500, config)
+        _check_soundness(result, pois_500, rng, Aggregate.MAX)
+
+    def test_max_soundness_buffered(self, tree_500, pois_500, rng):
+        users = random_users(rng, 3)
+        config = TileMSRConfig(alpha=8, split_level=2, buffer_b=25)
+        result = tile_msr(users, tree_500, config)
+        _check_soundness(result, pois_500, rng, Aggregate.MAX)
+
+    def test_max_soundness_directed(self, tree_500, pois_500, rng):
+        users = random_users(rng, 3)
+        config = TileMSRConfig(
+            alpha=8, split_level=1, ordering=Ordering.DIRECTED
+        )
+        headings = [rng.uniform(-math.pi, math.pi) for _ in users]
+        result = tile_msr(users, tree_500, config, headings=headings)
+        _check_soundness(result, pois_500, rng, Aggregate.MAX)
+
+    def test_sum_soundness(self, tree_500, pois_500, rng):
+        users = random_users(rng, 3)
+        config = TileMSRConfig(alpha=6, split_level=1, objective=Aggregate.SUM)
+        result = tile_msr(users, tree_500, config)
+        _check_soundness(result, pois_500, rng, Aggregate.SUM)
+
+    def test_sum_soundness_buffered(self, tree_500, pois_500, rng):
+        users = random_users(rng, 3)
+        config = TileMSRConfig(
+            alpha=6, split_level=1, objective=Aggregate.SUM, buffer_b=25
+        )
+        result = tile_msr(users, tree_500, config)
+        _check_soundness(result, pois_500, rng, Aggregate.SUM)
+
+    def test_soundness_various_group_sizes(self, tree_500, pois_500, rng):
+        for m in (1, 2, 4, 6):
+            users = random_users(rng, m)
+            result = tile_msr(users, tree_500, TileMSRConfig(alpha=4, split_level=1))
+            _check_soundness(result, pois_500, rng, Aggregate.MAX, instances=60)
+
+    def test_users_clustered_tightly(self, tree_500, pois_500, rng):
+        center = Point(500, 500)
+        users = [Point(center.x + rng.uniform(-5, 5), center.y + rng.uniform(-5, 5))
+                 for _ in range(3)]
+        result = tile_msr(users, tree_500, TileMSRConfig(alpha=6, split_level=1))
+        _check_soundness(result, pois_500, rng, Aggregate.MAX)
+
+
+class TestVariantEquivalence:
+    def test_verifiers_produce_same_po(self, tree_500, rng):
+        users = random_users(rng, 3)
+        results = [
+            tile_msr(users, tree_500, TileMSRConfig(alpha=4, verifier=v))
+            for v in (VerifierKind.GT, VerifierKind.EXACT)
+        ]
+        assert results[0].po == results[1].po
+        assert results[0].tile_side == pytest.approx(results[1].tile_side)
+
+    def test_buffered_regions_subset_of_unbuffered(self, tree_500, rng):
+        """Buffering only restricts regions (Theorem 4 threshold)."""
+        users = random_users(rng, 3)
+        unbuffered = tile_msr(users, tree_500, TileMSRConfig(alpha=8))
+        buffered = tile_msr(users, tree_500, TileMSRConfig(alpha=8, buffer_b=100))
+        for bu, un in zip(buffered.regions, unbuffered.regions):
+            assert len(bu) <= len(un) + 2  # near-equal with generous b
+
+    def test_alpha_monotone_region_growth(self, tree_500, rng):
+        users = random_users(rng, 2)
+        small = tile_msr(users, tree_500, TileMSRConfig(alpha=2, split_level=1))
+        large = tile_msr(users, tree_500, TileMSRConfig(alpha=12, split_level=1))
+        assert sum(len(r) for r in large.regions) >= sum(
+            len(r) for r in small.regions
+        )

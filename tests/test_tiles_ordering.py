@@ -1,0 +1,159 @@
+"""Tests for tile orderings (Section 5.2, Fig. 8)."""
+
+import math
+
+import pytest
+
+from repro.core.tiles import (
+    TileOrdering,
+    angle_diff,
+    layer_offsets,
+    tile_subtended_interval,
+    tile_within_cone,
+)
+from repro.geometry.point import Point
+from repro.geometry.tile import tile_at
+
+
+class TestLayerOffsets:
+    def test_layer_zero(self):
+        assert layer_offsets(0) == [(0, 0)]
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            layer_offsets(-1)
+
+    def test_ring_sizes(self):
+        # Ring k has 8k cells.
+        for k in (1, 2, 3, 5):
+            assert len(layer_offsets(k)) == 8 * k
+
+    def test_ring_cells_have_chebyshev_distance_k(self):
+        for k in (1, 2, 4):
+            for ix, iy in layer_offsets(k):
+                assert max(abs(ix), abs(iy)) == k
+
+    def test_no_duplicates(self):
+        for k in (1, 2, 3):
+            cells = layer_offsets(k)
+            assert len(set(cells)) == len(cells)
+
+    def test_anticlockwise_start_east(self):
+        ring = layer_offsets(2)
+        assert ring[0] == (2, 0)
+        # The next cell moves anti-clockwise (upward on the right edge).
+        assert ring[1] == (2, 1)
+
+
+class TestAngleDiff:
+    def test_zero(self):
+        assert angle_diff(1.0, 1.0) == 0.0
+
+    def test_wraparound(self):
+        assert angle_diff(math.pi - 0.1, -math.pi + 0.1) == pytest.approx(0.2)
+
+    def test_max_is_pi(self):
+        assert angle_diff(0.0, math.pi) == pytest.approx(math.pi)
+
+
+class TestSubtendedInterval:
+    def test_anchor_inside_returns_none(self):
+        t = tile_at(Point(0, 0), 2.0, 0, 0)
+        assert tile_subtended_interval(Point(0, 0), t) is None
+
+    def test_east_tile(self):
+        t = tile_at(Point(0, 0), 2.0, 3, 0)
+        center, half = tile_subtended_interval(Point(0, 0), t)
+        assert center == pytest.approx(0.0, abs=1e-9)
+        assert 0.0 < half < math.pi / 2
+
+    def test_cone_filtering(self):
+        anchor = Point(0, 0)
+        east = tile_at(anchor, 2.0, 3, 0)
+        west = tile_at(anchor, 2.0, -3, 0)
+        assert tile_within_cone(anchor, east, heading=0.0, theta=0.5)
+        assert not tile_within_cone(anchor, west, heading=0.0, theta=0.5)
+        # A full-circle cone admits everything.
+        assert tile_within_cone(anchor, west, heading=0.0, theta=math.pi)
+
+    def test_origin_tile_always_within_cone(self):
+        anchor = Point(0, 0)
+        origin = tile_at(anchor, 2.0, 0, 0)
+        assert tile_within_cone(anchor, origin, heading=1.0, theta=0.01)
+
+
+class TestTileOrdering:
+    def test_undirected_enumerates_ring_by_ring(self):
+        ordering = TileOrdering(Point(0, 0), 2.0)
+        first_ring = [ordering.next_tile() for _ in range(8)]
+        assert all(t is not None for t in first_ring)
+        assert {(t.ix, t.iy) for t in first_ring} == set(layer_offsets(1))
+
+    def test_exhausts_without_acceptance(self):
+        ordering = TileOrdering(Point(0, 0), 2.0)
+        count = 0
+        while ordering.next_tile() is not None:
+            count += 1
+            # Never mark accepted: the ordering must stop after ring 1.
+        assert count == 8
+
+    def test_advances_when_productive(self):
+        ordering = TileOrdering(Point(0, 0), 2.0)
+        seen = []
+        for _ in range(8):
+            seen.append(ordering.next_tile())
+        ordering.mark_accepted()
+        nxt = ordering.next_tile()
+        assert nxt is not None
+        assert max(abs(nxt.ix), abs(nxt.iy)) == 2
+
+    def test_max_layer_cap(self):
+        ordering = TileOrdering(Point(0, 0), 2.0, max_layer=2)
+        produced = 0
+        while True:
+            t = ordering.next_tile()
+            if t is None:
+                break
+            produced += 1
+            ordering.mark_accepted()
+        assert produced == 8 + 16  # rings 1 and 2 only
+
+    def test_zero_side_exhausted_immediately(self):
+        ordering = TileOrdering(Point(0, 0), 0.0)
+        assert ordering.next_tile() is None
+
+    def test_directed_restricts_to_cone(self):
+        ordering = TileOrdering(
+            Point(0, 0), 2.0, heading=0.0, theta=math.pi / 4
+        )
+        tiles = []
+        while True:
+            t = ordering.next_tile()
+            if t is None:
+                break
+            tiles.append(t)
+            ordering.mark_accepted()
+        assert tiles, "cone must contain some tiles"
+        for t in tiles:
+            assert tile_within_cone(Point(0, 0), t, 0.0, math.pi / 4)
+        # Strictly western cells must be excluded.
+        assert all(t.ix > 0 or abs(t.iy) > 0 for t in tiles)
+        assert not any(t.ix < 0 and t.iy == 0 for t in tiles)
+
+    def test_directed_produces_fewer_tiles_than_undirected(self):
+        def count(heading):
+            ordering = TileOrdering(
+                Point(0, 0), 2.0, heading=heading, theta=math.pi / 3, max_layer=3
+            )
+            n = 0
+            while ordering.next_tile() is not None:
+                n += 1
+                ordering.mark_accepted()
+            return n
+
+        undirected = TileOrdering(Point(0, 0), 2.0, max_layer=3)
+        total = 0
+        while undirected.next_tile() is not None:
+            total += 1
+            undirected.mark_accepted()
+        assert count(0.0) < total

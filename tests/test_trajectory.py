@@ -1,0 +1,109 @@
+"""Tests for trajectories and the paper's speed-scaling transform."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.mobility.trajectory import Trajectory, resample_uniform, scale_speed
+
+
+def _line(n, step=1.0):
+    return Trajectory(tuple(Point(i * step, 0.0) for i in range(n)))
+
+
+class TestTrajectory:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Trajectory(())
+
+    def test_length_and_indexing(self):
+        t = _line(5)
+        assert len(t) == 5
+        assert t[2] == Point(2, 0)
+
+    def test_at_clamps_past_end(self):
+        t = _line(3)
+        assert t.at(10) == Point(2, 0)
+
+    def test_at_negative_raises(self):
+        with pytest.raises(IndexError):
+            _line(3).at(-1)
+
+    def test_total_length(self):
+        assert _line(5).total_length() == 4.0
+
+    def test_average_speed(self):
+        assert _line(5, step=2.0).average_speed() == 2.0
+        assert Trajectory((Point(0, 0),)).average_speed() == 0.0
+
+    def test_heading_along_x(self):
+        t = _line(3)
+        assert t.heading_at(1) == pytest.approx(0.0)
+
+    def test_heading_static_is_none(self):
+        t = Trajectory((Point(0, 0), Point(0, 0)))
+        assert t.heading_at(1) is None
+
+    def test_prefix(self):
+        t = _line(10)
+        assert len(t.prefix(4)) == 4
+        with pytest.raises(ValueError):
+            t.prefix(0)
+
+
+class TestResample:
+    def test_identity_length(self):
+        t = _line(10)
+        r = resample_uniform(t.points, 10)
+        assert len(r) == 10
+        assert r[0] == t[0]
+        assert r[-1] == t[len(t) - 1]
+
+    def test_upsample_interpolates(self):
+        r = resample_uniform([Point(0, 0), Point(1, 0)], 3)
+        assert r[1] == Point(0.5, 0.0)
+
+    def test_single_point(self):
+        r = resample_uniform([Point(2, 3)], 5)
+        assert len(r) == 5
+        assert all(p == Point(2, 3) for p in r)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            resample_uniform([Point(0, 0)], 0)
+
+
+class TestScaleSpeed:
+    def test_full_speed_is_identity_shape(self):
+        t = _line(100)
+        s = scale_speed(t, 1.0)
+        assert len(s) == 100
+        assert s[0] == t[0]
+        assert s[len(s) - 1] == t[len(t) - 1]
+
+    def test_quarter_speed_covers_quarter_route(self):
+        t = _line(101)  # length 100
+        s = scale_speed(t, 0.25)
+        assert len(s) == 101
+        assert s[len(s) - 1].x == pytest.approx(24.0, abs=1.0)
+
+    def test_speed_ratio_matches_fraction(self):
+        t = _line(201)
+        for frac in (0.25, 0.5, 0.75):
+            s = scale_speed(t, frac)
+            assert s.average_speed() == pytest.approx(
+                t.average_speed() * frac, rel=0.05
+            )
+
+    def test_invalid_fraction(self):
+        t = _line(10)
+        with pytest.raises(ValueError):
+            scale_speed(t, 0.0)
+        with pytest.raises(ValueError):
+            scale_speed(t, 1.5)
+
+    def test_custom_sample_count(self):
+        t = _line(50)
+        s = scale_speed(t, 0.5, n_samples=20)
+        assert len(s) == 20

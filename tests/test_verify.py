@@ -1,0 +1,92 @@
+"""Tests for dominant distances and the Lemma 1 verification."""
+
+import random
+
+import pytest
+
+from repro.core.verify import (
+    dominant_distance,
+    dominant_max,
+    dominant_min,
+    verify_instance,
+    verify_regions,
+)
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.region import PointRegion, TileRegion
+from repro.geometry.tile import tile_at
+
+
+class TestDominantDistances:
+    def test_dominant_distance(self):
+        users = [Point(0, 0), Point(10, 0), Point(5, 5)]
+        assert dominant_distance(Point(0, 0), users) == 10.0
+
+    def test_dominant_min_max_point_regions(self):
+        regions = [PointRegion(Point(0, 0)), PointRegion(Point(6, 8))]
+        p = Point(0, 0)
+        assert dominant_min(p, regions) == 10.0
+        assert dominant_max(p, regions) == 10.0
+
+    def test_dominant_bounds_sandwich_instances(self, rng):
+        """For any instance inside the regions: bot <= ||p,L|| <= top."""
+        circles = [
+            Circle(Point(rng.uniform(0, 100), rng.uniform(0, 100)), rng.uniform(1, 20))
+            for _ in range(4)
+        ]
+        for _ in range(100):
+            p = Point(rng.uniform(-50, 150), rng.uniform(-50, 150))
+            locs = [c.sample(rng) for c in circles]
+            inst = dominant_distance(p, locs)
+            assert dominant_min(p, circles) <= inst + 1e-9
+            assert inst <= dominant_max(p, circles) + 1e-9
+
+
+class TestVerifyRegions:
+    def test_fig6a_example(self):
+        """Reproduce the accept case of Fig. 6a: separated clusters."""
+        po = Point(0, 0)
+        p1 = Point(100, 0)
+        regions = [
+            TileRegion(Point(5, 0), 2.0, [tile_at(Point(5, 0), 2.0, 0, 0)]),
+            TileRegion(Point(-5, 0), 2.0, [tile_at(Point(-5, 0), 2.0, 0, 0)]),
+        ]
+        assert verify_regions(regions, po, p1)
+        # The reverse direction must fail: p1 is far from everyone.
+        assert not verify_regions(regions, p1, po)
+
+    def test_conservative_no_false_positives(self, rng):
+        """If Verify says True, every sampled instance must agree."""
+        for _ in range(50):
+            po = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            p = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            regions = [
+                Circle(
+                    Point(rng.uniform(0, 100), rng.uniform(0, 100)),
+                    rng.uniform(0.5, 15),
+                )
+                for _ in range(3)
+            ]
+            if not verify_regions(regions, po, p):
+                continue
+            for _ in range(40):
+                locs = [c.sample(rng) for c in regions]
+                assert verify_instance(locs, po, p)
+
+    def test_false_negatives_possible(self):
+        """The test is conservative: Fig. 6b's failure mode."""
+        po = Point(-10, 0)
+        p1 = Point(10, 0)
+        # One wide region straddling the bisector: max dist to po exceeds
+        # min dist to p1 even though po might still win everywhere.
+        wide = TileRegion(Point(0, 0), 8.0, [tile_at(Point(0, 0), 8.0, 0, 0)])
+        regions = [wide]
+        assert not verify_regions(regions, po, p1)
+
+    def test_equality_boundary_accepts(self):
+        """top == bot is valid (Lemma 1 uses <=)."""
+        regions = [PointRegion(Point(0, 0))]
+        po = Point(0, 5)
+        p = Point(0, -5)
+        assert verify_regions(regions, po, p)
+        assert verify_regions(regions, p, po)

@@ -1,0 +1,135 @@
+"""Tests for SVG scene/chart rendering (well-formedness + content)."""
+
+import random
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.circle_msr import circle_msr
+from repro.core.tile_msr import tile_msr
+from repro.core.types import TileMSRConfig
+from repro.experiments.harness import ExperimentResult, ExperimentRow
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.viz.chart import render_chart
+from repro.viz.scene import render_scene
+from repro.viz.svg import SvgCanvas
+from tests.conftest import random_users
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestSvgCanvas:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(Rect(0, 0, 10, 10), width=0)
+        with pytest.raises(ValueError):
+            SvgCanvas(Rect(0, 0, 0, 10))
+
+    def test_coordinate_flip(self):
+        canvas = SvgCanvas(Rect(0, 0, 100, 100), 200, 200)
+        assert canvas.ty(0) == 200.0  # world bottom -> viewport bottom
+        assert canvas.ty(100) == 0.0
+        assert canvas.tx(50) == 100.0
+
+    def test_render_is_valid_xml(self):
+        canvas = SvgCanvas(Rect(0, 0, 10, 10), 100, 100)
+        canvas.circle(5, 5, 2)
+        canvas.rect(1, 1, 3, 3, fill="red")
+        canvas.line(0, 0, 10, 10)
+        canvas.text(5, 5, "hello <&> world")
+        root = _parse(canvas.render())
+        tags = [child.tag for child in root]
+        assert f"{SVG_NS}circle" in tags
+        assert f"{SVG_NS}line" in tags
+        assert f"{SVG_NS}text" in tags
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas(Rect(0, 0, 10, 10), 50, 50)
+        path = tmp_path / "out.svg"
+        canvas.save(str(path))
+        assert path.read_text().startswith("<svg")
+
+
+class TestSceneRendering:
+    def test_mismatched_regions_raise(self):
+        with pytest.raises(ValueError):
+            render_scene([Point(0, 0)], [])
+
+    def test_circle_scene(self, tree_500, pois_500, rng):
+        users = random_users(rng, 3)
+        result = circle_msr(users, tree_500)
+        svg = render_scene(
+            users, result.circles, result.po, pois_500, title="circles"
+        )
+        root = _parse(svg)
+        circles = root.findall(f"{SVG_NS}circle")
+        # At least: one disk + one marker per user, plus the po marker.
+        # (POIs outside the scene bounds are culled.)
+        assert len(circles) >= 2 * len(users) + 1
+        assert "circles" in svg  # the title
+
+    def test_tile_scene(self, tree_500, rng):
+        users = random_users(rng, 2)
+        result = tile_msr(users, tree_500, TileMSRConfig(alpha=5, split_level=1))
+        svg = render_scene(users, result.regions, result.po)
+        root = _parse(svg)
+        rects = root.findall(f"{SVG_NS}rect")
+        total_tiles = sum(len(r) for r in result.regions)
+        assert len(rects) >= total_tiles  # background + tiles
+
+    def test_network_scene(self):
+        from repro.mobility.network import NetworkParams, build_road_network
+        from repro.network_ext import NetworkSpace, network_tile_msr
+        from repro.viz.scene import render_network_scene
+
+        graph = build_road_network(
+            Rect(0, 0, 1000, 1000), NetworkParams(grid_size=4), seed=2
+        )
+        space = NetworkSpace(graph)
+        rnd = random.Random(3)
+        pois = rnd.sample(list(graph.nodes), 5)
+        users = [space.random_position(rnd) for _ in range(2)]
+        result = network_tile_msr(space, pois, users)
+        svg = render_network_scene(
+            space, result.regions, users, result.po, pois
+        )
+        root = _parse(svg)
+        lines = root.findall(f"{SVG_NS}line")
+        assert len(lines) >= graph.number_of_edges()
+
+
+class TestChartRendering:
+    def _result(self):
+        rows = [
+            ExperimentRow("Circle", "2", 0.5, 100, 800, 0.1),
+            ExperimentRow("Circle", "3", 0.4, 80, 700, 0.2),
+            ExperimentRow("Tile", "2", 0.3, 60, 500, 1.0),
+            ExperimentRow("Tile", "3", 0.25, 50, 450, 1.5),
+        ]
+        return ExperimentResult("figX", "m", rows)
+
+    def test_chart_valid_xml_with_series(self):
+        svg = render_chart(self._result(), "update_events")
+        root = _parse(svg)
+        paths = root.findall(f"{SVG_NS}path")
+        assert len(paths) == 2  # one polyline per method
+        texts = [t.text for t in root.findall(f"{SVG_NS}text")]
+        assert "Circle" in texts and "Tile" in texts
+
+    def test_chart_title_override(self):
+        svg = render_chart(self._result(), "packets", title="custom title")
+        assert "custom title" in svg
+
+    def test_empty_result_raises(self):
+        with pytest.raises(ValueError):
+            render_chart(ExperimentResult("f", "x", []))
+
+    def test_zero_values_handled(self):
+        rows = [ExperimentRow("A", "1", 0.0, 0, 0, 0.0)]
+        svg = render_chart(ExperimentResult("f", "x", rows), "update_events")
+        _parse(svg)

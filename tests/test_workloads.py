@@ -1,0 +1,151 @@
+"""Tests for POI generation, group partitioning and dataset presets."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.mobility.trajectory import Trajectory
+from repro.workloads.datasets import Dataset, DatasetSpec, WORLD, build_dataset
+from repro.workloads.groups import partition_groups
+from repro.workloads.poi import (
+    PAPER_POI_COUNT,
+    build_poi_tree,
+    clustered_pois,
+    subset_fraction,
+    uniform_pois,
+)
+
+SMALL = Rect(0, 0, 100, 100)
+
+
+class TestPoiGeneration:
+    def test_counts(self):
+        assert len(uniform_pois(50, SMALL)) == 50
+        assert len(clustered_pois(50, SMALL)) == 50
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            uniform_pois(-1, SMALL)
+        with pytest.raises(ValueError):
+            clustered_pois(-1, SMALL)
+
+    def test_inside_world(self):
+        for p in clustered_pois(200, SMALL, seed=1):
+            assert SMALL.contains_point(p)
+
+    def test_deterministic(self):
+        assert clustered_pois(30, SMALL, seed=9) == clustered_pois(30, SMALL, seed=9)
+
+    def test_clustering_is_denser_than_uniform(self):
+        """Clustered sets have smaller mean nearest-neighbor distance."""
+
+        def mean_nn(points):
+            total = 0.0
+            for p in points:
+                total += min(p.dist(q) for q in points if q != p)
+            return total / len(points)
+
+        clustered = clustered_pois(150, SMALL, n_clusters=5, spread=0.01, seed=3)
+        uniform = uniform_pois(150, SMALL, seed=3)
+        assert mean_nn(clustered) < mean_nn(uniform)
+
+    def test_paper_cardinality_constant(self):
+        assert PAPER_POI_COUNT == 21287
+
+    def test_tree_roundtrip(self):
+        points = clustered_pois(100, SMALL, seed=5)
+        tree = build_poi_tree(points)
+        assert len(tree) == 100
+        tree.validate()
+
+    def test_subset_fraction(self):
+        points = uniform_pois(100, SMALL, seed=1)
+        half = subset_fraction(points, 0.5)
+        assert len(half) == 50
+        assert set(p.as_tuple() for p in half) <= set(p.as_tuple() for p in points)
+        assert subset_fraction(points, 1.0) == points
+        with pytest.raises(ValueError):
+            subset_fraction(points, 0.0)
+
+
+class TestGroupPartitioning:
+    def _trajs(self, n):
+        return [Trajectory((Point(float(i), 0.0),)) for i in range(n)]
+
+    def test_basic_partition(self):
+        groups = partition_groups(self._trajs(12), 3)
+        assert len(groups) == 4
+        assert all(len(g) == 3 for g in groups)
+
+    def test_max_groups_cap(self):
+        groups = partition_groups(self._trajs(60), 2, max_groups=10)
+        assert len(groups) == 10
+
+    def test_groups_disjoint(self):
+        trajs = self._trajs(9)
+        groups = partition_groups(trajs, 3)
+        seen = set()
+        for g in groups:
+            for t in g:
+                assert id(t) not in seen
+                seen.add(id(t))
+
+    def test_insufficient_trajectories(self):
+        with pytest.raises(ValueError):
+            partition_groups(self._trajs(2), 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_groups(self._trajs(5), 0)
+        with pytest.raises(ValueError):
+            partition_groups(self._trajs(5), 2, max_groups=0)
+
+
+class TestDatasets:
+    @pytest.fixture(scope="class")
+    def small_spec(self):
+        return DatasetSpec(
+            name="geolife", n_pois=200, n_trajectories=6, n_timestamps=120
+        )
+
+    @pytest.fixture(scope="class")
+    def ds(self, small_spec):
+        return build_dataset(small_spec)
+
+    def test_build_shape(self, ds, small_spec):
+        assert len(ds.pois) == small_spec.n_pois
+        assert len(ds.trajectories) == small_spec.n_trajectories
+        assert len(ds.tree) == small_spec.n_pois
+
+    def test_oldenburg_variant(self):
+        spec = DatasetSpec(
+            name="oldenburg", n_pois=100, n_trajectories=3, n_timestamps=100
+        )
+        ds = build_dataset(spec)
+        assert len(ds.trajectories) == 3
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            build_dataset(DatasetSpec(name="nope"))
+
+    def test_groups(self, ds):
+        groups = ds.groups(3)
+        assert len(groups) == 2
+
+    def test_poi_fraction_variant(self, ds):
+        half = ds.with_poi_fraction(0.5)
+        assert len(half.pois) == 100
+        assert len(half.tree) == 100
+        # Trajectories shared, POIs shrunk.
+        assert half.trajectories is ds.trajectories
+
+    def test_speed_fraction_variant(self, ds):
+        slow = ds.with_speed_fraction(0.5)
+        assert len(slow.trajectories) == len(ds.trajectories)
+        for s, f in zip(slow.trajectories, ds.trajectories):
+            assert s.average_speed() < f.average_speed()
+        # POI tree shared.
+        assert slow.tree is ds.tree
+
+    def test_world_constant_sane(self):
+        assert WORLD.area > 0
