@@ -1,45 +1,180 @@
-"""Micro-benchmarks for the substrates: R-tree, GNN, compression.
+"""Micro-benchmarks for the substrates: spatial backends, GNN, compression.
 
 Not paper figures, but the substrate costs that everything above is
 built on; regressions here show up multiplied in every experiment.
+
+The spatial-primitive benchmarks (knn, range, find_gnn, Theorem-3/6
+pruning) run at 50k POIs on BOTH backends — the vectorized flat R-tree
+and the pointer-based object reference — and the final test computes
+the flat-over-object speedup ratios from the recorded timings and
+asserts the floors the backend refactor promises (>= 3x on knn, range
+and find_gnn).
 """
 
 from __future__ import annotations
 
+import os
 import random
+import time
 
 import pytest
 
 from repro.core.compression import compress_region, decompress_region
 from repro.core.tile_msr import tile_msr
 from repro.core.types import TileMSRConfig
-from repro.gnn.aggregate import Aggregate, find_gnn
-from repro.index.knn import knn
-from repro.index.rtree import RTree
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.backend import build_index
 from repro.workloads.datasets import WORLD
 from repro.workloads.poi import build_poi_tree, clustered_pois
+
+BACKENDS = ["object", "flat"]
+N_POIS = 50_000
+
+# op -> backend -> (best wall-clock seconds, samples), filled in by the
+# parametrized benchmarks below and consumed by the speedup test.
+RECORDED: dict[str, dict[str, tuple[float, int]]] = {}
+
+
+def _record(benchmark, op: str, backend: str, fn):
+    """Run ``fn`` under pytest-benchmark while keeping our own best time.
+
+    The self-measured minimum keeps the speedup computation independent
+    of the benchmark plugin's stats API (and of --benchmark-disable).
+    """
+    times: list[float] = []
+
+    def wrapper():
+        t0 = time.perf_counter()
+        out = fn()
+        times.append(time.perf_counter() - t0)
+        return out
+
+    result = benchmark(wrapper)
+    RECORDED.setdefault(op, {})[backend] = (min(times), len(times))
+    other = RECORDED[op].get("object")
+    if backend == "flat" and other:
+        benchmark.extra_info["speedup_vs_object"] = other[0] / min(times)
+    return result
 
 
 @pytest.fixture(scope="module")
 def big_points():
-    return clustered_pois(20000, WORLD, seed=31)
+    return clustered_pois(N_POIS, WORLD, seed=31)
 
 
 @pytest.fixture(scope="module")
-def big_tree(big_points):
-    return build_poi_tree(big_points)
+def trees(big_points):
+    return {name: build_index(big_points, backend=name) for name in BACKENDS}
 
 
-def test_bulk_load_20k(benchmark, big_points):
-    tree = benchmark(lambda: RTree.bulk_load(big_points, max_entries=16))
+@pytest.fixture(scope="module")
+def queries():
+    rng = random.Random(1)
+    return [WORLD.sample(rng) for _ in range(200)]
+
+
+@pytest.fixture(scope="module")
+def windows(queries):
+    wx = (WORLD.x_hi - WORLD.x_lo) * 0.05
+    wy = (WORLD.y_hi - WORLD.y_lo) * 0.05
+    return [Rect(q.x, q.y, q.x + wx, q.y + wy) for q in queries]
+
+
+@pytest.fixture(scope="module")
+def groups():
+    """Walking-distance user groups, like the paper's MPN groups."""
+    rng = random.Random(2)
+    out = []
+    for _ in range(100):
+        cx, cy = WORLD.sample(rng)
+        out.append(
+            [
+                Point(cx + rng.uniform(-1000.0, 1000.0), cy + rng.uniform(-1000.0, 1000.0))
+                for _ in range(4)
+            ]
+        )
+    return out
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bulk_load_50k(benchmark, big_points, backend):
+    tree = _record(
+        benchmark, "bulk_load", backend, lambda: build_index(big_points, backend=backend)
+    )
     assert len(tree) == len(big_points)
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_knn_50k(benchmark, trees, queries, backend):
+    tree = trees[backend]
+    result = _record(benchmark, "knn", backend, lambda: tree.knn_many(queries, 10))
+    assert all(len(r) == 10 for r in result)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_range_50k(benchmark, trees, windows, backend):
+    tree = trees[backend]
+    result = _record(benchmark, "range", backend, lambda: tree.range_many(windows))
+    assert sum(len(r) for r in result) > 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_max_gnn_50k(benchmark, trees, groups, backend):
+    tree = trees[backend]
+    result = _record(
+        benchmark, "find_gnn_max", backend, lambda: tree.gnn_many(groups, 2, "max")
+    )
+    assert all(len(r) == 2 for r in result)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sum_gnn_50k(benchmark, trees, groups, backend):
+    tree = trees[backend]
+    result = _record(
+        benchmark, "find_gnn_sum", backend, lambda: tree.gnn_many(groups, 2, "sum")
+    )
+    assert all(len(r) == 2 for r in result)
+
+
+@pytest.fixture(scope="module")
+def pruning_scenarios(trees, groups):
+    """Theorem-3/6 bounds built the way tile_msr builds them: the
+    current best aggregate distance plus a safe-region slack."""
+    tree = trees["flat"]
+    balls, sums = [], []
+    for g in groups[:20]:
+        top = tree.gnn(g, 1, "max")[0][0]
+        balls.append((g, [top + 500.0] * len(g)))
+        total = tree.gnn(g, 1, "sum")[0][0]
+        sums.append((g, total + 2.0 * 500.0 * len(g)))
+    return balls, sums
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_pruning_50k(benchmark, trees, pruning_scenarios, backend):
+    """Theorem-3/6 candidate scans: intersect_balls + within_dist_sum."""
+    tree = trees[backend]
+    balls, sums = pruning_scenarios
+
+    def prune():
+        out = 0
+        for centers, radii in balls:
+            out += len(tree.intersect_balls(centers, radii))
+        for centers, threshold in sums:
+            out += len(tree.within_dist_sum(centers, threshold))
+        return out
+
+    result = _record(benchmark, "pruning", backend, prune)
+    assert result > 0
+
+
 def test_incremental_insert_5k(benchmark, big_points):
+    """Guttman insert path — object backend only (flat rebuilds)."""
     subset = big_points[:5000]
 
     def build():
-        tree = RTree(max_entries=16)
+        tree = build_index([], backend="object", max_entries=16)
         for i, p in enumerate(subset):
             tree.insert(p, i)
         return tree
@@ -48,29 +183,31 @@ def test_incremental_insert_5k(benchmark, big_points):
     tree.validate()
 
 
-def test_knn_on_20k(benchmark, big_tree):
-    rng = random.Random(1)
-    queries = [WORLD.sample(rng) for _ in range(50)]
-    result = benchmark(lambda: [knn(big_tree, q, 10) for q in queries])
-    assert all(len(r) == 10 for r in result)
-
-
-def test_max_gnn_on_20k(benchmark, big_tree):
-    rng = random.Random(2)
-    groups = [[WORLD.sample(rng) for _ in range(3)] for _ in range(20)]
-    result = benchmark(
-        lambda: [find_gnn(big_tree, g, 2, Aggregate.MAX) for g in groups]
-    )
-    assert all(len(r) == 2 for r in result)
-
-
-def test_sum_gnn_on_20k(benchmark, big_tree):
-    rng = random.Random(3)
-    groups = [[WORLD.sample(rng) for _ in range(3)] for _ in range(20)]
-    result = benchmark(
-        lambda: [find_gnn(big_tree, g, 2, Aggregate.SUM) for g in groups]
-    )
-    assert all(len(r) == 2 for r in result)
+def test_backend_speedup_ratios():
+    """The refactor's headline numbers, computed from the runs above."""
+    gated = ("knn", "range", "find_gnn_max", "find_gnn_sum")
+    missing = [
+        op
+        for op in gated
+        if not {"object", "flat"} <= set(RECORDED.get(op, {}))
+    ]
+    if missing:
+        pytest.skip(f"benchmarks did not run for both backends: {missing}")
+    ratios = {
+        op: rec["object"][0] / rec["flat"][0]
+        for op, rec in RECORDED.items()
+        if "object" in rec and "flat" in rec
+    }
+    print("\nflat-over-object speedup at 50k POIs:")
+    for op, ratio in sorted(ratios.items()):
+        print(f"  {op:14s} {ratio:5.2f}x")
+    samples = min(min(s for _, s in rec.values()) for rec in RECORDED.values())
+    if samples < 3:
+        pytest.skip("single-shot run (--benchmark-disable): ratios too noisy")
+    if os.environ.get("CI"):
+        pytest.skip("shared CI runner: ratios reported above, not gated")
+    for op in gated:
+        assert ratios[op] >= 3.0, f"{op} speedup {ratios[op]:.2f}x < 3x"
 
 
 def test_compression_roundtrip(benchmark):

@@ -20,9 +20,16 @@ Public entry points:
 from repro.core import circle_msr, tile_msr, TileMSRConfig, Ordering, VerifierKind
 from repro.gnn import Aggregate, find_max_gnn, find_sum_gnn
 from repro.geometry import Point, Rect, Circle, Tile, TileRegion
-from repro.index import RTree
+from repro.index import (
+    DEFAULT_BACKEND,
+    FlatRTree,
+    RTree,
+    SpatialIndex,
+    available_backends,
+    build_index,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "circle_msr",
@@ -39,5 +46,10 @@ __all__ = [
     "Tile",
     "TileRegion",
     "RTree",
+    "FlatRTree",
+    "SpatialIndex",
+    "build_index",
+    "available_backends",
+    "DEFAULT_BACKEND",
     "__version__",
 ]

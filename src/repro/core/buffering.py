@@ -28,7 +28,7 @@ from repro.geometry.point import Point
 from repro.geometry.region import TileRegion
 from repro.geometry.tile import Tile
 from repro.gnn.aggregate import Aggregate, find_gnn
-from repro.index.rtree import RTree
+from repro.index.backend import SpatialIndex
 
 
 class BufferSlots:
@@ -36,7 +36,7 @@ class BufferSlots:
 
     def __init__(
         self,
-        tree: RTree,
+        tree: SpatialIndex,
         users: Sequence[Point],
         objective: Aggregate,
         b: int,

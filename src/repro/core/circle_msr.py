@@ -22,7 +22,7 @@ from repro.core.types import CircleResult, SafeRegionStats
 from repro.geometry.circle import Circle
 from repro.geometry.point import Point
 from repro.gnn.aggregate import Aggregate, find_gnn
-from repro.index.rtree import RTree
+from repro.index.backend import SpatialIndex
 
 
 def maximal_circle_radius(
@@ -43,7 +43,7 @@ def maximal_circle_radius(
 
 def circle_msr(
     users: Sequence[Point],
-    tree: RTree,
+    tree: SpatialIndex,
     objective: Aggregate = Aggregate.MAX,
 ) -> CircleResult:
     """Algorithm 1: compute circular safe regions for the group.

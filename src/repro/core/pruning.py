@@ -30,7 +30,7 @@ from repro.core.types import SafeRegionStats
 from repro.geometry.point import Point
 from repro.geometry.region import TileRegion
 from repro.geometry.tile import Tile
-from repro.index.rtree import RTree
+from repro.index.backend import SpatialIndex
 
 
 def _r_up_with_tile(
@@ -60,7 +60,7 @@ def _po_top_with_tile(
 
 
 def max_candidates(
-    tree: RTree,
+    tree: SpatialIndex,
     users: Sequence[Point],
     regions: Sequence[TileRegion],
     user_idx: int,
@@ -78,31 +78,11 @@ def max_candidates(
     radii = [top + r for r in r_up]
     if stats is not None:
         stats.index_queries += 1
-    out: list[Point] = []
-    stack = [tree.root]
-    while stack:
-        node = stack.pop()
-        if stats is not None:
-            stats.index_node_accesses += 1
-        if any(
-            node.rect.min_dist(u) > radius for u, radius in zip(users, radii)
-        ):
-            continue
-        if node.is_leaf:
-            for e in node.children:
-                p = e.point
-                if p == po:
-                    continue
-                if any(p.dist(u) > radius for u, radius in zip(users, radii)):
-                    continue
-                out.append(p)
-        else:
-            stack.extend(node.children)
-    return out
+    return tree.intersect_balls(users, radii, exclude=po, stats=stats)
 
 
 def sum_candidates(
-    tree: RTree,
+    tree: SpatialIndex,
     users: Sequence[Point],
     regions: Sequence[TileRegion],
     user_idx: int,
@@ -115,36 +95,17 @@ def sum_candidates(
     threshold = sum(po.dist(u) for u in users) + 2.0 * sum(r_up)
     if stats is not None:
         stats.index_queries += 1
-    out: list[Point] = []
-    stack = [tree.root]
-    while stack:
-        node = stack.pop()
-        if stats is not None:
-            stats.index_node_accesses += 1
-        if sum(node.rect.min_dist(u) for u in users) > threshold:
-            continue
-        if node.is_leaf:
-            for e in node.children:
-                p = e.point
-                if p == po:
-                    continue
-                if sum(p.dist(u) for u in users) <= threshold:
-                    out.append(p)
-        else:
-            stack.extend(node.children)
-    return out
+    return tree.within_dist_sum(users, threshold, exclude=po, stats=stats)
 
 
 def all_candidates(
-    tree: RTree, po: Point, stats: SafeRegionStats | None = None
+    tree: SpatialIndex, po: Point, stats: SafeRegionStats | None = None
 ) -> list[Point]:
-    """The unpruned candidate set ``P - {po}`` (baseline for benches)."""
+    """The unpruned candidate set ``P - {po}`` (baseline for benches).
+
+    Runs a real (unpruned) index traversal so the node-access counters
+    reflect what a full scan actually costs on the backend at hand.
+    """
     if stats is not None:
         stats.index_queries += 1
-    out = []
-    for e in tree.entries():
-        if e.point != po:
-            out.append(e.point)
-    if stats is not None:
-        stats.index_node_accesses += max(1, len(out) // 16)
-    return out
+    return tree.scan(exclude=po, stats=stats)

@@ -36,7 +36,7 @@ from repro.geometry.rect import Rect
 from repro.geometry.region import TileRegion
 from repro.geometry.tile import Tile, tile_at
 from repro.gnn.aggregate import Aggregate
-from repro.index.rtree import RTree
+from repro.index.backend import SpatialIndex
 
 _WHOLE_PLANE = 1.0e18
 
@@ -50,7 +50,7 @@ def _whole_plane_region(anchor: Point) -> TileRegion:
 
 def tile_msr(
     users: Sequence[Point],
-    tree: RTree,
+    tree: SpatialIndex,
     config: TileMSRConfig | None = None,
     headings: Optional[Sequence[Optional[float]]] = None,
     thetas: Optional[Sequence[Optional[float]]] = None,
@@ -118,7 +118,7 @@ def tile_msr(
 
 def _grow_regions(
     users: Sequence[Point],
-    tree: RTree,
+    tree: SpatialIndex,
     config: TileMSRConfig,
     headings: Optional[Sequence[Optional[float]]],
     thetas: Optional[Sequence[Optional[float]]],
@@ -191,7 +191,7 @@ def _select_point_verifier(config: TileMSRConfig, po: Point) -> Callable:
 
 def _select_candidate_supplier(
     config: TileMSRConfig,
-    tree: RTree,
+    tree: SpatialIndex,
     users: Sequence[Point],
     regions: list[TileRegion],
     po: Point,

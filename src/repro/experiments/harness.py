@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-from repro.index.rtree import RTree
+from repro.index.backend import SpatialIndex
 from repro.mobility.trajectory import Trajectory
 from repro.simulation.engine import run_groups
 from repro.simulation.metrics import SimulationMetrics
@@ -18,7 +18,7 @@ class SweepPoint:
 
     label: str
     groups: Sequence[Sequence[Trajectory]]
-    tree: RTree
+    tree: SpatialIndex
 
 
 @dataclass

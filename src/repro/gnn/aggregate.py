@@ -1,21 +1,27 @@
-"""Branch-and-bound k-best aggregate nearest neighbor on the R-tree.
+"""Branch-and-bound k-best aggregate nearest neighbor over the index.
 
 For a node MBR ``N`` the aggregate of per-user ``min_dist`` values is a
 lower bound of the aggregate distance of every point inside ``N`` (both
 MAX and SUM are monotone in each argument), so a best-first traversal
 ordered by that bound retrieves POIs in exactly increasing aggregate
 distance — the MBM method of Papadias et al. (ref. [24]).
+
+The traversal itself lives with the spatial backends: the flat backend
+batches the per-user ``min_dist`` lower bounds over whole sibling sets
+(:mod:`repro.index.kernels`), the object backend walks node children
+(:func:`repro.index.rtree.best_first_search`).  This module owns the
+:class:`Aggregate` objective and the ``FindMaxGNN``/``FindSumGNN``
+entry points of the paper.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from enum import Enum
 from typing import Iterator, Sequence
 
 from repro.geometry.point import Point
-from repro.index.rtree import Entry, RTree, RTreeNode
+from repro.index.backend import SpatialIndex
+from repro.index.rtree import Entry
 
 
 class Aggregate(Enum):
@@ -36,44 +42,15 @@ def aggregate_dist(p: Point, users: Sequence[Point], agg: Aggregate) -> float:
     return sum(p.dist(u) for u in users)
 
 
-def _node_lower_bound(node: RTreeNode, users: Sequence[Point], agg: Aggregate) -> float:
-    if agg is Aggregate.MAX:
-        return max(node.rect.min_dist(u) for u in users)
-    return sum(node.rect.min_dist(u) for u in users)
-
-
 def incremental_gnn(
-    tree: RTree, users: Sequence[Point], agg: Aggregate = Aggregate.MAX
+    tree: SpatialIndex, users: Sequence[Point], agg: Aggregate = Aggregate.MAX
 ) -> Iterator[tuple[float, Entry]]:
     """Yield ``(aggregate_distance, entry)`` in increasing order."""
-    if not users:
-        raise ValueError("user group must be non-empty")
-    counter = itertools.count()
-    heap: list[tuple[float, int, bool, object]] = []
-    heapq.heappush(
-        heap, (_node_lower_bound(tree.root, users, agg), next(counter), False, tree.root)
-    )
-    while heap:
-        d, _, is_entry, item = heapq.heappop(heap)
-        if is_entry:
-            yield d, item  # type: ignore[misc]
-            continue
-        node: RTreeNode = item  # type: ignore[assignment]
-        if node.is_leaf:
-            for e in node.children:
-                heapq.heappush(
-                    heap,
-                    (aggregate_dist(e.point, users, agg), next(counter), True, e),
-                )
-        else:
-            for c in node.children:
-                heapq.heappush(
-                    heap, (_node_lower_bound(c, users, agg), next(counter), False, c)
-                )
+    return tree.incremental_gnn(users, agg.value)
 
 
 def find_gnn(
-    tree: RTree,
+    tree: SpatialIndex,
     users: Sequence[Point],
     k: int = 1,
     agg: Aggregate = Aggregate.MAX,
@@ -84,21 +61,14 @@ def find_gnn(
     by Algorithm 1 (k=2) and by the buffering optimization of Section
     5.4 (k=b+1).
     """
-    if k <= 0:
-        return []
-    out: list[tuple[float, Entry]] = []
-    for item in incremental_gnn(tree, users, agg):
-        out.append(item)
-        if len(out) == k:
-            break
-    return out
+    return tree.gnn(users, k, agg.value)
 
 
-def find_max_gnn(tree: RTree, users: Sequence[Point], k: int = 1):
+def find_max_gnn(tree: SpatialIndex, users: Sequence[Point], k: int = 1):
     """k-best MAX-GNN (optimal meeting points, Definition 2)."""
     return find_gnn(tree, users, k, Aggregate.MAX)
 
 
-def find_sum_gnn(tree: RTree, users: Sequence[Point], k: int = 1):
+def find_sum_gnn(tree: SpatialIndex, users: Sequence[Point], k: int = 1):
     """k-best SUM-GNN (sum-optimal meeting points, Definition 8)."""
     return find_gnn(tree, users, k, Aggregate.SUM)

@@ -1,0 +1,146 @@
+"""Pluggable spatial-index backends and the construction factory.
+
+The paper's server "manages a data set P of points-of-interest and
+indexes it by an R-tree" (Section 3.1), and every layer above — k-GNN
+retrieval (gnn), Theorem-3/6 candidate pruning (core), the monitoring
+loop and multi-group server (simulation), the figure harnesses
+(experiments) — consumes that index only through the
+:class:`SpatialIndex` protocol defined here.  Two implementations are
+registered:
+
+* ``"flat"`` — :class:`repro.index.flat.FlatRTree`, an STR-packed
+  structure-of-arrays R-tree with vectorized NumPy kernels; the
+  default wherever NumPy is available.
+* ``"object"`` — :class:`repro.index.rtree.RTree`, the pointer-based
+  reference implementation, also the only backend with in-place
+  (non-rebuilding) Guttman insert/delete.
+
+All call sites outside :mod:`repro.index` construct indexes through
+:func:`build_index`; nothing else in the codebase names a concrete
+tree class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.rtree import Entry, RTree
+
+try:  # NumPy is an optional dependency; the object backend needs none.
+    from repro.index.flat import FlatRTree
+except ImportError:  # pragma: no cover - exercised only without numpy
+    FlatRTree = None  # type: ignore[assignment]
+
+
+@runtime_checkable
+class SpatialIndex(Protocol):
+    """What every spatial backend must answer.
+
+    The first block is bookkeeping; the second block is the query
+    surface the upper layers are written against.  ``agg`` takes the
+    aggregate name (``"max"`` / ``"sum"``) as a plain string so the
+    index layer stays independent of :mod:`repro.gnn`.
+    """
+
+    def __len__(self) -> int: ...
+
+    def entries(self) -> Iterator[Entry]: ...
+
+    def points(self) -> list[Point]: ...
+
+    def insert(self, point: Point, payload: Any = None) -> None: ...
+
+    def delete(self, point: Point, payload: Any = None) -> bool: ...
+
+    def bulk_update(
+        self,
+        adds: Sequence[tuple[Point, Any]] = (),
+        removes: Sequence[tuple[Point, Any]] = (),
+    ) -> None: ...
+
+    def height(self) -> int: ...
+
+    def validate(self) -> None: ...
+
+    def incremental_nearest(self, query: Point) -> Iterator[Entry]: ...
+
+    def knn(self, query: Point, k: int) -> list[Entry]: ...
+
+    def knn_many(self, queries: Sequence[Point], k: int) -> list[list[Entry]]: ...
+
+    def nearest(self, query: Point) -> Optional[Entry]: ...
+
+    def range_query(self, window: Rect) -> list[Entry]: ...
+
+    def range_many(self, windows: Sequence[Rect]) -> list[list[Entry]]: ...
+
+    def circle_range_query(self, center: Point, radius: float) -> list[Entry]: ...
+
+    def incremental_gnn(
+        self, users: Sequence[Point], agg: str = "max"
+    ) -> Iterator[tuple[float, Entry]]: ...
+
+    def gnn(
+        self, users: Sequence[Point], k: int = 1, agg: str = "max"
+    ) -> list[tuple[float, Entry]]: ...
+
+    def gnn_many(
+        self, groups: Sequence[Sequence[Point]], k: int = 1, agg: str = "max"
+    ) -> list[list[tuple[float, Entry]]]: ...
+
+    def intersect_balls(
+        self,
+        centers: Sequence[Point],
+        radii: Sequence[float],
+        exclude: Optional[Point] = None,
+        stats=None,
+    ) -> list[Point]: ...
+
+    def within_dist_sum(
+        self,
+        centers: Sequence[Point],
+        threshold: float,
+        exclude: Optional[Point] = None,
+        stats=None,
+    ) -> list[Point]: ...
+
+    def scan(self, exclude: Optional[Point] = None, stats=None) -> list[Point]: ...
+
+
+_BACKENDS: dict[str, Any] = {"object": RTree}
+if FlatRTree is not None:
+    _BACKENDS["flat"] = FlatRTree
+
+DEFAULT_BACKEND = "flat" if FlatRTree is not None else "object"
+
+
+def available_backends() -> list[str]:
+    return sorted(_BACKENDS)
+
+
+def build_index(
+    points: Sequence[Point],
+    payloads: Optional[Sequence[Any]] = None,
+    backend: Optional[str] = None,
+    max_entries: Optional[int] = None,
+) -> SpatialIndex:
+    """Bulk-load a spatial index over ``points``.
+
+    ``backend`` is ``"flat"`` or ``"object"`` (None = the environment
+    default, flat when NumPy is importable).  ``max_entries`` of None
+    picks the backend's own packing default — the object tree mirrors
+    the paper's page-sized nodes, the flat tree favors wide nodes so
+    each vectorized kernel call amortizes over a larger sibling set.
+    """
+    name = backend if backend is not None else DEFAULT_BACKEND
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown spatial backend {name!r}; available: {available_backends()}"
+        ) from None
+    if max_entries is None:
+        return cls.bulk_load(list(points), payloads=payloads)
+    return cls.bulk_load(list(points), payloads=payloads, max_entries=max_entries)

@@ -1,0 +1,509 @@
+"""A vectorized flat R-tree: STR packing into structure-of-arrays.
+
+The object R-tree (:mod:`repro.index.rtree`) allocates one Python
+object per node and per entry, so every traversal chases pointers and
+re-enters the interpreter per child.  :class:`FlatRTree` stores the
+same STR-packed tree in contiguous NumPy arrays instead:
+
+* all leaf points live in one ``(n, 2)`` float64 array, permuted so
+  each leaf owns a contiguous slice;
+* each level of the tree is three parallel arrays — ``bounds``
+  ``(k, 4)`` float64 MBRs plus ``start``/``count`` int64 ranges into
+  the level below (or into the point array for leaves);
+* there are no node objects at all; a node is an index into its
+  level's arrays.
+
+Every query — knn, range, circle range, aggregate GNN, candidate
+pruning — runs through the two shared kernels of
+:mod:`repro.index.kernels`, which score or mask whole sibling sets per
+NumPy call.  The tree is static-optimized: :meth:`insert` and
+:meth:`delete` are supported for API parity with the object backend
+but rebuild the packing (O(n log n)); workloads with heavy churn
+should prefer ``backend="object"`` via the factory in
+:mod:`repro.index.backend`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index import kernels
+from repro.index.rtree import Entry, resolve_removals
+
+DEFAULT_FLAT_MAX_ENTRIES = 64
+
+
+class _Level:
+    """One tree level as parallel arrays (index 0 = leaves)."""
+
+    __slots__ = ("bounds", "start", "count", "_cols")
+
+    def __init__(self, bounds: np.ndarray, start: np.ndarray, count: np.ndarray):
+        self.bounds = bounds
+        self.start = start
+        self.count = count
+        self._cols: Optional[tuple[np.ndarray, ...]] = None
+
+    def __len__(self) -> int:
+        return len(self.start)
+
+    def columns(self) -> tuple[np.ndarray, ...]:
+        """``(x_lo, y_lo, x_hi, y_hi)`` as contiguous 1-D arrays.
+
+        Gathers and ufuncs over contiguous columns beat strided slices
+        of the ``(k, 4)`` bounds; built lazily, once per packing.
+        """
+        if self._cols is None:
+            self._cols = tuple(
+                np.ascontiguousarray(self.bounds[:, j]) for j in range(4)
+            )
+        return self._cols
+
+
+def _str_partition(
+    xs: np.ndarray, ys: np.ndarray, cap: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort-Tile-Recursive grouping of one level.
+
+    Returns ``(order, boundaries)``: a permutation placing the items in
+    slab-then-y order, and node boundaries such that node ``j`` covers
+    ``order[boundaries[j] : boundaries[j + 1]]``.
+    """
+    n = len(xs)
+    n_nodes = math.ceil(n / cap)
+    slab_count = max(1, math.ceil(math.sqrt(n_nodes)))
+    per_slab = math.ceil(n / slab_count)
+    xorder = np.argsort(xs, kind="stable")
+    slab = np.empty(n, dtype=np.int64)
+    slab[xorder] = np.arange(n, dtype=np.int64) // per_slab
+    order = np.lexsort((ys, slab))
+    boundaries: list[int] = []
+    for s in range(0, n, per_slab):
+        boundaries.extend(range(s, min(s + per_slab, n), cap))
+    boundaries.append(n)
+    return order, np.asarray(boundaries, dtype=np.int64)
+
+
+class FlatRTree:
+    """STR-packed R-tree over points with implicit array-backed nodes."""
+
+    backend_name = "flat"
+
+    def __init__(self, max_entries: int = DEFAULT_FLAT_MAX_ENTRIES):
+        if max_entries < 4:
+            raise ValueError("max_entries must be >= 4")
+        self.max_entries = max_entries
+        self._pts = np.empty((0, 2), dtype=np.float64)
+        self._payloads: list[Any] = []
+        self._levels: list[_Level] = []
+        self._entry_cache: Optional[list[Entry]] = None
+        self._pt_cols: Optional[tuple[np.ndarray, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls,
+        points: Sequence[Point],
+        payloads: Optional[Sequence[Any]] = None,
+        max_entries: int = DEFAULT_FLAT_MAX_ENTRIES,
+    ) -> "FlatRTree":
+        tree = cls(max_entries=max_entries)
+        if payloads is None:
+            payloads = list(range(len(points)))
+        elif len(payloads) != len(points):
+            raise ValueError("payloads length must match points length")
+        pts = np.asarray([[p.x, p.y] for p in points], dtype=np.float64)
+        pts = pts.reshape(len(points), 2)
+        tree._rebuild(pts, list(payloads))
+        return tree
+
+    def _rebuild(self, pts: np.ndarray, payloads: list[Any]) -> None:
+        self._entry_cache = None
+        self._pt_cols = None
+        n = len(pts)
+        if n == 0:
+            self._pts = np.empty((0, 2), dtype=np.float64)
+            self._payloads = []
+            self._levels = []
+            return
+        cap = self.max_entries
+        order, bnd = _str_partition(pts[:, 0], pts[:, 1], cap)
+        self._pts = np.ascontiguousarray(pts[order])
+        self._payloads = [payloads[i] for i in order]
+        starts = bnd[:-1]
+        counts = np.diff(bnd)
+        bounds = np.empty((len(starts), 4), dtype=np.float64)
+        bounds[:, 0] = np.minimum.reduceat(self._pts[:, 0], starts)
+        bounds[:, 1] = np.minimum.reduceat(self._pts[:, 1], starts)
+        bounds[:, 2] = np.maximum.reduceat(self._pts[:, 0], starts)
+        bounds[:, 3] = np.maximum.reduceat(self._pts[:, 1], starts)
+        self._levels = [_Level(bounds, starts, counts)]
+        while len(self._levels[-1]) > 1:
+            low = self._levels[-1]
+            cx = (low.bounds[:, 0] + low.bounds[:, 2]) / 2.0
+            cy = (low.bounds[:, 1] + low.bounds[:, 3]) / 2.0
+            order, bnd = _str_partition(cx, cy, cap)
+            # Permute the lower level so each parent's children are a
+            # contiguous run; the ranges it stores still point one level
+            # further down and survive the permutation untouched.
+            low.bounds = np.ascontiguousarray(low.bounds[order])
+            low.start = low.start[order]
+            low.count = low.count[order]
+            starts = bnd[:-1]
+            counts = np.diff(bnd)
+            pb = np.empty((len(starts), 4), dtype=np.float64)
+            pb[:, 0] = np.minimum.reduceat(low.bounds[:, 0], starts)
+            pb[:, 1] = np.minimum.reduceat(low.bounds[:, 1], starts)
+            pb[:, 2] = np.maximum.reduceat(low.bounds[:, 2], starts)
+            pb[:, 3] = np.maximum.reduceat(low.bounds[:, 3], starts)
+            self._levels.append(_Level(pb, starts, counts))
+
+    # ------------------------------------------------------------------
+    # Dynamic maintenance (rebuild-based)
+    # ------------------------------------------------------------------
+
+    def insert(self, point: Point, payload: Any = None) -> None:
+        pts = np.vstack([self._pts, [[point.x, point.y]]])
+        self._rebuild(pts, self._payloads + [payload])
+
+    def delete(self, point: Point, payload: Any = None) -> bool:
+        """Remove one entry matching ``point`` (and ``payload`` if given)."""
+        victim = self._find(point, payload)
+        if victim is None:
+            return False
+        pts = np.delete(self._pts, victim, axis=0)
+        payloads = self._payloads[:victim] + self._payloads[victim + 1 :]
+        self._rebuild(pts, payloads)
+        return True
+
+    def _find(self, point: Point, payload: Any) -> Optional[int]:
+        hits = np.flatnonzero(
+            (self._pts[:, 0] == point.x) & (self._pts[:, 1] == point.y)
+        )
+        for i in hits.tolist():
+            if payload is None or self._payloads[i] == payload:
+                return i
+        return None
+
+    def bulk_update(
+        self,
+        adds: Sequence[tuple[Point, Any]] = (),
+        removes: Sequence[tuple[Point, Any]] = (),
+    ) -> None:
+        """Apply many inserts and deletes with ONE repacking rebuild.
+
+        This is the churn-friendly path for this backend: per-item
+        :meth:`insert` / :meth:`delete` each rebuild the whole packing,
+        a batch pays that cost once.  ``removes`` pairs a point with a
+        payload (None matches any); all removals are resolved (shared
+        :func:`repro.index.rtree.resolve_removals` contract) before
+        anything mutates, so a ``KeyError`` for a missing entry leaves
+        the tree untouched.
+        """
+        snapshot = [(e.point, e.payload) for e in self._materialized()]
+        dead = set(resolve_removals(snapshot, removes))
+        keep = [i for i in range(len(self._pts)) if i not in dead]
+        new_pts = [self._pts[keep]] if keep else []
+        new_payloads = [self._payloads[i] for i in keep]
+        if adds:
+            new_pts.append(
+                np.asarray([[p.x, p.y] for p, _ in adds], dtype=np.float64)
+            )
+            new_payloads.extend(pl for _, pl in adds)
+        pts = (
+            np.vstack(new_pts) if new_pts else np.empty((0, 2), dtype=np.float64)
+        )
+        self._rebuild(pts, new_payloads)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pts)
+
+    def _materialized(self) -> list[Entry]:
+        """Entry objects for every packed point, built once per packing.
+
+        Queries return a handful of entries out of tens of thousands of
+        points; materializing the whole set lazily (and only once) keeps
+        the per-query cost at list indexing instead of object churn.
+        """
+        if self._entry_cache is None:
+            self._entry_cache = [
+                Entry(Point(x, y), pl)
+                for (x, y), pl in zip(self._pts.tolist(), self._payloads)
+            ]
+        return self._entry_cache
+
+    def _entry(self, i: int) -> Entry:
+        return self._materialized()[i]
+
+    def point_columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(xs, ys)`` of the packed points as contiguous 1-D arrays."""
+        if self._pt_cols is None:
+            self._pt_cols = (
+                np.ascontiguousarray(self._pts[:, 0]),
+                np.ascontiguousarray(self._pts[:, 1]),
+            )
+        return self._pt_cols
+
+    def entries(self) -> Iterator[Entry]:
+        """All leaf entries, in packed (tree) order."""
+        return iter(self._materialized())
+
+    def points(self) -> list[Point]:
+        return [e.point for e in self._materialized()]
+
+    def height(self) -> int:
+        return max(1, len(self._levels))
+
+    def validate(self) -> None:
+        """Check packing invariants; raises AssertionError on breach."""
+        if not self._levels:
+            if len(self._pts) != 0:
+                raise AssertionError("points without levels")
+            return
+        for li, lvl in enumerate(self._levels):
+            below_n = len(self._pts) if li == 0 else len(self._levels[li - 1])
+            covered = 0
+            for j in range(len(lvl)):
+                s, c = int(lvl.start[j]), int(lvl.count[j])
+                if c < 1 or s < 0 or s + c > below_n:
+                    raise AssertionError(f"bad child range at level {li}")
+                covered += c
+                if li == 0:
+                    seg = self._pts[s : s + c]
+                    lo = seg.min(axis=0)
+                    hi = seg.max(axis=0)
+                else:
+                    seg = self._levels[li - 1].bounds[s : s + c]
+                    lo = seg[:, :2].min(axis=0)
+                    hi = seg[:, 2:].max(axis=0)
+                if not (
+                    np.all(lvl.bounds[j, :2] <= lo) and np.all(lvl.bounds[j, 2:] >= hi)
+                ):
+                    raise AssertionError(f"child escapes MBR at level {li}")
+            if covered != below_n:
+                raise AssertionError(f"level {li} does not cover the level below")
+        if len(self._levels[-1]) != 1:
+            raise AssertionError("top level must hold exactly the root")
+        if len(self._payloads) != len(self._pts):
+            raise AssertionError("payloads out of sync with points")
+
+    # ------------------------------------------------------------------
+    # Nearest-neighbor and range primitives
+    # ------------------------------------------------------------------
+
+    def incremental_nearest(self, query: Point) -> Iterator[Entry]:
+        """Leaf entries in increasing distance from ``query``.
+
+        Scored in squared-distance space — the ordering is identical
+        and no square root is ever taken.
+        """
+        qx, qy = query.x, query.y
+        stream = kernels.best_first(
+            self,
+            lambda b: kernels.min_dists_sq(b, qx, qy),
+            lambda p: kernels.point_dists_sq(p, qx, qy),
+        )
+        cache = self._materialized()
+        for _, i in stream:
+            yield cache[i]
+
+    def knn(self, query: Point, k: int) -> list[Entry]:
+        if k <= 0:
+            return []
+        return list(itertools.islice(self.incremental_nearest(query), k))
+
+    def knn_many(self, queries: Sequence[Point], k: int) -> list[list[Entry]]:
+        """k-NN for many query points in one vectorized pass."""
+        if k <= 0 or not queries:
+            return [[] for _ in queries]
+        U = np.asarray([[[q.x, q.y]] for q in queries], dtype=np.float64)
+        out = kernels.gnn_batch(self, U, k, "max")
+        if out is None:
+            return [self.knn(q, k) for q in queries]
+        cache = self._materialized()
+        return [[cache[i] for i in row] for row in out[1].tolist()]
+
+    def nearest(self, query: Point) -> Entry | None:
+        result = self.knn(query, 1)
+        return result[0] if result else None
+
+    def range_many(self, windows: Sequence[Rect]) -> list[list[Entry]]:
+        """Window queries for many windows in one frontier traversal."""
+        W = np.asarray(
+            [[w.x_lo, w.y_lo, w.x_hi, w.y_hi] for w in windows], dtype=np.float64
+        ).reshape(len(windows), 4)
+        qid, pid = kernels.range_batch(self, W)
+        cache = self._materialized()
+        # qid is sorted by window; slice each window's run out of pid.
+        cuts = np.searchsorted(qid, np.arange(len(windows) + 1))
+        pid = pid.tolist()
+        get = cache.__getitem__
+        return [
+            list(map(get, pid[lo:hi])) for lo, hi in zip(cuts[:-1], cuts[1:])
+        ]
+
+    def range_query(self, window: Rect) -> list[Entry]:
+        """All entries whose point lies inside ``window``."""
+        idx = kernels.pruned_scan(
+            self,
+            lambda b: ~(
+                (b[:, 2] < window.x_lo)
+                | (b[:, 0] > window.x_hi)
+                | (b[:, 3] < window.y_lo)
+                | (b[:, 1] > window.y_hi)
+            ),
+            lambda p: (
+                (p[:, 0] >= window.x_lo)
+                & (p[:, 0] <= window.x_hi)
+                & (p[:, 1] >= window.y_lo)
+                & (p[:, 1] <= window.y_hi)
+            ),
+        )
+        cache = self._materialized()
+        return [cache[i] for i in idx.tolist()]
+
+    def circle_range_query(self, center: Point, radius: float) -> list[Entry]:
+        """All entries within ``radius`` of ``center``."""
+        cx, cy = center.x, center.y
+        idx = kernels.pruned_scan(
+            self,
+            lambda b: kernels.min_dists(b, cx, cy) <= radius,
+            lambda p: kernels.point_dists(p, cx, cy) <= radius,
+        )
+        cache = self._materialized()
+        return [cache[i] for i in idx.tolist()]
+
+    # ------------------------------------------------------------------
+    # Aggregate (group) nearest neighbor
+    # ------------------------------------------------------------------
+
+    def incremental_gnn(
+        self, users: Sequence[Point], agg: str = "max"
+    ) -> Iterator[tuple[float, Entry]]:
+        """Yield ``(aggregate_distance, entry)`` in increasing order."""
+        if not users:
+            raise ValueError("user group must be non-empty")
+        U = np.asarray([[u.x, u.y] for u in users], dtype=np.float64)
+        if agg == "max":
+            # max is monotone under squaring: search in squared space
+            # (one sqrt per yielded result instead of m hypots per item).
+            node_bound = lambda b: kernels.min_dists_sq_multi(b, U).max(axis=0)
+            point_score = lambda p: kernels.point_dists_sq_multi(p, U).max(axis=1)
+            finish = math.sqrt
+        elif agg == "sum":
+            node_bound = lambda b: kernels.min_dists_multi(b, U).sum(axis=0)
+            point_score = lambda p: kernels.point_dists_multi(p, U).sum(axis=1)
+            finish = lambda s: s
+        else:
+            raise ValueError(f"unknown aggregate: {agg!r}")
+        cache = self._materialized()
+        for score, i in kernels.best_first(self, node_bound, point_score):
+            yield finish(score), cache[i]
+
+    def gnn(
+        self, users: Sequence[Point], k: int = 1, agg: str = "max"
+    ) -> list[tuple[float, Entry]]:
+        if k <= 0:
+            return []
+        return list(itertools.islice(self.incremental_gnn(users, agg), k))
+
+    def gnn_many(
+        self, groups: Sequence[Sequence[Point]], k: int = 1, agg: str = "max"
+    ) -> list[list[tuple[float, Entry]]]:
+        """k-GNN for many equal-size groups in one vectorized pass.
+
+        Ragged group sizes (or a declined batch kernel) fall back to
+        the per-group search; results are identical modulo ties.
+        """
+        if not groups:
+            return []
+        if agg not in ("max", "sum"):
+            raise ValueError(f"unknown aggregate: {agg!r}")
+        sizes = {len(g) for g in groups}
+        out = None
+        if len(sizes) == 1 and 0 not in sizes and k > 0:
+            U = np.asarray(
+                [[[u.x, u.y] for u in g] for g in groups], dtype=np.float64
+            )
+            out = kernels.gnn_batch(self, U, k, agg)
+        if out is None:
+            return [self.gnn(g, k, agg) for g in groups]
+        scores, ids = out
+        cache = self._materialized()
+        return [
+            [(s, cache[i]) for s, i in zip(srow, irow)]
+            for srow, irow in zip(scores.tolist(), ids.tolist())
+        ]
+
+    # ------------------------------------------------------------------
+    # Pruned candidate scans (Theorems 3 and 6 primitives)
+    # ------------------------------------------------------------------
+
+    def intersect_balls(
+        self,
+        centers: Sequence[Point],
+        radii: Sequence[float],
+        exclude: Optional[Point] = None,
+        stats=None,
+    ) -> list[Point]:
+        """Points within ``radii[i]`` of ``centers[i]`` for EVERY i.
+
+        A node survives only if it intersects every ball — the MBR
+        pruning rule of Theorem 3 (Fig. 10).
+        """
+        C = np.asarray([[c.x, c.y] for c in centers], dtype=np.float64)
+        r = np.asarray(radii, dtype=np.float64)
+        idx = kernels.pruned_scan(
+            self,
+            lambda b: np.all(kernels.min_dists_multi(b, C) <= r[:, None], axis=0),
+            lambda p: np.all(kernels.point_dists_multi(p, C) <= r[None, :], axis=1),
+            stats,
+        )
+        return self._points_excluding(idx, exclude)
+
+    def within_dist_sum(
+        self,
+        centers: Sequence[Point],
+        threshold: float,
+        exclude: Optional[Point] = None,
+        stats=None,
+    ) -> list[Point]:
+        """Points whose summed distance to ``centers`` is <= threshold.
+
+        The MBR analogue sums per-user min-distances (Theorem 6).
+        """
+        C = np.asarray([[c.x, c.y] for c in centers], dtype=np.float64)
+        idx = kernels.pruned_scan(
+            self,
+            lambda b: kernels.min_dists_multi(b, C).sum(axis=0) <= threshold,
+            lambda p: kernels.point_dists_multi(p, C).sum(axis=1) <= threshold,
+            stats,
+        )
+        return self._points_excluding(idx, exclude)
+
+    def scan(self, exclude: Optional[Point] = None, stats=None) -> list[Point]:
+        """All points (minus ``exclude``) via a full counted traversal."""
+        ones = lambda a: np.ones(len(a), dtype=bool)
+        idx = kernels.pruned_scan(self, ones, ones, stats)
+        return self._points_excluding(idx, exclude)
+
+    def _points_excluding(self, idx: np.ndarray, exclude: Optional[Point]) -> list[Point]:
+        if exclude is not None and idx.size:
+            rows = self._pts[idx]
+            keep = ~((rows[:, 0] == exclude.x) & (rows[:, 1] == exclude.y))
+            idx = idx[keep]
+        cache = self._materialized()
+        return [cache[i].point for i in idx.tolist()]

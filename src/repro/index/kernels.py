@@ -1,0 +1,441 @@
+"""Vectorized traversal kernels over the flat (SoA) R-tree layout.
+
+One best-first kernel and one pruned-scan kernel serve every spatial
+primitive in the system: k-NN and incremental NN (index layer), k-GNN
+with batched per-user ``min_dist`` lower bounds (gnn layer), window and
+circle range queries, and the Theorem-3/6 candidate pruning scans (core
+layer).  Callers parameterize the kernels with small closures that map
+packed node bounds / point arrays to scores or masks; the traversal
+logic itself — heap discipline, level-wise frontier expansion, node
+access accounting — is written exactly once.
+
+The node layout these kernels consume is documented in
+:mod:`repro.index.flat`: per level, ``bounds`` is ``(k, 4)`` float64
+``[x_lo, y_lo, x_hi, y_hi]`` and each node's children occupy the
+contiguous range ``start[i] : start[i] + count[i]`` of the level below
+(leaf nodes range over the packed point array instead).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterator, Optional
+
+import numpy as np
+
+# A node-scoring function: (k, 4) bounds -> (k,) lower bounds.
+BoundFn = Callable[[np.ndarray], np.ndarray]
+# A point-scoring function: (k, 2) points -> (k,) exact scores.
+ScoreFn = Callable[[np.ndarray], np.ndarray]
+# Mask variants used by the pruned scan.
+MaskFn = Callable[[np.ndarray], np.ndarray]
+
+
+def min_dists(bounds: np.ndarray, x: float, y: float) -> np.ndarray:
+    """``||q, N||_min`` for every node MBR in ``bounds`` at once."""
+    dx = np.maximum(bounds[:, 0] - x, 0.0) + np.maximum(x - bounds[:, 2], 0.0)
+    dy = np.maximum(bounds[:, 1] - y, 0.0) + np.maximum(y - bounds[:, 3], 0.0)
+    return np.hypot(dx, dy)
+
+
+def min_dists_sq(bounds: np.ndarray, x: float, y: float) -> np.ndarray:
+    """Squared ``||q, N||_min`` — same ordering, no square roots."""
+    dx = np.maximum(bounds[:, 0] - x, 0.0) + np.maximum(x - bounds[:, 2], 0.0)
+    dy = np.maximum(bounds[:, 1] - y, 0.0) + np.maximum(y - bounds[:, 3], 0.0)
+    return dx * dx + dy * dy
+
+
+def min_dists_sq_multi(bounds: np.ndarray, users: np.ndarray) -> np.ndarray:
+    """Squared per-user node ``min_dist`` matrix, shape ``(m, k)``."""
+    ux = users[:, 0][:, None]
+    uy = users[:, 1][:, None]
+    dx = np.maximum(bounds[None, :, 0] - ux, 0.0) + np.maximum(
+        ux - bounds[None, :, 2], 0.0
+    )
+    dy = np.maximum(bounds[None, :, 1] - uy, 0.0) + np.maximum(
+        uy - bounds[None, :, 3], 0.0
+    )
+    return dx * dx + dy * dy
+
+
+def point_dists_sq(pts: np.ndarray, x: float, y: float) -> np.ndarray:
+    """Squared distances from ``(x, y)`` to every packed point."""
+    dx = pts[:, 0] - x
+    dy = pts[:, 1] - y
+    return dx * dx + dy * dy
+
+
+def point_dists_sq_multi(pts: np.ndarray, users: np.ndarray) -> np.ndarray:
+    """Squared point-to-user distance matrix, shape ``(k, m)``."""
+    dx = pts[:, 0][:, None] - users[None, :, 0]
+    dy = pts[:, 1][:, None] - users[None, :, 1]
+    return dx * dx + dy * dy
+
+
+def min_dists_multi(bounds: np.ndarray, users: np.ndarray) -> np.ndarray:
+    """Per-user node ``min_dist`` matrix, shape ``(m, k)``.
+
+    This is the batched lower-bound computation of the MBM aggregate-NN
+    method (Papadias et al., ref. [24]): one call covers the whole
+    group against a whole sibling set.
+    """
+    ux = users[:, 0][:, None]
+    uy = users[:, 1][:, None]
+    dx = np.maximum(bounds[None, :, 0] - ux, 0.0) + np.maximum(
+        ux - bounds[None, :, 2], 0.0
+    )
+    dy = np.maximum(bounds[None, :, 1] - uy, 0.0) + np.maximum(
+        uy - bounds[None, :, 3], 0.0
+    )
+    return np.hypot(dx, dy)
+
+
+def point_dists(pts: np.ndarray, x: float, y: float) -> np.ndarray:
+    """Distances from ``(x, y)`` to every packed point."""
+    return np.hypot(pts[:, 0] - x, pts[:, 1] - y)
+
+
+def point_dists_multi(pts: np.ndarray, users: np.ndarray) -> np.ndarray:
+    """Point-to-user distance matrix, shape ``(k, m)``."""
+    return np.hypot(
+        pts[:, 0][:, None] - users[None, :, 0],
+        pts[:, 1][:, None] - users[None, :, 1],
+    )
+
+
+def expand_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(s, s + c)`` for every (start, count) pair."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    # Offset of each output slot within its own range, then shift.
+    bases = np.repeat(counts.cumsum() - counts, counts)
+    return np.arange(total, dtype=np.int64) - bases + np.repeat(starts, counts)
+
+
+_POINTS = -1  # cursor over scored points: pops yield results
+
+
+def best_first(tree, node_bound: BoundFn, point_score: ScoreFn) -> Iterator[tuple[float, int]]:
+    """Yield ``(score, point_index)`` in increasing score order.
+
+    Generic best-first search: node lower bounds and point scores are
+    computed vectorized per sibling set, then fed through one priority
+    queue.  Serves plain NN (score = distance to one query point) and
+    aggregate GNN (score = MAX/SUM over the group) alike.  Callers may
+    score with any monotone transform of the target metric (e.g.
+    squared distances) as long as ``node_bound`` stays a lower bound of
+    ``point_score`` over the node's subtree.
+
+    Every expanded node enters the queue as a single *cursor* — its
+    children (or points) pre-scored vectorized and pre-sorted — keyed
+    by the score of the next unconsumed item.  A sibling set of w
+    items therefore costs one scoring call and one push, plus one
+    push/pop per item the search actually reaches, not w pushes up
+    front.
+    """
+    levels = tree._levels
+    if not levels:
+        return
+    top = len(levels) - 1
+    counter = itertools.count()  # tie-breaker: heap never compares cursors
+    root_bound = float(node_bound(levels[top].bounds[0:1])[0])
+    # Heap items: (score, seq, cursor_level, scores, ids, pos) where
+    # ids[pos:] are unconsumed nodes of that level (_POINTS: points).
+    heap: list = [(root_bound, next(counter), top, [root_bound], [0], 0)]
+    while heap:
+        score, _, clevel, scores, ids, pos = heapq.heappop(heap)
+        if pos + 1 < len(ids):  # re-arm the cursor for its next item
+            heapq.heappush(
+                heap, (scores[pos + 1], next(counter), clevel, scores, ids, pos + 1)
+            )
+        if clevel == _POINTS:
+            yield score, ids[pos]
+            continue
+        lvl = levels[clevel]
+        idx = ids[pos]
+        start = int(lvl.start[idx])
+        stop = start + int(lvl.count[idx])
+        if clevel == 0:
+            sc = point_score(tree._pts[start:stop])
+            child_level = _POINTS
+        else:
+            sc = node_bound(levels[clevel - 1].bounds[start:stop])
+            child_level = clevel - 1
+        order = np.argsort(sc, kind="stable")
+        heapq.heappush(
+            heap,
+            (
+                float(sc[order[0]]),
+                next(counter),
+                child_level,
+                sc[order].tolist(),
+                (start + order).tolist(),
+                0,
+            ),
+        )
+
+
+def _scorers(tree, U: np.ndarray, agg: str):
+    """Build the four scoring closures ``gnn_batch`` traverses with.
+
+    ``block_*`` score a per-group gathered block of node ids / point
+    ids shaped ``(g, cap)``; ``pair_*`` score flat (group, node/point)
+    pair arrays, where ``gidx`` maps each row to its group.  All four
+    gather from the level/point *column* arrays (contiguous 1-D), which
+    beats row gathers of the packed 2-D layouts.  Groups of one user
+    skip the per-user axis and its reductions entirely and always score
+    in squared space (MAX and SUM coincide for m = 1); returns
+    ``(block_bounds, block_points, pair_bounds, pair_points,
+    out_sqrt)`` with ``out_sqrt`` telling the caller whether final
+    scores still need the square root.
+    """
+    g, m, _ = U.shape
+    squared = agg == "max"  # max is monotone under squaring; sum is not
+    xs, ys = tree.point_columns()
+    if m == 1:
+        qx = np.ascontiguousarray(U[:, 0, 0])
+        qy = np.ascontiguousarray(U[:, 0, 1])
+
+        def block_bounds(lvl, cidx: np.ndarray) -> np.ndarray:
+            lo_x, lo_y, hi_x, hi_y = lvl.columns()
+            bx = qx[:, None]
+            by = qy[:, None]
+            dx = np.maximum(np.maximum(lo_x[cidx] - bx, bx - hi_x[cidx]), 0.0)
+            dy = np.maximum(np.maximum(lo_y[cidx] - by, by - hi_y[cidx]), 0.0)
+            return dx * dx + dy * dy
+
+        def block_points(pidx: np.ndarray) -> np.ndarray:
+            dx = xs[pidx] - qx[:, None]
+            dy = ys[pidx] - qy[:, None]
+            return dx * dx + dy * dy
+
+        def pair_bounds(lvl, nid: np.ndarray, gidx: np.ndarray) -> np.ndarray:
+            lo_x, lo_y, hi_x, hi_y = lvl.columns()
+            gx = qx[gidx]
+            gy = qy[gidx]
+            dx = np.maximum(np.maximum(lo_x[nid] - gx, gx - hi_x[nid]), 0.0)
+            dy = np.maximum(np.maximum(lo_y[nid] - gy, gy - hi_y[nid]), 0.0)
+            return dx * dx + dy * dy
+
+        def pair_points(nid: np.ndarray, gidx: np.ndarray) -> np.ndarray:
+            dx = xs[nid] - qx[gidx]
+            dy = ys[nid] - qy[gidx]
+            return dx * dx + dy * dy
+
+        return block_bounds, block_points, pair_bounds, pair_points, True
+
+    qxm = np.ascontiguousarray(U[:, :, 0])  # (g, m)
+    qym = np.ascontiguousarray(U[:, :, 1])
+    ux3 = qxm[:, :, None]  # (g, m, 1)
+    uy3 = qym[:, :, None]
+
+    def block_bounds(lvl, cidx: np.ndarray) -> np.ndarray:
+        lo_x, lo_y, hi_x, hi_y = lvl.columns()
+        blx = lo_x[cidx][:, None, :]  # (g, 1, cap)
+        bhx = hi_x[cidx][:, None, :]
+        bly = lo_y[cidx][:, None, :]
+        bhy = hi_y[cidx][:, None, :]
+        dx = np.maximum(np.maximum(blx - ux3, ux3 - bhx), 0.0)
+        dy = np.maximum(np.maximum(bly - uy3, uy3 - bhy), 0.0)
+        D = dx * dx + dy * dy  # (g, m, cap)
+        return D.max(axis=1) if squared else np.sqrt(D).sum(axis=1)
+
+    def block_points(pidx: np.ndarray) -> np.ndarray:
+        dx = xs[pidx][:, None, :] - ux3  # (g, m, cap)
+        dy = ys[pidx][:, None, :] - uy3
+        d = dx * dx + dy * dy
+        return d.max(axis=1) if squared else np.sqrt(d).sum(axis=1)
+
+    def pair_bounds(lvl, nid: np.ndarray, gidx: np.ndarray) -> np.ndarray:
+        lo_x, lo_y, hi_x, hi_y = lvl.columns()
+        gx = qxm[gidx]  # (p, m)
+        gy = qym[gidx]
+        blx = lo_x[nid][:, None]
+        bhx = hi_x[nid][:, None]
+        bly = lo_y[nid][:, None]
+        bhy = hi_y[nid][:, None]
+        dx = np.maximum(np.maximum(blx - gx, gx - bhx), 0.0)
+        dy = np.maximum(np.maximum(bly - gy, gy - bhy), 0.0)
+        D = dx * dx + dy * dy
+        return D.max(axis=1) if squared else np.sqrt(D).sum(axis=1)
+
+    def pair_points(nid: np.ndarray, gidx: np.ndarray) -> np.ndarray:
+        dx = xs[nid][:, None] - qxm[gidx]  # (p, m)
+        dy = ys[nid][:, None] - qym[gidx]
+        d = dx * dx + dy * dy
+        return d.max(axis=1) if squared else np.sqrt(d).sum(axis=1)
+
+    return block_bounds, block_points, pair_bounds, pair_points, squared
+
+
+def gnn_batch(
+    tree, U: np.ndarray, k: int, agg: str
+) -> Optional[tuple[np.ndarray, np.ndarray]]:
+    """Exact k-GNN for many groups in one vectorized pass.
+
+    ``U`` is ``(g, m, 2)`` — ``g`` groups of ``m`` users each (plain
+    k-NN is the ``m = 1`` case).  Strategy: (1) greedy batched descent
+    from the root, each group following its minimum-lower-bound child,
+    lands every group on its most promising *seed leaf*; (2) the k-th
+    best aggregate distance among the seed leaf's points upper-bounds
+    the true k-th best; (3) a frontier of (group, node) pairs descends
+    from the root again, dropping every pair whose lower bound exceeds
+    the group's bound, and the surviving leaves' points are scored and
+    segment-selected to the top k per group.  All three phases cost a
+    constant number of NumPy calls per tree level, independent of g.
+    Returns ``(scores, ids)`` of shape ``(g, k)``, or None when a
+    precondition fails (k exceeds a seed leaf; caller falls back to
+    the incremental search).
+    """
+    levels = tree._levels
+    if not levels or k <= 0 or k > len(tree._pts):
+        return None
+    leaf = levels[0]
+    g = U.shape[0]
+    block_bounds, block_points, pair_bounds, pair_points, out_sqrt = _scorers(
+        tree, U, agg
+    )
+
+    # (1) greedy descent: per group, repeatedly step into the child
+    # with the smallest aggregate lower bound.  Each level scores one
+    # (g, fanout) block; the landing leaf is a good (not necessarily
+    # optimal) source for the pruning bound.
+    seed = np.zeros(g, dtype=np.int64)
+    for level in range(len(levels) - 1, 0, -1):
+        lvl = levels[level]
+        start = lvl.start[seed]
+        count = lvl.count[seed]
+        cap = int(count.max())
+        col = np.arange(cap)
+        cidx = start[:, None] + col[None, :]
+        valid = col[None, :] < count[:, None]
+        sc = block_bounds(levels[level - 1], np.where(valid, cidx, 0))  # (g, cap)
+        sc = np.where(valid, sc, np.inf)
+        seed = cidx[np.arange(g), sc.argmin(axis=1)]
+
+    # (2) k-th best aggregate distance inside each group's seed leaf.
+    seed_count = leaf.count[seed]
+    if (seed_count < k).any():
+        return None
+    cap = int(seed_count.max())
+    col = np.arange(cap)
+    pidx = leaf.start[seed][:, None] + col[None, :]
+    valid = col[None, :] < seed_count[:, None]
+    pa = np.where(valid, block_points(np.where(valid, pidx, 0)), np.inf)
+    bound = np.partition(pa, k - 1, axis=1)[:, k - 1]  # (g,)
+
+    # (3) bounded frontier descent: (group, node) pairs, pruned per
+    # level.  The seed path always survives (ancestor bounds only
+    # shrink down the path), so every group keeps >= k candidates.
+    gid = np.arange(g, dtype=np.int64)
+    nid = np.zeros(g, dtype=np.int64)
+    for level in range(len(levels) - 1, -1, -1):
+        lvl = levels[level]
+        sc = pair_bounds(lvl, nid, gid)
+        keep = sc <= bound[gid]
+        gid = gid[keep]
+        nid = nid[keep]
+        counts = lvl.count[nid]
+        gid = np.repeat(gid, counts)
+        nid = expand_ranges(lvl.start[nid], counts)
+
+    sc = pair_points(nid, gid)
+    sel = sc <= bound[gid]  # drop losers before the sort
+    gid = gid[sel]
+    nid = nid[sel]
+    sc = sc[sel]
+
+    # Segment-select the k best per group.
+    order = np.lexsort((nid, sc, gid))
+    sq_ = gid[order]
+    seg_new = np.empty(len(sq_), dtype=bool)
+    seg_new[0] = True
+    seg_new[1:] = sq_[1:] != sq_[:-1]
+    seg_start = np.flatnonzero(seg_new)
+    seg_len = np.diff(np.append(seg_start, len(sq_)))
+    pos = np.arange(len(sq_)) - np.repeat(seg_start, seg_len)
+    sel = pos < k
+    scores = sc[order][sel].reshape(g, k)
+    ids = nid[order][sel].reshape(g, k)
+    if out_sqrt:
+        scores = np.sqrt(scores)
+    return scores, ids
+
+
+def range_batch(tree, W: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Window queries for many windows in one frontier traversal.
+
+    ``W`` is ``(w, 4)`` float64 ``[x_lo, y_lo, x_hi, y_hi]``.  The
+    frontier is a flat array of (window, node) pairs; each level prunes
+    and expands ALL pairs in a constant number of NumPy calls, so the
+    per-level cost is independent of how many windows are in flight.
+    Returns ``(window_ids, point_ids)`` of the surviving points, sorted
+    by window then packed point order.
+    """
+    levels = tree._levels
+    if not levels or len(W) == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    wlx = np.ascontiguousarray(W[:, 0])
+    wly = np.ascontiguousarray(W[:, 1])
+    whx = np.ascontiguousarray(W[:, 2])
+    why = np.ascontiguousarray(W[:, 3])
+    qid = np.arange(len(W), dtype=np.int64)
+    nid = np.zeros(len(W), dtype=np.int64)
+    for level in range(len(levels) - 1, -1, -1):
+        lvl = levels[level]
+        lo_x, lo_y, hi_x, hi_y = lvl.columns()
+        keep = (
+            (hi_x[nid] >= wlx[qid])
+            & (lo_x[nid] <= whx[qid])
+            & (hi_y[nid] >= wly[qid])
+            & (lo_y[nid] <= why[qid])
+        )
+        qid = qid[keep]
+        nid = nid[keep]
+        if nid.size == 0:
+            return qid, nid
+        counts = lvl.count[nid]
+        qid = np.repeat(qid, counts)
+        nid = expand_ranges(lvl.start[nid], counts)
+    xs, ys = tree.point_columns()
+    px = xs[nid]
+    py = ys[nid]
+    mask = (
+        (px >= wlx[qid])
+        & (px <= whx[qid])
+        & (py >= wly[qid])
+        & (py <= why[qid])
+    )
+    return qid[mask], nid[mask]
+
+
+def pruned_scan(
+    tree,
+    node_mask: MaskFn,
+    point_mask: MaskFn,
+    stats: Optional[Any] = None,
+) -> np.ndarray:
+    """Indices of points surviving a node-pruned scan.
+
+    Level-wise frontier traversal: at each level the surviving nodes'
+    children are gathered in one shot and masked in one vectorized
+    call.  Node accesses are counted exactly as the object backend
+    does — every node whose MBR is examined is one access.
+    """
+    levels = tree._levels
+    if not levels:
+        return np.empty(0, dtype=np.int64)
+    idx = np.zeros(1, dtype=np.int64)
+    for level in range(len(levels) - 1, -1, -1):
+        lvl = levels[level]
+        if stats is not None:
+            stats.index_node_accesses += int(idx.size)
+        keep = node_mask(lvl.bounds[idx])
+        idx = idx[keep]
+        if idx.size == 0:
+            return np.empty(0, dtype=np.int64)
+        idx = expand_ranges(lvl.start[idx], lvl.count[idx])
+    mask = point_mask(tree._pts[idx])
+    return idx[mask]

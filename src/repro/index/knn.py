@@ -1,87 +1,41 @@
-"""Best-first (incremental) nearest-neighbor and range search."""
+"""Best-first (incremental) nearest-neighbor and range search.
+
+These module-level functions are the historical public API; since the
+backend refactor they dispatch to whichever :class:`SpatialIndex`
+backend built the tree (vectorized flat kernels or the object
+reference traversals) and work identically on both.
+"""
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from typing import Iterator
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
-from repro.index.rtree import Entry, RTree, RTreeNode
+from repro.index.backend import SpatialIndex
+from repro.index.rtree import Entry
 
 
-def incremental_nearest(tree: RTree, query: Point) -> Iterator[Entry]:
-    """Yield leaf entries in increasing distance from ``query``.
-
-    Classic best-first traversal with a priority queue keyed on
-    ``min_dist``; optimal in the number of node accesses.
-    """
-    counter = itertools.count()  # tie-breaker: heap entries never compare nodes
-    heap: list[tuple[float, int, bool, object]] = []
-    root = tree.root
-    heapq.heappush(heap, (root.rect.min_dist(query), next(counter), False, root))
-    while heap:
-        d, _, is_entry, item = heapq.heappop(heap)
-        if is_entry:
-            yield item  # type: ignore[misc]
-            continue
-        node: RTreeNode = item  # type: ignore[assignment]
-        if node.is_leaf:
-            for e in node.children:
-                heapq.heappush(
-                    heap, (e.point.dist(query), next(counter), True, e)
-                )
-        else:
-            for c in node.children:
-                heapq.heappush(
-                    heap, (c.rect.min_dist(query), next(counter), False, c)
-                )
+def incremental_nearest(tree: SpatialIndex, query: Point) -> Iterator[Entry]:
+    """Yield leaf entries in increasing distance from ``query``."""
+    return tree.incremental_nearest(query)
 
 
-def knn(tree: RTree, query: Point, k: int) -> list[Entry]:
+def knn(tree: SpatialIndex, query: Point, k: int) -> list[Entry]:
     """The ``k`` nearest entries to ``query`` (fewer if the tree is small)."""
-    if k <= 0:
-        return []
-    out: list[Entry] = []
-    for e in incremental_nearest(tree, query):
-        out.append(e)
-        if len(out) == k:
-            break
-    return out
+    return tree.knn(query, k)
 
 
-def nearest(tree: RTree, query: Point) -> Entry | None:
+def nearest(tree: SpatialIndex, query: Point) -> Entry | None:
     """The single nearest entry, or ``None`` for an empty tree."""
-    result = knn(tree, query, 1)
-    return result[0] if result else None
+    return tree.nearest(query)
 
 
-def range_query(tree: RTree, window: Rect) -> list[Entry]:
+def range_query(tree: SpatialIndex, window: Rect) -> list[Entry]:
     """All entries whose point lies inside ``window``."""
-    out: list[Entry] = []
-    stack = [tree.root]
-    while stack:
-        node = stack.pop()
-        if not node.rect.intersects(window):
-            continue
-        if node.is_leaf:
-            out.extend(e for e in node.children if window.contains_point(e.point))
-        else:
-            stack.extend(c for c in node.children if c.rect.intersects(window))
-    return out
+    return tree.range_query(window)
 
 
-def circle_range_query(tree: RTree, center: Point, radius: float) -> list[Entry]:
+def circle_range_query(tree: SpatialIndex, center: Point, radius: float) -> list[Entry]:
     """All entries within ``radius`` of ``center``."""
-    out: list[Entry] = []
-    stack = [tree.root]
-    while stack:
-        node = stack.pop()
-        if node.rect.min_dist(center) > radius:
-            continue
-        if node.is_leaf:
-            out.extend(e for e in node.children if e.point.dist(center) <= radius)
-        else:
-            stack.extend(node.children)
-    return out
+    return tree.circle_range_query(center, radius)

@@ -1,4 +1,4 @@
-"""An in-memory R-tree over planar points.
+"""An in-memory R-tree over planar points (the object backend).
 
 Two construction paths are provided:
 
@@ -8,12 +8,19 @@ Two construction paths are provided:
   split, for dynamic maintenance.
 
 Leaf entries hold ``(point, payload)`` pairs; interior entries hold
-child nodes.  All search algorithms (:mod:`repro.index.knn`,
-:mod:`repro.gnn.aggregate`) treat nodes uniformly through ``entries``.
+child nodes.  This is the *reference* spatial backend: every query
+primitive of the :class:`repro.index.backend.SpatialIndex` protocol is
+implemented here through two shared traversals — one best-first search
+(:func:`best_first_search`) and one node-pruned scan
+(:func:`pruned_entry_scan`) — that the k-NN, aggregate-GNN, range and
+Theorem-3/6 candidate queries all parameterize.  The vectorized
+production backend lives in :mod:`repro.index.flat`.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import math
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
@@ -327,3 +334,246 @@ class RTree:
             raise AssertionError(f"leaves at unequal depths: {set(leaf_depths)}")
         if sum(1 for _ in self.entries()) != self._size:
             raise AssertionError("size counter out of sync")
+
+    # ------------------------------------------------------------------
+    # SpatialIndex query protocol (see repro.index.backend)
+    # ------------------------------------------------------------------
+
+    def incremental_nearest(self, query: Point) -> Iterator[Entry]:
+        """Yield leaf entries in increasing distance from ``query``.
+
+        Classic best-first traversal with a priority queue keyed on
+        ``min_dist``; optimal in the number of node accesses.
+        """
+        for _, e in best_first_search(
+            self.root,
+            lambda rect: rect.min_dist(query),
+            lambda entry: entry.point.dist(query),
+        ):
+            yield e
+
+    def knn(self, query: Point, k: int) -> list[Entry]:
+        """The ``k`` nearest entries (fewer if the tree is small)."""
+        if k <= 0:
+            return []
+        return list(itertools.islice(self.incremental_nearest(query), k))
+
+    def nearest(self, query: Point) -> Optional[Entry]:
+        result = self.knn(query, 1)
+        return result[0] if result else None
+
+    def bulk_update(
+        self,
+        adds: Sequence[tuple[Point, Any]] = (),
+        removes: Sequence[tuple[Point, Any]] = (),
+    ) -> None:
+        """Apply many inserts and deletes (a loop of Guttman ops).
+
+        Same contract as the flat backend (via the shared
+        :func:`resolve_removals`): all removals are resolved before
+        anything mutates, so a ``KeyError`` for a missing entry leaves
+        the tree untouched.
+        """
+        snapshot = [(e.point, e.payload) for e in self.entries()]
+        for i in resolve_removals(snapshot, removes):
+            self.delete(*snapshot[i])
+        for point, payload in adds:
+            self.insert(point, payload)
+
+    def knn_many(self, queries: Sequence[Point], k: int) -> list[list[Entry]]:
+        """k-NN per query point (the object backend has no batching)."""
+        return [self.knn(q, k) for q in queries]
+
+    def range_many(self, windows: Sequence[Rect]) -> list[list[Entry]]:
+        """Window query per window (the object backend has no batching)."""
+        return [self.range_query(w) for w in windows]
+
+    def range_query(self, window: Rect) -> list[Entry]:
+        """All entries whose point lies inside ``window``."""
+        return pruned_entry_scan(
+            self.root,
+            lambda rect: rect.intersects(window),
+            lambda entry: window.contains_point(entry.point),
+        )
+
+    def circle_range_query(self, center: Point, radius: float) -> list[Entry]:
+        """All entries within ``radius`` of ``center``."""
+        return pruned_entry_scan(
+            self.root,
+            lambda rect: rect.min_dist(center) <= radius,
+            lambda entry: entry.point.dist(center) <= radius,
+        )
+
+    def incremental_gnn(
+        self, users: Sequence[Point], agg: str = "max"
+    ) -> Iterator[tuple[float, Entry]]:
+        """Yield ``(aggregate_distance, entry)`` in increasing order.
+
+        The per-node lower bound aggregates per-user ``min_dist``
+        values (MAX or SUM), the MBM method of ref. [24].
+        """
+        if not users:
+            raise ValueError("user group must be non-empty")
+        if agg == "max":
+            node_bound = lambda rect: max(rect.min_dist(u) for u in users)
+            entry_score = lambda e: max(e.point.dist(u) for u in users)
+        elif agg == "sum":
+            node_bound = lambda rect: sum(rect.min_dist(u) for u in users)
+            entry_score = lambda e: sum(e.point.dist(u) for u in users)
+        else:
+            raise ValueError(f"unknown aggregate: {agg!r}")
+        return best_first_search(self.root, node_bound, entry_score)
+
+    def gnn(
+        self, users: Sequence[Point], k: int = 1, agg: str = "max"
+    ) -> list[tuple[float, Entry]]:
+        if k <= 0:
+            return []
+        return list(itertools.islice(self.incremental_gnn(users, agg), k))
+
+    def gnn_many(
+        self, groups: Sequence[Sequence[Point]], k: int = 1, agg: str = "max"
+    ) -> list[list[tuple[float, Entry]]]:
+        """k-GNN per group (the object backend has no batching)."""
+        return [self.gnn(g, k, agg) for g in groups]
+
+    def intersect_balls(
+        self,
+        centers: Sequence[Point],
+        radii: Sequence[float],
+        exclude: Optional[Point] = None,
+        stats=None,
+    ) -> list[Point]:
+        """Points within ``radii[i]`` of ``centers[i]`` for EVERY i.
+
+        A node survives only if it intersects every ball — the MBR
+        pruning rule of Theorem 3 (Fig. 10).
+        """
+        pairs = list(zip(centers, radii))
+        entries = pruned_entry_scan(
+            self.root,
+            lambda rect: all(rect.min_dist(c) <= r for c, r in pairs),
+            lambda e: e.point != exclude
+            and all(e.point.dist(c) <= r for c, r in pairs),
+            stats,
+        )
+        return [e.point for e in entries]
+
+    def within_dist_sum(
+        self,
+        centers: Sequence[Point],
+        threshold: float,
+        exclude: Optional[Point] = None,
+        stats=None,
+    ) -> list[Point]:
+        """Points whose summed distance to ``centers`` is <= threshold
+        (MBR analogue sums per-user min-distances, Theorem 6)."""
+        entries = pruned_entry_scan(
+            self.root,
+            lambda rect: sum(rect.min_dist(c) for c in centers) <= threshold,
+            lambda e: e.point != exclude
+            and sum(e.point.dist(c) for c in centers) <= threshold,
+            stats,
+        )
+        return [e.point for e in entries]
+
+    def scan(self, exclude: Optional[Point] = None, stats=None) -> list[Point]:
+        """All points (minus ``exclude``) via a full counted traversal."""
+        entries = pruned_entry_scan(
+            self.root,
+            lambda rect: True,
+            lambda e: e.point != exclude,
+            stats,
+        )
+        return [e.point for e in entries]
+
+
+def resolve_removals(
+    items: Sequence[tuple[Point, Any]],
+    removes: Sequence[tuple[Point, Any]],
+) -> list[int]:
+    """Match each removal to a distinct index into ``items``.
+
+    The one definition of the bulk-removal contract, shared by both
+    backends: payload-specific removals are matched first so wildcards
+    (payload None) can't starve them, each removal consumes a distinct
+    entry, and a ``KeyError`` for any unmatched removal is raised
+    before the caller mutates anything (all-or-nothing batches).
+    """
+    by_point: dict[Point, list[int]] = {}
+    for i, (p, _) in enumerate(items):
+        by_point.setdefault(p, []).append(i)
+    victims: list[int] = []
+    consumed: set[int] = set()
+    ordered = sorted(removes, key=lambda r: r[1] is None)
+    for point, payload in ordered:
+        for i in by_point.get(point, ()):
+            if i not in consumed and (
+                payload is None or items[i][1] == payload
+            ):
+                consumed.add(i)
+                victims.append(i)
+                break
+        else:
+            raise KeyError(f"no entry for {point} (payload={payload!r})")
+    return victims
+
+
+# ----------------------------------------------------------------------
+# Shared traversals: every object-backend query is one of these two.
+# ----------------------------------------------------------------------
+
+
+def best_first_search(
+    root: RTreeNode,
+    node_bound: Callable[[Rect], float],
+    entry_score: Callable[[Entry], float],
+) -> Iterator[tuple[float, Entry]]:
+    """Yield ``(score, entry)`` in increasing score order.
+
+    ``node_bound`` must lower-bound ``entry_score`` over every entry in
+    the node's subtree; both plain NN (score = distance to one query
+    point) and aggregate GNN (MAX/SUM over a group) satisfy this.
+    """
+    counter = itertools.count()  # tie-breaker: heap never compares nodes
+    heap: list[tuple[float, int, bool, object]] = [
+        (node_bound(root.rect), next(counter), False, root)
+    ]
+    while heap:
+        d, _, is_entry, item = heapq.heappop(heap)
+        if is_entry:
+            yield d, item  # type: ignore[misc]
+            continue
+        node: RTreeNode = item  # type: ignore[assignment]
+        if node.is_leaf:
+            for e in node.children:
+                heapq.heappush(heap, (entry_score(e), next(counter), True, e))
+        else:
+            for c in node.children:
+                heapq.heappush(heap, (node_bound(c.rect), next(counter), False, c))
+
+
+def pruned_entry_scan(
+    root: RTreeNode,
+    node_survives: Callable[[Rect], bool],
+    entry_accept: Callable[[Entry], bool],
+    stats=None,
+) -> list[Entry]:
+    """Depth-first scan skipping subtrees whose MBR fails the test.
+
+    Every node whose MBR is examined counts as one index node access
+    (matching the paper's accounting for Theorems 3/6).
+    """
+    out: list[Entry] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if stats is not None:
+            stats.index_node_accesses += 1
+        if not node_survives(node.rect):
+            continue
+        if node.is_leaf:
+            out.extend(e for e in node.children if entry_accept(e))
+        else:
+            stack.extend(node.children)
+    return out

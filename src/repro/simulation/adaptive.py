@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
-from repro.index.rtree import RTree
+from repro.index.backend import SpatialIndex
 from repro.mobility.trajectory import Trajectory
 from repro.simulation.client import SimClient
 from repro.simulation.engine import _recompute
@@ -83,7 +83,7 @@ class AdaptiveAlphaController:
 def run_adaptive_simulation(
     base_policy: Policy,
     trajectories: Sequence[Trajectory],
-    tree: RTree,
+    tree: SpatialIndex,
     adaptive: AdaptiveConfig | None = None,
     n_timestamps: Optional[int] = None,
 ) -> tuple[SimulationMetrics, AdaptiveAlphaController]:

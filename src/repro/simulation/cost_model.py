@@ -32,7 +32,7 @@ from typing import Sequence
 from repro.core.circle_msr import circle_msr
 from repro.core.compression import compress_region
 from repro.core.tile_msr import tile_msr
-from repro.index.rtree import RTree
+from repro.index.backend import SpatialIndex
 from repro.mobility.trajectory import Trajectory
 from repro.simulation.messages import (
     CIRCLE_VALUES,
@@ -72,7 +72,7 @@ def _sample_group_positions(
 
 def estimate_costs(
     policy: Policy,
-    tree: RTree,
+    tree: SpatialIndex,
     trajectories: Sequence[Trajectory],
     group_size: int,
     n_samples: int = 20,

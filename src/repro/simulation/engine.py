@@ -15,10 +15,11 @@ This is how the integration tests establish end-to-end soundness.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
 from repro.gnn.aggregate import find_gnn
-from repro.index.rtree import RTree
+from repro.index.backend import SpatialIndex
 from repro.mobility.trajectory import Trajectory
 from repro.simulation.client import SimClient
 from repro.simulation.messages import (
@@ -40,7 +41,7 @@ class SafeRegionViolation(AssertionError):
 def run_simulation(
     policy: Policy,
     trajectories: Sequence[Trajectory],
-    tree: RTree,
+    tree: SpatialIndex,
     n_timestamps: Optional[int] = None,
     check_every: int = 0,
 ) -> SimulationMetrics:
@@ -60,12 +61,10 @@ def run_simulation(
 def _run_periodic(
     policy: Policy,
     trajectories: Sequence[Trajectory],
-    tree: RTree,
+    tree: SpatialIndex,
     steps: int,
 ) -> SimulationMetrics:
     """The strawman: every client reports every timestamp."""
-    import time
-
     metrics = SimulationMetrics(timestamps=steps)
     m = len(trajectories)
     last_po = None
@@ -73,8 +72,7 @@ def _run_periodic(
         users = [traj.at(t) for traj in trajectories]
         start = time.perf_counter()
         best = find_gnn(tree, users, 1, policy.objective)
-        metrics.server_cpu_seconds += time.perf_counter() - start
-        metrics.update_events += 1
+        metrics.charge_update(time.perf_counter() - start)
         po = best[0][1].point
         if t > 0 and po != last_po:
             metrics.result_changes += 1
@@ -88,7 +86,7 @@ def _run_periodic(
 def _run_safe_regions(
     policy: Policy,
     trajectories: Sequence[Trajectory],
-    tree: RTree,
+    tree: SpatialIndex,
     steps: int,
     check_every: int,
 ) -> SimulationMetrics:
@@ -136,11 +134,7 @@ def _recompute(
     headings = [c.heading for c in clients]
     thetas = [c.theta for c in clients]
     response = server.compute(users, headings, thetas)
-    metrics.update_events += 1
-    metrics.server_cpu_seconds += response.cpu_seconds
-    metrics.index_node_accesses += response.stats.index_node_accesses
-    metrics.index_queries += response.stats.index_queries
-    metrics.tile_verifications += response.stats.tile_verifications
+    metrics.charge_update(response.cpu_seconds, response.stats)
     for client, region, values in zip(
         clients, response.regions, response.region_values
     ):
@@ -156,7 +150,7 @@ def _recompute(
 
 def _assert_result_valid(
     policy: Policy,
-    tree: RTree,
+    tree: SpatialIndex,
     clients: list[SimClient],
     current_po: object,
 ) -> None:
@@ -181,7 +175,7 @@ def _assert_result_valid(
 def run_groups(
     policy: Policy,
     groups: Sequence[Sequence[Trajectory]],
-    tree: RTree,
+    tree: SpatialIndex,
     n_timestamps: Optional[int] = None,
     check_every: int = 0,
 ) -> SimulationMetrics:

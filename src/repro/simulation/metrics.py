@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.types import SafeRegionStats
 from repro.simulation.messages import Message
 
 
@@ -23,6 +24,17 @@ class SimulationMetrics:
     index_queries: int = 0
     tile_verifications: int = 0
     region_values_sent: int = 0
+
+    def charge_update(
+        self, cpu_seconds: float, stats: SafeRegionStats | None = None
+    ) -> None:
+        """Charge one server-side recomputation (and its index work)."""
+        self.update_events += 1
+        self.server_cpu_seconds += cpu_seconds
+        if stats is not None:
+            self.index_node_accesses += stats.index_node_accesses
+            self.index_queries += stats.index_queries
+            self.tile_verifications += stats.tile_verifications
 
     def record_message(self, message: Message) -> None:
         if message.upstream:

@@ -24,7 +24,7 @@ from repro.core.verify import verify_regions
 from repro.geometry.point import Point
 from repro.geometry.region import Region
 from repro.gnn.aggregate import Aggregate
-from repro.index.rtree import RTree
+from repro.index.backend import SpatialIndex
 from repro.simulation.metrics import SimulationMetrics
 from repro.simulation.messages import result_notify
 from repro.simulation.policies import Policy
@@ -63,7 +63,7 @@ class GroupSession:
 class MultiGroupServer:
     """Shared-index server for many concurrent MPN groups."""
 
-    def __init__(self, tree: RTree):
+    def __init__(self, tree: SpatialIndex):
         self.tree = tree
         self._sessions: dict[int, GroupSession] = {}
         self._next_id = 0
@@ -114,8 +114,7 @@ class MultiGroupServer:
         response = server.compute(session.positions)
         session.po = response.po
         session.regions = list(response.regions)
-        session.metrics.update_events += 1
-        session.metrics.server_cpu_seconds += response.cpu_seconds
+        session.metrics.charge_update(response.cpu_seconds, response.stats)
         for values in response.region_values:
             session.metrics.record_message(result_notify(values))
 
@@ -123,10 +122,36 @@ class MultiGroupServer:
     # Dynamic POI updates
     # ------------------------------------------------------------------
 
+    def update_pois(
+        self,
+        adds: Sequence[tuple[Point, object]] = (),
+        removes: Sequence[tuple[Point, object]] = (),
+    ) -> list[int]:
+        """Apply a batch of POI inserts/deletes, then recompute once.
+
+        Prefer this over per-item :meth:`add_poi` / :meth:`remove_poi`
+        under churn: the flat backend rebuilds its packing per
+        mutation, and a batch pays that rebuild once.  Each invalidated
+        group is recomputed a single time even if several updates
+        touch it.  Returns the ids of the recomputed groups.
+        """
+        self.tree.bulk_update(adds, removes)
+        removed = {p for p, _ in removes}
+        invalidated = []
+        for session in self._sessions.values():
+            if session.po in removed or any(
+                not session.region_valid_against(p) for p, _ in adds
+            ):
+                self._recompute(session)
+                invalidated.append(session.group_id)
+        return invalidated
+
     def add_poi(self, p: Point, payload=None) -> list[int]:
         """Insert a POI; recompute only the groups it invalidates.
 
-        Returns the ids of the recomputed (re-notified) groups.
+        Returns the ids of the recomputed (re-notified) groups.  On
+        the flat backend each call rebuilds the packing — batch
+        update-heavy workloads through :meth:`update_pois`.
         """
         self.tree.insert(p, payload)
         invalidated = []

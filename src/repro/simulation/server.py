@@ -19,7 +19,7 @@ from repro.core.tile_msr import tile_msr
 from repro.core.types import SafeRegionStats
 from repro.geometry.point import Point
 from repro.geometry.region import Region
-from repro.index.rtree import RTree
+from repro.index.backend import SpatialIndex
 from repro.simulation.messages import CIRCLE_VALUES
 from repro.simulation.policies import Policy, PolicyKind
 
@@ -38,7 +38,7 @@ class ServerResponse:
 class MPNServer:
     """Holds the POI R-tree and computes safe regions per the policy."""
 
-    def __init__(self, tree: RTree, policy: Policy):
+    def __init__(self, tree: SpatialIndex, policy: Policy):
         if policy.kind is PolicyKind.PERIODIC:
             raise ValueError("the periodic baseline bypasses the server API")
         self.tree = tree

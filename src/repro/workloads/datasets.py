@@ -14,7 +14,7 @@ from typing import Sequence
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
-from repro.index.rtree import RTree
+from repro.index.backend import SpatialIndex
 from repro.mobility.network import NetworkParams, brinkhoff_like
 from repro.mobility.random_waypoint import WaypointParams, geolife_like
 from repro.mobility.trajectory import Trajectory, scale_speed
@@ -35,6 +35,7 @@ class DatasetSpec:
     n_timestamps: int = 2000
     speed: float = 60.0  # the paper's V, in world units per timestamp
     seed: int = 42
+    backend: str | None = None  # spatial backend; None = environment default
 
 
 @dataclass
@@ -44,7 +45,7 @@ class Dataset:
     spec: DatasetSpec
     pois: list[Point]
     trajectories: list[Trajectory]
-    tree: RTree = field(repr=False)
+    tree: SpatialIndex = field(repr=False)
 
     def groups(self, group_size: int, max_groups: int = 10) -> list[list[Trajectory]]:
         return partition_groups(self.trajectories, group_size, max_groups)
@@ -56,7 +57,7 @@ class Dataset:
             spec=self.spec,
             pois=subset,
             trajectories=self.trajectories,
-            tree=build_poi_tree(subset),
+            tree=build_poi_tree(subset, backend=self.spec.backend),
         )
 
     def with_speed_fraction(self, fraction: float) -> "Dataset":
@@ -93,7 +94,10 @@ def build_dataset(spec: DatasetSpec) -> Dataset:
     else:
         raise ValueError(f"unknown dataset name: {spec.name!r}")
     return Dataset(
-        spec=spec, pois=pois, trajectories=trajectories, tree=build_poi_tree(pois)
+        spec=spec,
+        pois=pois,
+        trajectories=trajectories,
+        tree=build_poi_tree(pois, backend=spec.backend),
     )
 
 

@@ -15,7 +15,7 @@ from typing import Sequence
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
-from repro.index.rtree import RTree
+from repro.index.backend import SpatialIndex, build_index
 
 PAPER_POI_COUNT = 21287  # N of Section 7.1
 
@@ -60,9 +60,17 @@ def clustered_pois(
     return out
 
 
-def build_poi_tree(points: Sequence[Point], max_entries: int = 16) -> RTree:
-    """Bulk-load the POI R-tree the server uses (Section 3.1)."""
-    return RTree.bulk_load(list(points), max_entries=max_entries)
+def build_poi_tree(
+    points: Sequence[Point],
+    max_entries: int | None = None,
+    backend: str | None = None,
+) -> SpatialIndex:
+    """Bulk-load the POI index the server uses (Section 3.1).
+
+    ``backend``/``max_entries`` of None pick the environment defaults
+    (the vectorized flat R-tree with its own packing width).
+    """
+    return build_index(points, backend=backend, max_entries=max_entries)
 
 
 def subset_fraction(points: Sequence[Point], fraction: float, seed: int = 5) -> list[Point]:

@@ -9,7 +9,7 @@ from repro.geometry.region import TileRegion
 from repro.geometry.tile import tile_at
 from repro.gnn.aggregate import Aggregate, find_gnn
 from repro.gnn.bruteforce import brute_force_gnn
-from repro.index.rtree import RTree
+from repro.index.backend import build_index
 from tests.conftest import random_users
 
 
@@ -58,7 +58,7 @@ class TestBufferSlots:
 
     def test_small_dataset_buffers_everything(self, rng):
         points = [Point(i * 10.0, 0.0) for i in range(5)]
-        tree = RTree.bulk_load(points)
+        tree = build_index(points)
         users = [Point(0, 5), Point(10, 5)]
         slots = BufferSlots(tree, users, Aggregate.MAX, 100)
         assert slots.exhausted_dataset

@@ -6,7 +6,7 @@ from repro.core.circle_msr import circle_msr, maximal_circle_radius
 from repro.geometry.point import Point
 from repro.gnn.aggregate import Aggregate, aggregate_dist
 from repro.gnn.bruteforce import brute_force_gnn
-from repro.index.rtree import RTree
+from repro.index.backend import build_index
 from tests.conftest import random_users
 
 
@@ -34,10 +34,10 @@ class TestCircleMSR:
 
     def test_empty_tree_raises(self):
         with pytest.raises(ValueError):
-            circle_msr([Point(0, 0)], RTree())
+            circle_msr([Point(0, 0)], build_index([]))
 
     def test_single_poi_infinite_radius(self):
-        tree = RTree.bulk_load([Point(50, 50)])
+        tree = build_index([Point(50, 50)])
         result = circle_msr([Point(0, 0), Point(100, 0)], tree)
         assert result.radius == float("inf")
         assert result.po == Point(50, 50)

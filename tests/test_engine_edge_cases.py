@@ -3,7 +3,7 @@
 import pytest
 
 from repro.geometry.point import Point
-from repro.index.rtree import RTree
+from repro.index.backend import build_index
 from repro.mobility.trajectory import Trajectory
 from repro.simulation.engine import run_simulation
 from repro.simulation.policies import circle_policy, tile_policy
@@ -15,7 +15,7 @@ def _static_trajectory(p: Point, n: int) -> Trajectory:
 
 @pytest.fixture
 def tiny_tree():
-    return RTree.bulk_load(
+    return build_index(
         [Point(0, 0), Point(100, 0), Point(50, 80), Point(200, 200)]
     )
 
@@ -78,7 +78,7 @@ class TestEngineEdgeCases:
         assert metrics.update_events >= 1
 
     def test_single_poi_never_updates_after_registration(self):
-        tree = RTree.bulk_load([Point(500, 500)])
+        tree = build_index([Point(500, 500)])
         group = [
             Trajectory(tuple(Point(float(i * 10), 0.0) for i in range(100))),
             Trajectory(tuple(Point(0.0, float(i * 10)) for i in range(100))),

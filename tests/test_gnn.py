@@ -14,7 +14,7 @@ from repro.gnn.aggregate import (
     incremental_gnn,
 )
 from repro.gnn.bruteforce import brute_force_gnn
-from repro.index.rtree import RTree
+from repro.index.backend import build_index
 
 coord = st.floats(-500.0, 500.0, allow_nan=False, allow_infinity=False)
 points_strategy = st.tuples(coord, coord).map(lambda t: Point(*t))
@@ -49,7 +49,7 @@ class TestFindGnn:
         assert find_gnn(tree_200, [Point(0, 0)], 0) == []
 
     def test_k_exceeds_dataset(self):
-        tree = RTree.bulk_load([Point(0, 0), Point(1, 1)])
+        tree = build_index([Point(0, 0), Point(1, 1)])
         assert len(find_gnn(tree, [Point(0, 0)], 10)) == 2
 
     def test_single_user_reduces_to_nn(self, tree_200, pois_200):
@@ -71,7 +71,7 @@ class TestFindGnn:
     @settings(max_examples=50, deadline=None)
     @given(point_lists, user_lists, st.integers(1, 10))
     def test_max_gnn_matches_brute_force(self, points, users, k):
-        tree = RTree.bulk_load(points, max_entries=5)
+        tree = build_index(points, max_entries=5)
         got = [d for d, _ in find_max_gnn(tree, users, k)]
         want = [d for d, _ in brute_force_gnn(points, users, k, Aggregate.MAX)]
         assert got == pytest.approx(want)
@@ -79,7 +79,7 @@ class TestFindGnn:
     @settings(max_examples=50, deadline=None)
     @given(point_lists, user_lists, st.integers(1, 10))
     def test_sum_gnn_matches_brute_force(self, points, users, k):
-        tree = RTree.bulk_load(points, max_entries=5)
+        tree = build_index(points, max_entries=5)
         got = [d for d, _ in find_sum_gnn(tree, users, k)]
         want = [d for d, _ in brute_force_gnn(points, users, k, Aggregate.SUM)]
         assert got == pytest.approx(want)

@@ -3,11 +3,12 @@
 import random
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
+from repro.index.backend import available_backends, build_index
 from repro.index.knn import (
     circle_range_query,
     incremental_nearest,
@@ -15,7 +16,6 @@ from repro.index.knn import (
     nearest,
     range_query,
 )
-from repro.index.rtree import RTree
 
 coord = st.floats(-500.0, 500.0, allow_nan=False, allow_infinity=False)
 point_lists = st.lists(
@@ -23,23 +23,28 @@ point_lists = st.lists(
 )
 
 
-def _tree(points):
-    return RTree.bulk_load(points, max_entries=5)
+@pytest.fixture(params=available_backends())
+def backend(request):
+    return request.param
+
+
+def _tree(points, backend=None):
+    return build_index(points, backend=backend, max_entries=5)
 
 
 class TestKnn:
     def test_k_zero(self, tree_200):
         assert knn(tree_200, Point(0, 0), 0) == []
 
-    def test_k_exceeds_size(self):
-        tree = _tree([Point(0, 0), Point(1, 1)])
+    def test_k_exceeds_size(self, backend):
+        tree = _tree([Point(0, 0), Point(1, 1)], backend)
         assert len(knn(tree, Point(0, 0), 10)) == 2
 
-    def test_nearest_empty_tree(self):
-        assert nearest(RTree(), Point(0, 0)) is None
+    def test_nearest_empty_tree(self, backend):
+        assert nearest(build_index([], backend=backend), Point(0, 0)) is None
 
-    def test_nearest_trivial(self):
-        tree = _tree([Point(0, 0), Point(10, 10), Point(5, 5)])
+    def test_nearest_trivial(self, backend):
+        tree = _tree([Point(0, 0), Point(10, 10), Point(5, 5)], backend)
         assert nearest(tree, Point(4, 4)).point == Point(5, 5)
 
     def test_incremental_order_is_nondecreasing(self, tree_200, pois_200):
@@ -48,10 +53,14 @@ class TestKnn:
         assert dists == sorted(dists)
         assert len(dists) == len(pois_200)
 
-    @settings(max_examples=60, deadline=None)
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
     @given(point_lists, coord, coord, st.integers(1, 20))
-    def test_matches_brute_force(self, points, qx, qy, k):
-        tree = _tree(points)
+    def test_matches_brute_force(self, backend, points, qx, qy, k):
+        tree = _tree(points, backend)
         q = Point(qx, qy)
         result = [e.point.dist(q) for e in knn(tree, q, k)]
         expected = sorted(p.dist(q) for p in points)[:k]

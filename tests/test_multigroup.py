@@ -166,6 +166,40 @@ class TestPoiDeletion:
             _assert_group_result_exact(srv, gid, rng, samples=20)
 
 
+class TestBatchedPoiUpdates:
+    def test_batch_applies_all_updates(self, server, rng):
+        srv, pois = server
+        gid = srv.register_group(random_users(rng, 3), circle_policy())
+        victims = [p for p in pois if p != srv.session(gid).po][:5]
+        adds = [(SMALL_WORLD.sample(rng), None) for _ in range(5)]
+        srv.update_pois(adds=adds, removes=[(v, None) for v in victims])
+        assert len(srv.tree) == len(pois)
+        current = set(_current_pois(srv))
+        assert all(p in current for p, _ in adds)
+        assert all(v not in current for v in victims)
+        _assert_group_result_exact(srv, gid, rng)
+
+    def test_batch_recomputes_each_group_once(self, server, rng):
+        srv, _ = server
+        gid = srv.register_group(random_users(rng, 3), circle_policy())
+        po = srv.session(gid).po
+        before = srv.session(gid).metrics.update_events
+        # Removing the result AND dropping a POI on the group both
+        # invalidate it; the batch must recompute it a single time.
+        center = srv.session(gid).regions[0].sample(rng)
+        invalidated = srv.update_pois(
+            adds=[(center, None)], removes=[(po, None)]
+        )
+        assert invalidated == [gid]
+        assert srv.session(gid).metrics.update_events == before + 1
+        _assert_group_result_exact(srv, gid, rng)
+
+    def test_batch_missing_removal_raises(self, server):
+        srv, _ = server
+        with pytest.raises(KeyError):
+            srv.update_pois(removes=[(Point(-1, -1), None)])
+
+
 class TestSumVerify:
     def test_sum_verify_conservative(self, rng):
         from repro.geometry.circle import Circle

@@ -25,7 +25,7 @@ from repro.geometry.region import TileRegion
 from repro.geometry.tile import tile_at
 from repro.gnn.aggregate import Aggregate, aggregate_dist
 from repro.gnn.bruteforce import brute_force_gnn
-from repro.index.rtree import RTree
+from repro.index.backend import build_index
 
 coord = st.floats(0.0, 1000.0, allow_nan=False, allow_infinity=False)
 points = st.tuples(coord, coord).map(lambda t: Point(*t))
@@ -43,7 +43,7 @@ class TestCircleGuarantee:
     @relaxed
     @given(poi_sets, user_sets, st.integers(0, 2**31), st.sampled_from(list(Aggregate)))
     def test_definition3_holds_inside_circles(self, pois, users, seed, objective):
-        tree = RTree.bulk_load(pois, max_entries=5)
+        tree = build_index(pois, max_entries=5)
         result = circle_msr(users, tree, objective)
         rng = random.Random(seed)
         for _ in range(25):
@@ -54,7 +54,7 @@ class TestCircleGuarantee:
     @relaxed
     @given(poi_sets, user_sets)
     def test_radius_never_negative(self, pois, users):
-        tree = RTree.bulk_load(pois, max_entries=5)
+        tree = build_index(pois, max_entries=5)
         result = circle_msr(users, tree)
         assert result.radius >= 0.0
 
@@ -63,7 +63,7 @@ class TestCircleGuarantee:
     def test_sum_radius_at_most_max_radius(self, pois, users):
         """Theorem 5 divides by 2m >= 2, so SUM circles are no larger
         when the gaps coincide — check via the formulas directly."""
-        tree = RTree.bulk_load(pois, max_entries=5)
+        tree = build_index(pois, max_entries=5)
         max_result = circle_msr(users, tree, Aggregate.MAX)
         sum_result = circle_msr(users, tree, Aggregate.SUM)
         m = len(users)
@@ -80,7 +80,7 @@ class TestTileGuarantee:
         st.integers(0, 2**31),
     )
     def test_definition3_holds_inside_tiles(self, pois, users, seed):
-        tree = RTree.bulk_load(pois, max_entries=5)
+        tree = build_index(pois, max_entries=5)
         result = tile_msr(users, tree, TileMSRConfig(alpha=3, split_level=1))
         rng = random.Random(seed)
         for _ in range(20):
@@ -95,7 +95,7 @@ class TestTileGuarantee:
         st.integers(0, 2**31),
     )
     def test_definition3_sum_objective(self, pois, users, seed):
-        tree = RTree.bulk_load(pois, max_entries=5)
+        tree = build_index(pois, max_entries=5)
         config = TileMSRConfig(alpha=3, split_level=1, objective=Aggregate.SUM)
         result = tile_msr(users, tree, config)
         rng = random.Random(seed)
@@ -162,7 +162,7 @@ class TestPruningProperties:
         st.integers(0, 2**31),
     )
     def test_pruned_points_never_win(self, pois, users, seed):
-        tree = RTree.bulk_load(pois, max_entries=5)
+        tree = build_index(pois, max_entries=5)
         side = 15.0
         regions = [TileRegion(u, side, [tile_at(u, side, 0, 0)]) for u in users]
         po = min(pois, key=lambda q: max(q.dist(u) for u in users))

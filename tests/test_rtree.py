@@ -8,7 +8,8 @@ from hypothesis import strategies as st
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
-from repro.index.rtree import Entry, RTree
+from repro.index.backend import build_index
+from repro.index.rtree import Entry
 
 coord = st.floats(-1000.0, 1000.0, allow_nan=False, allow_infinity=False)
 point_lists = st.lists(
@@ -19,38 +20,38 @@ point_lists = st.lists(
 class TestConstruction:
     def test_max_entries_validation(self):
         with pytest.raises(ValueError):
-            RTree(max_entries=3)
+            build_index([], backend="object", max_entries=3)
 
     def test_empty_tree(self):
-        tree = RTree()
+        tree = build_index([], backend="object")
         assert len(tree) == 0
         assert list(tree.entries()) == []
         tree.validate()
 
     def test_bulk_load_empty(self):
-        tree = RTree.bulk_load([])
+        tree = build_index([], backend="object")
         assert len(tree) == 0
         tree.validate()
 
     def test_bulk_load_payload_mismatch(self):
         with pytest.raises(ValueError):
-            RTree.bulk_load([Point(0, 0)], payloads=[1, 2])
+            build_index([Point(0, 0)], payloads=[1, 2], backend="object")
 
     def test_bulk_load_default_payloads_are_indices(self):
         points = [Point(i, i) for i in range(10)]
-        tree = RTree.bulk_load(points)
+        tree = build_index(points, backend="object")
         payloads = sorted(e.payload for e in tree.entries())
         assert payloads == list(range(10))
 
     def test_bulk_load_custom_payloads(self):
         points = [Point(0, 0), Point(1, 1)]
-        tree = RTree.bulk_load(points, payloads=["a", "b"])
+        tree = build_index(points, payloads=["a", "b"], backend="object")
         assert {e.payload for e in tree.entries()} == {"a", "b"}
 
     def test_bulk_load_preserves_all_points(self):
         rng = random.Random(0)
         points = [Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(500)]
-        tree = RTree.bulk_load(points, max_entries=8)
+        tree = build_index(points, max_entries=8, backend="object")
         assert len(tree) == 500
         assert sorted(p.as_tuple() for p in tree.points()) == sorted(
             p.as_tuple() for p in points
@@ -59,14 +60,14 @@ class TestConstruction:
 
     def test_bulk_load_height_logarithmic(self):
         points = [Point(i % 40, i // 40) for i in range(1600)]
-        tree = RTree.bulk_load(points, max_entries=16)
+        tree = build_index(points, max_entries=16, backend="object")
         assert tree.height() <= 4
         tree.validate()
 
 
 class TestInsertion:
     def test_insert_single(self):
-        tree = RTree()
+        tree = build_index([], backend="object")
         tree.insert(Point(1, 2), "x")
         assert len(tree) == 1
         assert list(tree.entries())[0].payload == "x"
@@ -74,7 +75,7 @@ class TestInsertion:
 
     def test_insert_many_validates(self):
         rng = random.Random(1)
-        tree = RTree(max_entries=6)
+        tree = build_index([], backend="object", max_entries=6)
         points = [Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(300)]
         for i, p in enumerate(points):
             tree.insert(p, i)
@@ -83,14 +84,14 @@ class TestInsertion:
         assert sorted(e.payload for e in tree.entries()) == list(range(300))
 
     def test_insert_duplicate_locations(self):
-        tree = RTree(max_entries=4)
+        tree = build_index([], backend="object", max_entries=4)
         for i in range(50):
             tree.insert(Point(5, 5), i)
         assert len(tree) == 50
         tree.validate()
 
     def test_insert_collinear(self):
-        tree = RTree(max_entries=4)
+        tree = build_index([], backend="object", max_entries=4)
         for i in range(100):
             tree.insert(Point(float(i), 0.0), i)
         assert len(tree) == 100
@@ -99,7 +100,7 @@ class TestInsertion:
     @settings(max_examples=40, deadline=None)
     @given(point_lists)
     def test_insert_arbitrary_sets(self, points):
-        tree = RTree(max_entries=5)
+        tree = build_index([], backend="object", max_entries=5)
         for i, p in enumerate(points):
             tree.insert(p, i)
         assert len(tree) == len(points)
@@ -114,13 +115,13 @@ class TestStructure:
     @settings(max_examples=30, deadline=None)
     @given(point_lists)
     def test_bulk_load_structure(self, points):
-        tree = RTree.bulk_load(points, max_entries=4)
+        tree = build_index(points, max_entries=4, backend="object")
         assert len(tree) == len(points)
         tree.validate()
 
     def test_root_mbr_covers_everything(self):
         rng = random.Random(2)
         points = [Point(rng.uniform(-50, 50), rng.uniform(-50, 50)) for _ in range(200)]
-        tree = RTree.bulk_load(points)
+        tree = build_index(points, backend="object")
         for p in points:
             assert tree.root.rect.contains_point(p)

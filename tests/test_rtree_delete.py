@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.geometry.point import Point
 from repro.index.knn import knn
-from repro.index.rtree import RTree
+from repro.index.backend import build_index
 
 coord = st.floats(-500.0, 500.0, allow_nan=False, allow_infinity=False)
 point_lists = st.lists(
@@ -18,26 +18,26 @@ point_lists = st.lists(
 
 class TestDelete:
     def test_delete_missing_returns_false(self):
-        tree = RTree.bulk_load([Point(0, 0)])
+        tree = build_index([Point(0, 0)], backend="object")
         assert not tree.delete(Point(5, 5))
         assert len(tree) == 1
 
     def test_delete_single(self):
-        tree = RTree.bulk_load([Point(0, 0), Point(1, 1)])
+        tree = build_index([Point(0, 0), Point(1, 1)], backend="object")
         assert tree.delete(Point(0, 0))
         assert len(tree) == 1
         assert [e.point for e in tree.entries()] == [Point(1, 1)]
         tree.validate()
 
     def test_delete_by_payload(self):
-        tree = RTree()
+        tree = build_index([], backend="object")
         tree.insert(Point(2, 2), "a")
         tree.insert(Point(2, 2), "b")
         assert tree.delete(Point(2, 2), "b")
         assert [e.payload for e in tree.entries()] == ["a"]
 
     def test_delete_to_empty(self):
-        tree = RTree.bulk_load([Point(i, 0) for i in range(5)], max_entries=4)
+        tree = build_index([Point(i, 0) for i in range(5)], max_entries=4, backend="object")
         for i in range(5):
             assert tree.delete(Point(i, 0))
         assert len(tree) == 0
@@ -46,7 +46,7 @@ class TestDelete:
     def test_delete_half_of_large_tree(self):
         rng = random.Random(5)
         points = [Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(400)]
-        tree = RTree.bulk_load(points, max_entries=8)
+        tree = build_index(points, max_entries=8, backend="object")
         keep = points[200:]
         for p in points[:200]:
             assert tree.delete(p), f"failed to delete {p}"
@@ -59,7 +59,7 @@ class TestDelete:
     def test_queries_correct_after_deletions(self):
         rng = random.Random(9)
         points = [Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(150)]
-        tree = RTree.bulk_load(points, max_entries=6)
+        tree = build_index(points, max_entries=6, backend="object")
         removed = set()
         for p in rng.sample(points, 70):
             tree.delete(p)
@@ -72,7 +72,7 @@ class TestDelete:
 
     def test_interleaved_insert_delete(self):
         rng = random.Random(13)
-        tree = RTree(max_entries=5)
+        tree = build_index([], backend="object", max_entries=5)
         live: list[Point] = []
         for step in range(500):
             if live and rng.random() < 0.45:
@@ -90,7 +90,7 @@ class TestDelete:
     @settings(max_examples=30, deadline=None)
     @given(point_lists, st.integers(0, 2**31))
     def test_delete_random_subset_property(self, points, seed):
-        tree = RTree.bulk_load(points, max_entries=4)
+        tree = build_index(points, max_entries=4, backend="object")
         rng = random.Random(seed)
         victims = rng.sample(points, len(points) // 2)
         # Deleting by point removes one matching entry per call.

@@ -16,7 +16,7 @@ from repro.core.types import Ordering, TileMSRConfig, VerifierKind
 from repro.gnn.aggregate import Aggregate, aggregate_dist
 from repro.gnn.bruteforce import brute_force_gnn
 from repro.geometry.point import Point
-from repro.index.rtree import RTree
+from repro.index.backend import build_index
 from tests.conftest import random_users
 
 
@@ -56,7 +56,7 @@ class TestTileMSRBasics:
         assert total_tile_area > 0.8 * circle_area * len(users)
 
     def test_single_poi_whole_plane(self, rng):
-        tree = RTree.bulk_load([Point(500, 500)])
+        tree = build_index([Point(500, 500)])
         users = random_users(rng, 2)
         result = tile_msr(users, tree)
         assert result.radius == float("inf")
