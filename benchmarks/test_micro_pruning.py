@@ -14,7 +14,6 @@ import pytest
 from repro.core.pruning import all_candidates, max_candidates, sum_candidates
 from repro.core.tile_msr import tile_msr
 from repro.core.types import TileMSRConfig
-from repro.gnn.aggregate import Aggregate
 from repro.workloads.datasets import WORLD
 from repro.workloads.poi import build_poi_tree, clustered_pois
 

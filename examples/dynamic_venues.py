@@ -1,29 +1,35 @@
-"""Many groups, venues opening and closing.
+"""Many sessions, venues opening and closing.
 
-A deployed MPN server handles many groups against one shared POI index,
-and the POI set itself churns.  Safe regions pay off twice here:
+A deployed MPN service handles many monitored groups against one
+shared POI index, and the POI set itself churns.  Safe regions pay off
+twice here:
 
-* a newly opened venue only disturbs the groups whose regions fail the
-  Lemma 1 test against it — everyone else is provably unaffected and
-  receives no message;
-* a closing venue disturbs *only* the groups currently meeting at it.
+* a newly opened venue only disturbs the sessions whose regions fail
+  the Lemma 1 test against it — everyone else is provably unaffected
+  and receives no message;
+* a closing venue disturbs *only* the sessions currently meeting at it.
+
+This example talks to :class:`repro.service.MPNService` directly and
+applies the day's churn as one batched ``update_pois`` call (the flat
+backend then pays its packing rebuild once instead of fifty times).
 
 Run:  python examples/dynamic_venues.py
 """
 
 import random
 
-from repro.simulation import MultiGroupServer, circle_policy, tile_policy
+from repro.service import MPNService
+from repro.simulation import circle_policy, tile_policy
 from repro.workloads import WORLD, build_poi_tree, clustered_pois
 
 
 def main() -> None:
     rng = random.Random(99)
     venues = clustered_pois(2000, WORLD, seed=42)
-    server = MultiGroupServer(build_poi_tree(venues))
+    service = MPNService(build_poi_tree(venues))
 
-    # Twenty groups scattered over the city.
-    group_ids = []
+    # Twenty sessions scattered over the city.
+    session_ids = []
     for g in range(20):
         center = WORLD.sample(rng)
         users = [
@@ -31,32 +37,29 @@ def main() -> None:
             for _ in range(3)
         ]
         policy = tile_policy(alpha=10, split_level=1) if g % 2 else circle_policy()
-        group_ids.append(server.register_group(users, policy))
+        session_ids.append(service.open_session(users, policy).session_id)
 
-    # A day of venue churn: 30 openings, 20 closings.
-    opened_invalidations = 0
-    for _ in range(30):
-        invalidated = server.add_poi(WORLD.sample(rng))
-        opened_invalidations += len(invalidated)
-    alive = [e.point for e in server.tree.entries()]
-    closed_invalidations = 0
-    for victim in rng.sample(alive, 20):
-        try:
-            closed_invalidations += len(server.remove_poi(victim))
-        except KeyError:
-            pass
+    # A day of venue churn: 30 openings, 20 closings, applied in one batch.
+    alive = [e.point for e in service.tree.entries()]
+    adds = [(WORLD.sample(rng), None) for _ in range(30)]
+    removes = [(victim, None) for victim in rng.sample(alive, 20)]
+    notifications = service.update_pois(adds=adds, removes=removes)
 
     total_recomputes = sum(
-        server.session(g).metrics.update_events - 1 for g in group_ids
+        service.session(s).metrics.update_events - 1 for s in session_ids
     )
-    print(f"groups: {len(group_ids)}, venue events: 50")
-    print(f"re-notifications caused by 30 openings: {opened_invalidations}")
-    print(f"re-notifications caused by 20 closings: {closed_invalidations}")
-    print(f"total recomputations across all groups: {total_recomputes}")
+    events = len(adds) + len(removes)
+    print(f"sessions: {len(session_ids)}, venue events: {events}")
+    print(f"sessions re-notified by the batch: {len(notifications)}")
+    print(f"total recomputations across all sessions: {total_recomputes}")
+    print(
+        f"service-wide messages so far: {service.metrics.messages_total} "
+        f"({service.metrics.packets_total} packets)"
+    )
     print(
         f"\nwithout safe regions every venue event would re-notify every "
-        f"group:\n  {50 * len(group_ids)} notifications avoided down to "
-        f"{opened_invalidations + closed_invalidations}"
+        f"session:\n  {events * len(session_ids)} notifications avoided "
+        f"down to {len(notifications)}"
     )
 
 

@@ -18,7 +18,7 @@ from repro.simulation import (
     tile_d_b_policy,
     tile_d_policy,
 )
-from repro.workloads.datasets import Dataset, DatasetSpec, WORLD, build_dataset
+from repro.workloads.datasets import WORLD
 from repro.workloads.poi import build_poi_tree, uniform_pois
 from repro.mobility.random_waypoint import geolife_like
 

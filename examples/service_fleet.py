@@ -1,0 +1,71 @@
+"""A serving fleet: hundreds of concurrent groups on one MPNService.
+
+The workload the old single-group API could not express: many monitored
+groups advance with interleaved timestamps against one shared POI
+index, while the POI set churns underneath them.  Escape reports from
+different groups interleave freely; churn re-notifies only the
+sessions whose safe regions fail Lemma 1, and ``check_every`` keeps
+asserting that every session's cached meeting point stays exactly
+optimal (Definition 3) the whole time.
+
+Run:  python examples/service_fleet.py
+"""
+
+import random
+
+from repro.simulation import circle_policy, run_service, tile_policy
+from repro.workloads import WORLD
+from repro.workloads.datasets import DatasetSpec, build_dataset
+
+
+def main() -> None:
+    rng = random.Random(7)
+    n_groups, steps = 150, 120
+
+    dataset = build_dataset(
+        DatasetSpec(
+            name="geolife",
+            n_pois=1500,
+            n_trajectories=2 * n_groups,
+            n_timestamps=steps,
+        )
+    )
+    tree = dataset.tree
+    groups = [
+        dataset.trajectories[2 * g : 2 * g + 2] for g in range(n_groups)
+    ]
+    policies = [
+        tile_policy(alpha=8, split_level=1) if g % 3 == 0 else circle_policy()
+        for g in range(n_groups)
+    ]
+
+    def churn(t: int):
+        if t % 20 != 0:
+            return None  # venues only churn every 20 timestamps
+        adds = [(WORLD.sample(rng), None) for _ in range(5)]
+        alive = [e.point for e in tree.entries()]
+        removes = [(victim, None) for victim in rng.sample(alive, 3)]
+        return adds, removes
+
+    result = run_service(
+        groups, policies, tree, n_timestamps=steps, check_every=20, churn=churn
+    )
+
+    fleet = result.metrics
+    updates = sum(m.update_events for m in result.session_metrics)
+    churn_rounds = sum(len(ids) for _, ids in result.churn_notified)
+    print(f"groups: {n_groups}, timestamps: {steps}")
+    print(f"fleet recomputations: {updates} (of which {churn_rounds} from churn)")
+    print(
+        f"fleet traffic: {fleet.messages_total} messages, "
+        f"{fleet.packets_total} packets"
+    )
+    print(
+        f"periodic baseline would send "
+        f"{2 * 2 * n_groups * steps} messages for the same fleet"
+    )
+    print("every session passed the exactness check under churn")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,9 @@ Public entry points:
 * :func:`repro.core.tile_msr` — tile-based safe regions (Algorithm 3)
   with GT-Verify, index pruning and the buffering optimization, for
   both the MAX (MPN) and SUM (Sum-MPN) objectives.
+* :mod:`repro.service` — the session-oriented serving layer:
+  :class:`MPNService` (open_session / report / update_pois) and the
+  pluggable safe-region strategy registry.
 * :mod:`repro.simulation` — the client-server monitoring loop with the
   paper's message/packet accounting.
 * :mod:`repro.experiments` — harnesses regenerating Figures 13-19.
@@ -28,8 +31,17 @@ from repro.index import (
     available_backends,
     build_index,
 )
+from repro.service import (
+    MPNService,
+    Notification,
+    SessionHandle,
+    UnknownSessionError,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "circle_msr",
@@ -51,5 +63,12 @@ __all__ = [
     "build_index",
     "available_backends",
     "DEFAULT_BACKEND",
+    "MPNService",
+    "Notification",
+    "SessionHandle",
+    "UnknownSessionError",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
     "__version__",
 ]

@@ -29,7 +29,6 @@ from repro.core.types import (
     SafeRegionStats,
     TileMSRConfig,
     TileMSRResult,
-    VerifierKind,
 )
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect

@@ -14,7 +14,7 @@ at the user deviates from the predicted travel direction by more than
 from __future__ import annotations
 
 import math
-from typing import Iterator, Optional
+from typing import Optional
 
 from repro.geometry.point import Point
 from repro.geometry.tile import Tile, tile_at

@@ -7,9 +7,7 @@ from typing import Callable, Sequence
 
 from repro.index.backend import SpatialIndex
 from repro.mobility.trajectory import Trajectory
-from repro.simulation.engine import run_groups
-from repro.simulation.metrics import SimulationMetrics
-from repro.simulation.policies import Policy
+from repro.simulation import Policy, SimulationMetrics, run_groups
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+from typing import Any, Callable, Iterator, Optional, Sequence
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect

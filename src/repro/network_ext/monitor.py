@@ -20,7 +20,6 @@ from repro.network_ext.gnn import network_gnn
 from repro.network_ext.space import NetworkPosition, NetworkSpace
 from repro.simulation.messages import (
     location_update,
-    packets_for_values,
     probe_request,
     result_notify,
 )

@@ -24,12 +24,11 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Hashable, Optional, Sequence
+from typing import Hashable, Sequence
 
 from repro.core.gt_verify import _exact_from_pairs
 from repro.core.types import SafeRegionStats
 from repro.gnn.aggregate import Aggregate
-from repro.network_ext.ball import NetworkBall
 from repro.network_ext.circle_msr import network_circle_msr
 from repro.network_ext.space import NetworkPosition, NetworkSpace
 

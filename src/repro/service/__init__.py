@@ -1,0 +1,74 @@
+"""The serving layer: sessions, events and pluggable region strategies.
+
+This package is the public API for deploying the paper's protocol:
+
+* :mod:`repro.service.strategies` — the safe-region strategy registry
+  (``register_strategy`` / ``get_strategy``); Circle-MSR, Tile-MSR and
+  the periodic baseline ship pre-registered, new methods plug in by
+  name.
+* :mod:`repro.service.service` — :class:`MPNService`, the
+  session-oriented facade: ``open_session`` / ``report`` /
+  ``update_pois`` with per-session and service-wide metrics.
+* :mod:`repro.service.messages` — the typed envelopes crossing the
+  service boundary (``MemberState``, ``ReportEvent``, ``Notification``,
+  ``SessionHandle``).
+
+The old ``MPNServer`` / ``MultiGroupServer`` classes in
+:mod:`repro.simulation` remain as thin deprecated shims over this
+layer.
+"""
+
+# Load the simulation layer first.  Its leaf modules (messages,
+# metrics, policies) sit below this package, while its shims (server,
+# engine, multigroup) sit above it; importing the package up front
+# makes either entry point (`import repro.service` or
+# `import repro.simulation`) resolve the cross-package imports in a
+# fully-initialized order.
+import repro.simulation  # noqa: F401  (imported for its side effect)
+
+from repro.service.errors import (
+    ServiceError,
+    UnknownSessionError,
+    UnknownStrategyError,
+)
+from repro.service.messages import (
+    MemberState,
+    Notification,
+    ReportEvent,
+    SessionHandle,
+)
+from repro.service.session import ServiceSession, sum_verify_regions
+from repro.service.service import MPNService
+from repro.service.strategies import (
+    CircleMSRStrategy,
+    PeriodicStrategy,
+    SafeRegionStrategy,
+    StrategyResult,
+    TileMSRStrategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    unregister_strategy,
+)
+
+__all__ = [
+    "ServiceError",
+    "UnknownSessionError",
+    "UnknownStrategyError",
+    "MemberState",
+    "ReportEvent",
+    "Notification",
+    "SessionHandle",
+    "ServiceSession",
+    "sum_verify_regions",
+    "MPNService",
+    "SafeRegionStrategy",
+    "StrategyResult",
+    "CircleMSRStrategy",
+    "TileMSRStrategy",
+    "PeriodicStrategy",
+    "register_strategy",
+    "unregister_strategy",
+    "get_strategy",
+    "available_strategies",
+]

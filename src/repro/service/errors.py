@@ -1,0 +1,36 @@
+"""Errors raised by the serving layer.
+
+Both errors subclass :class:`KeyError` so code written against the old
+``MPNServer`` / ``MultiGroupServer`` shims — which surfaced bare
+``KeyError`` from dictionary lookups — keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(Exception):
+    """Base class for serving-layer errors."""
+
+
+class UnknownSessionError(ServiceError, KeyError):
+    """A session id that the service does not know about."""
+
+    def __init__(self, session_id: object):
+        super().__init__(session_id)
+        self.session_id = session_id
+
+    def __str__(self) -> str:
+        return f"unknown session {self.session_id!r}"
+
+
+class UnknownStrategyError(ServiceError, KeyError):
+    """A safe-region strategy name absent from the registry."""
+
+    def __init__(self, name: object, available: tuple[str, ...] = ()):
+        super().__init__(name)
+        self.name = name
+        self.available = available
+
+    def __str__(self) -> str:
+        hint = f"; registered: {', '.join(self.available)}" if self.available else ""
+        return f"unknown safe-region strategy {self.name!r}{hint}"

@@ -1,0 +1,75 @@
+"""Typed request/response envelopes of the session API.
+
+These extend the wire-level accounting of
+:mod:`repro.simulation.messages`: each envelope knows which protocol
+messages it corresponds to, so the service can charge metrics straight
+from the objects that cross its boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.types import SafeRegionStats
+from repro.geometry.point import Point
+from repro.geometry.region import Region
+from repro.simulation.messages import Message, location_update, result_notify
+
+if TYPE_CHECKING:
+    from repro.simulation.policies import Policy
+
+
+@dataclass(frozen=True, slots=True)
+class MemberState:
+    """One member's reported state: location plus predicted direction."""
+
+    point: Point
+    heading: Optional[float] = None
+    theta: Optional[float] = None
+
+
+@dataclass(frozen=True, slots=True)
+class ReportEvent:
+    """Step 1 of Fig. 3: a member escaped her region and reports."""
+
+    session_id: int
+    member_id: int
+    state: MemberState
+
+    def message(self) -> Message:
+        return location_update()
+
+
+@dataclass(frozen=True, slots=True)
+class Notification:
+    """Step 3 of Fig. 3: the new result pushed to every member.
+
+    ``cause`` records why the recomputation ran: ``"register"`` (first
+    result of a new session), ``"report"`` (a member escaped),
+    ``"refresh"`` (an explicit all-member location update) or
+    ``"poi_update"`` (POI churn invalidated the session's regions).
+    """
+
+    session_id: int
+    po: Point
+    regions: tuple[Region, ...]
+    region_values: tuple[int, ...]
+    cpu_seconds: float
+    stats: SafeRegionStats
+    cause: str = "report"
+
+    def messages(self) -> list[Message]:
+        """The result notifications shipped, one per member."""
+        return [result_notify(values) for values in self.region_values]
+
+
+@dataclass(frozen=True, slots=True)
+class SessionHandle:
+    """What :meth:`MPNService.open_session` hands back to the caller."""
+
+    session_id: int
+    size: int
+    policy: "Policy"
+    strategy_name: str
+    notification: Notification

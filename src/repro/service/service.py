@@ -1,0 +1,279 @@
+"""The session-oriented MPN serving facade.
+
+The paper's protocol (Fig. 3) is event-driven: a client speaks up only
+when her next location escapes her safe region.  :class:`MPNService`
+exposes exactly that surface —
+
+* :meth:`open_session` registers a group under a policy whose
+  safe-region strategy is resolved **once** from the registry
+  (:mod:`repro.service.strategies`);
+* :meth:`report` is the escape event: the three-step protocol runs
+  (trigger -> probe -> notify) and the caller gets back a typed
+  :class:`~repro.service.messages.Notification`, or ``None`` when the
+  reported point is still covered by the member's region;
+* :meth:`update_pois` applies batched POI churn against the shared
+  index and re-notifies only the sessions whose regions fail the
+  Lemma-1 test (or whose meeting point was deleted).
+
+Every message and recomputation is charged twice: to the session's own
+:class:`~repro.simulation.metrics.SimulationMetrics` and to the
+service-wide aggregate ``metrics`` — the per-tenant and whole-fleet
+views of the same traffic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence, Union
+
+from repro.geometry.point import Point
+from repro.index.backend import SpatialIndex
+from repro.service.errors import UnknownSessionError
+from repro.service.messages import (
+    MemberState,
+    Notification,
+    ReportEvent,
+    SessionHandle,
+)
+from repro.service.session import Prober, ServiceSession
+from repro.service.strategies import get_strategy
+from repro.simulation.messages import (
+    Message,
+    location_update,
+    probe_request,
+    result_notify,
+)
+from repro.simulation.metrics import SimulationMetrics
+from repro.simulation.policies import Policy
+
+Member = Union[Point, MemberState]
+
+
+def _as_state(member: Member) -> MemberState:
+    if isinstance(member, MemberState):
+        return member
+    return MemberState(point=member)
+
+
+class MPNService:
+    """Serves many concurrent monitoring sessions over one POI index."""
+
+    def __init__(self, tree: SpatialIndex):
+        self.tree = tree
+        self.metrics = SimulationMetrics()  # service-wide aggregate
+        self._sessions: dict[int, ServiceSession] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    def open_session(
+        self,
+        members: Sequence[Member],
+        policy: Policy,
+        prober: Optional[Prober] = None,
+    ) -> SessionHandle:
+        """Register a group; computes its first result and regions.
+
+        ``prober`` supplies fresh member states during probe rounds;
+        without one the probe round reuses each member's last reported
+        state.  The registration charges one location update per member
+        plus the first result notification round.
+        """
+        strategy = get_strategy(policy)
+        if strategy.periodic:
+            raise ValueError("periodic strategies bypass the session API")
+        if not members:
+            raise ValueError("need at least one member")
+        session_id = self._next_id
+        self._next_id += 1
+        session = ServiceSession(
+            session_id=session_id,
+            policy=policy,
+            strategy=strategy,
+            members=[_as_state(m) for m in members],
+            prober=prober,
+        )
+        # Register only after the first computation succeeds, so a
+        # failing strategy cannot leak a half-initialized session.
+        notification = self._recompute(session, cause="register")
+        self._sessions[session_id] = session
+        for _ in session.members:
+            self._charge_message(session, location_update())
+        return SessionHandle(
+            session_id=session_id,
+            size=session.size,
+            policy=policy,
+            strategy_name=policy.strategy_name,
+            notification=notification,
+        )
+
+    def close_session(self, session_id: int) -> None:
+        if self._sessions.pop(session_id, None) is None:
+            raise UnknownSessionError(session_id)
+
+    def session(self, session_id: int) -> ServiceSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise UnknownSessionError(session_id) from None
+
+    def session_ids(self) -> list[int]:
+        return sorted(self._sessions)
+
+    def session_metrics(self, session_id: int) -> SimulationMetrics:
+        return self.session(session_id).metrics
+
+    def update_policy(self, session_id: int, policy: Policy) -> None:
+        """Swap a session's policy; the strategy is re-resolved once.
+
+        Takes effect at the next recomputation — existing regions stay
+        valid until then (used by e.g. the adaptive alpha tuner).
+        """
+        session = self.session(session_id)
+        strategy = get_strategy(policy)
+        if strategy.periodic:
+            raise ValueError("periodic strategies bypass the session API")
+        session.policy = policy
+        session.strategy = strategy
+
+    # ------------------------------------------------------------------
+    # The event protocol (Fig. 3)
+    # ------------------------------------------------------------------
+
+    def report(
+        self,
+        session_id: int,
+        member_id: int,
+        point: Point,
+        heading: Optional[float] = None,
+        theta: Optional[float] = None,
+    ) -> Optional[Notification]:
+        """A member reports her location (step 1 of Fig. 3).
+
+        Clients are expected to report only when escaping their safe
+        region; a redundant in-region report just refreshes the stored
+        state and returns ``None`` without charging any traffic.
+        Otherwise the full round runs: the trigger's location update is
+        charged, every other member is probed (step 2), the strategy
+        recomputes, and everyone is re-notified (step 3).
+        """
+        session = self.session(session_id)
+        if not 0 <= member_id < session.size:
+            raise ValueError(
+                f"member {member_id} out of range for session of {session.size}"
+            )
+        state = MemberState(point=point, heading=heading, theta=theta)
+        session.members[member_id] = state
+        if session.regions and session.regions[member_id].contains_point(point):
+            return None
+        event = ReportEvent(session_id, member_id, state)
+        self._charge_message(session, event.message())
+        self._probe(session, exclude=member_id)
+        return self._recompute(session, cause="report")
+
+    def update_locations(
+        self,
+        session_id: int,
+        members: Sequence[Member],
+    ) -> Notification:
+        """Refresh every member's state at once and recompute.
+
+        The already-probed path: the caller has gathered all positions
+        itself (e.g. the ``MultiGroupServer`` shim), so no trigger or
+        probe traffic is charged — only the recomputation and the
+        result notifications.
+        """
+        session = self.session(session_id)
+        if len(members) != session.size:
+            raise ValueError("member count does not match session size")
+        session.members = [_as_state(m) for m in members]
+        return self._recompute(session, cause="refresh")
+
+    def _probe(self, session: ServiceSession, exclude: int) -> None:
+        """Step 2: fetch every other member's state, charging the round."""
+        for i in range(session.size):
+            if i == exclude:
+                continue
+            if session.prober is not None:
+                session.members[i] = session.prober(i)
+            self._charge_message(session, probe_request())
+            self._charge_message(session, location_update())
+
+    # ------------------------------------------------------------------
+    # Dynamic POI updates
+    # ------------------------------------------------------------------
+
+    def update_pois(
+        self,
+        adds: Sequence[tuple[Point, object]] = (),
+        removes: Sequence[tuple[Point, object]] = (),
+    ) -> list[Notification]:
+        """Apply a batch of POI inserts/deletes, then recompute once.
+
+        Prefer this over per-item :meth:`add_poi` / :meth:`remove_poi`
+        under churn: the flat backend rebuilds its packing per
+        mutation, and a batch pays that rebuild once.  Each invalidated
+        session is recomputed a single time even if several updates
+        touch it.  Returns one notification per re-notified session.
+        """
+        self.tree.bulk_update(adds, removes)
+        removed = {p for p, _ in removes}
+        notifications = []
+        for session in self._sessions.values():
+            if session.po in removed or any(
+                not session.region_valid_against(p) for p, _ in adds
+            ):
+                notifications.append(self._recompute(session, cause="poi_update"))
+        return notifications
+
+    def add_poi(self, p: Point, payload=None) -> list[Notification]:
+        """Insert a POI; recompute only the sessions it invalidates."""
+        return self.update_pois(adds=[(p, payload)])
+
+    def remove_poi(self, p: Point, payload=None) -> list[Notification]:
+        """Delete a POI; only sessions meeting *at* it are recomputed.
+
+        Raises ``KeyError`` when the POI is not present.
+        """
+        return self.update_pois(removes=[(p, payload)])
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _recompute(self, session: ServiceSession, cause: str) -> Notification:
+        """Steps 2-3: run the strategy, charge the update, notify all."""
+        start = time.perf_counter()
+        result = session.strategy.compute(
+            session.positions,
+            self.tree,
+            [m.heading for m in session.members],
+            [m.theta for m in session.members],
+        )
+        cpu = time.perf_counter() - start
+        if session.po is not None and result.po != session.po:
+            session.metrics.result_changes += 1
+            self.metrics.result_changes += 1
+        session.po = result.po
+        session.regions = list(result.regions)
+        session.metrics.charge_update(cpu, result.stats)
+        self.metrics.charge_update(cpu, result.stats)
+        for values in result.region_values:
+            self._charge_message(session, result_notify(values))
+            session.metrics.region_values_sent += values
+            self.metrics.region_values_sent += values
+        return Notification(
+            session_id=session.session_id,
+            po=result.po,
+            regions=tuple(result.regions),
+            region_values=tuple(result.region_values),
+            cpu_seconds=cpu,
+            stats=result.stats,
+            cause=cause,
+        )
+
+    def _charge_message(self, session: ServiceSession, message: Message) -> None:
+        session.metrics.record_message(message)
+        self.metrics.record_message(message)

@@ -1,0 +1,69 @@
+"""Per-session server-side state and Lemma-1 invalidation tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.core.verify import verify_regions
+from repro.geometry.point import Point
+from repro.geometry.region import Region
+from repro.gnn.aggregate import Aggregate
+from repro.service.messages import MemberState
+from repro.service.strategies import SafeRegionStrategy
+from repro.simulation.metrics import SimulationMetrics
+from repro.simulation.policies import Policy
+
+# Supplies a member's fresh state during the probe round (step 2 of
+# Fig. 3).  ``None`` falls back to the member's last reported state.
+Prober = Callable[[int], MemberState]
+
+
+def sum_verify_regions(regions: Sequence[Region], po: Point, p: Point) -> bool:
+    """Lemma 1's SUM analogue: conservative validity of ``po`` vs ``p``.
+
+    ``sum_i min_dist(p, Ri) >= sum_i max_dist(po, Ri)`` guarantees
+    ``||p, L||_sum >= ||po, L||_sum`` for every instance ``L``.
+    """
+    gap = sum(r.min_dist(p) for r in regions) - sum(r.max_dist(po) for r in regions)
+    return gap >= 0.0
+
+
+@dataclass
+class ServiceSession:
+    """Server-side state for one monitored group."""
+
+    session_id: int
+    policy: Policy
+    strategy: SafeRegionStrategy
+    members: list[MemberState]
+    prober: Optional[Prober] = None
+    po: Optional[Point] = None
+    regions: list[Region] = field(default_factory=list)
+    metrics: SimulationMetrics = field(default_factory=SimulationMetrics)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def positions(self) -> list[Point]:
+        return [m.point for m in self.members]
+
+    @property
+    def group_id(self) -> int:
+        """Backwards-compatible alias used by the MultiGroupServer shim."""
+        return self.session_id
+
+    def region_valid_against(self, p: Point) -> bool:
+        """Can the candidate POI ``p`` ever beat the cached result?
+
+        The conservative test of Lemma 1 (MAX) or its SUM analogue over
+        the session's current safe regions; ``True`` means the cached
+        meeting point provably survives the insertion of ``p``.
+        """
+        if self.po is None or p == self.po:
+            return True
+        if self.policy.objective is Aggregate.SUM:
+            return sum_verify_regions(self.regions, self.po, p)
+        return verify_regions(self.regions, self.po, p)

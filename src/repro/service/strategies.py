@@ -1,0 +1,185 @@
+"""The safe-region strategy registry.
+
+A *strategy* is the server-side computation behind one safe-region
+method: given the group's current locations (and optionally predicted
+headings) it produces the optimal meeting point, one region per user
+and the wire size of each region.  The built-in strategies wrap the
+paper's algorithms:
+
+* ``"circle"`` — Circle-MSR (Algorithm 1, Section 4);
+* ``"tile"`` — Tile-MSR (Algorithm 3, Section 5), configured through
+  the policy's :class:`~repro.core.types.TileMSRConfig`;
+* ``"periodic"`` — the strawman baseline; it computes the exact group
+  nearest neighbor and returns no regions (clients re-report every
+  timestamp, so there is nothing to cache).
+
+New methods — e.g. road-network MSRs from :mod:`repro.network_ext` —
+plug in via :func:`register_strategy` without touching the server or
+the engine: a :class:`~repro.simulation.policies.Policy` whose
+``strategy_name`` matches a registered factory is served end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.core.circle_msr import circle_msr
+from repro.core.compression import compress_region
+from repro.core.tile_msr import tile_msr
+from repro.core.types import SafeRegionStats, TileMSRConfig
+from repro.geometry.point import Point
+from repro.geometry.region import Region
+from repro.gnn.aggregate import find_gnn
+from repro.index.backend import SpatialIndex
+from repro.service.errors import UnknownStrategyError
+from repro.simulation.messages import CIRCLE_VALUES
+from repro.simulation.policies import Policy
+
+
+@dataclass(slots=True)
+class StrategyResult:
+    """What one safe-region computation hands back to the service."""
+
+    po: Point
+    regions: list[Region]
+    region_values: list[int]  # wire size per region, in doubles
+    stats: SafeRegionStats = field(default_factory=SafeRegionStats)
+
+
+@runtime_checkable
+class SafeRegionStrategy(Protocol):
+    """One safe-region method, resolved from the registry by name.
+
+    ``periodic`` marks strategies with no safe regions: the session
+    facade rejects them (every client must re-report every timestamp,
+    so the event protocol does not apply) and the engine drives them
+    through its periodic loop instead.
+    """
+
+    periodic: bool
+
+    def compute(
+        self,
+        users: Sequence[Point],
+        tree: SpatialIndex,
+        headings: Optional[Sequence[Optional[float]]] = None,
+        thetas: Optional[Sequence[Optional[float]]] = None,
+    ) -> StrategyResult: ...
+
+
+StrategyFactory = Callable[[Policy], SafeRegionStrategy]
+
+_REGISTRY: dict[str, StrategyFactory] = {}
+
+
+def register_strategy(
+    name: str, factory: StrategyFactory, *, replace: bool = False
+) -> None:
+    """Register ``factory`` under ``name`` (``Policy.strategy_name``).
+
+    ``factory`` receives the resolving policy and returns a strategy
+    instance configured for it; the service resolves once per session,
+    at registration.
+    """
+    if not replace and name in _REGISTRY:
+        raise ValueError(f"strategy {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def unregister_strategy(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def available_strategies() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def get_strategy(policy: Policy) -> SafeRegionStrategy:
+    """Resolve the policy's strategy from the registry."""
+    name = policy.strategy_name
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise UnknownStrategyError(name, tuple(available_strategies())) from None
+    return factory(policy)
+
+
+# ----------------------------------------------------------------------
+# Built-in strategies
+# ----------------------------------------------------------------------
+
+
+class CircleMSRStrategy:
+    """Circle-MSR: one maximal circle per user (Section 4)."""
+
+    periodic: ClassVar[bool] = False
+
+    def __init__(self, policy: Policy):
+        self.objective = policy.objective
+
+    def compute(
+        self,
+        users: Sequence[Point],
+        tree: SpatialIndex,
+        headings: Optional[Sequence[Optional[float]]] = None,
+        thetas: Optional[Sequence[Optional[float]]] = None,
+    ) -> StrategyResult:
+        result = circle_msr(users, tree, self.objective)
+        return StrategyResult(
+            po=result.po,
+            regions=list(result.circles),
+            region_values=[CIRCLE_VALUES] * len(users),
+            stats=result.stats,
+        )
+
+
+class TileMSRStrategy:
+    """Tile-MSR: compressed tile regions (Section 5)."""
+
+    periodic: ClassVar[bool] = False
+
+    def __init__(self, policy: Policy):
+        self.config = policy.tile_config or TileMSRConfig(objective=policy.objective)
+
+    def compute(
+        self,
+        users: Sequence[Point],
+        tree: SpatialIndex,
+        headings: Optional[Sequence[Optional[float]]] = None,
+        thetas: Optional[Sequence[Optional[float]]] = None,
+    ) -> StrategyResult:
+        result = tile_msr(users, tree, self.config, headings, thetas)
+        return StrategyResult(
+            po=result.po,
+            regions=list(result.regions),
+            region_values=[compress_region(r).value_count for r in result.regions],
+            stats=result.stats,
+        )
+
+
+class PeriodicStrategy:
+    """The strawman: exact GNN every timestamp, no safe regions."""
+
+    periodic: ClassVar[bool] = True
+
+    def __init__(self, policy: Policy):
+        self.objective = policy.objective
+
+    def compute(
+        self,
+        users: Sequence[Point],
+        tree: SpatialIndex,
+        headings: Optional[Sequence[Optional[float]]] = None,
+        thetas: Optional[Sequence[Optional[float]]] = None,
+    ) -> StrategyResult:
+        best = find_gnn(tree, users, 1, self.objective)
+        po = best[0][1].point
+        # The reply carries only the meeting point; there is no region
+        # to cache, so every user pays POINT_VALUES per timestamp.
+        return StrategyResult(po=po, regions=[], region_values=[])
+
+
+register_strategy("circle", CircleMSRStrategy)
+register_strategy("tile", TileMSRStrategy)
+register_strategy("periodic", PeriodicStrategy)

@@ -1,11 +1,15 @@
 """Client-server monitoring simulation (Section 3.1, Fig. 3).
 
-The engine replays trajectory groups against an MPN server.  Whenever a
-user leaves her safe region the three-step protocol runs: (1) she
-reports her location; (2) the server probes the other members;
-(3) the server notifies everyone of the new optimal meeting point and
-their new safe regions.  Message and packet accounting follows the
-paper's model (576-byte MTU, 40-byte header, 67 doubles per packet).
+The engine replays trajectory groups against the session-oriented
+serving layer (:mod:`repro.service`).  Whenever a user leaves her safe
+region the three-step protocol runs: (1) she reports her location;
+(2) the server probes the other members; (3) the server notifies
+everyone of the new optimal meeting point and their new safe regions.
+Message and packet accounting follows the paper's model (576-byte MTU,
+40-byte header, 67 doubles per packet).
+
+``MPNServer`` and ``MultiGroupServer`` are retained as thin deprecated
+shims over :class:`repro.service.MPNService`.
 """
 
 from repro.simulation.messages import (
@@ -19,6 +23,7 @@ from repro.simulation.policies import (
     Policy,
     PolicyKind,
     circle_policy,
+    custom_policy,
     periodic_policy,
     tile_policy,
     tile_d_policy,
@@ -26,7 +31,13 @@ from repro.simulation.policies import (
 )
 from repro.simulation.server import MPNServer, ServerResponse
 from repro.simulation.client import SimClient
-from repro.simulation.engine import run_simulation, run_groups
+from repro.simulation.engine import (
+    SafeRegionViolation,
+    ServiceRunResult,
+    run_groups,
+    run_service,
+    run_simulation,
+)
 from repro.simulation.multigroup import MultiGroupServer, GroupSession
 from repro.simulation.adaptive import (
     AdaptiveAlphaController,
@@ -44,6 +55,7 @@ __all__ = [
     "Policy",
     "PolicyKind",
     "circle_policy",
+    "custom_policy",
     "periodic_policy",
     "tile_policy",
     "tile_d_policy",
@@ -51,8 +63,11 @@ __all__ = [
     "MPNServer",
     "ServerResponse",
     "SimClient",
+    "SafeRegionViolation",
     "run_simulation",
     "run_groups",
+    "run_service",
+    "ServiceRunResult",
     "MultiGroupServer",
     "GroupSession",
     "AdaptiveAlphaController",

@@ -17,6 +17,11 @@ increase/decrease rule on the *observed inter-update interval*:
 * interval much longer than the target — the region outlived its
   usefulness; shrink alpha and save CPU;
 * an optional hard ``cpu_budget`` per update overrides growth.
+
+The driver retunes the session through
+:meth:`repro.service.MPNService.update_policy` before each
+recomputation — the alpha swap is a policy update on a live session,
+not a new server.
 """
 
 from __future__ import annotations
@@ -26,12 +31,14 @@ from typing import Optional, Sequence
 
 from repro.index.backend import SpatialIndex
 from repro.mobility.trajectory import Trajectory
-from repro.simulation.client import SimClient
-from repro.simulation.engine import _recompute
+from repro.service.service import MPNService
+from repro.simulation.engine import (
+    _deliver,
+    _make_clients,
+    _open_group_session,
+)
 from repro.simulation.metrics import SimulationMetrics
-from repro.simulation.messages import location_update, probe_request
-from repro.simulation.policies import Policy, PolicyKind
-from repro.simulation.server import MPNServer
+from repro.simulation.policies import Policy
 
 
 @dataclass
@@ -90,9 +97,10 @@ def run_adaptive_simulation(
     """The monitoring loop with a per-update alpha adjustment.
 
     ``base_policy`` must be a tile policy; its config's alpha seeds the
-    controller and is replaced before every recomputation.
+    controller and the session's policy is retuned before every
+    recomputation.
     """
-    if base_policy.kind is not PolicyKind.TILE or base_policy.tile_config is None:
+    if base_policy.tile_config is None:
         raise ValueError("adaptive tuning applies to tile policies only")
     if adaptive is None:
         adaptive = AdaptiveConfig()
@@ -102,35 +110,36 @@ def run_adaptive_simulation(
     steps = n_timestamps if n_timestamps is not None else min(
         len(t) for t in trajectories
     )
-    track = base_policy.tile_config.ordering.value == "directed"
-    clients = [SimClient(t, track) for t in trajectories]
-    metrics = SimulationMetrics(timestamps=steps)
-    m = len(clients)
 
-    def make_server() -> MPNServer:
+    def tuned_policy() -> Policy:
         config = replace(base_policy.tile_config, alpha=controller.alpha)
-        return MPNServer(
-            tree, Policy(base_policy.name, base_policy.kind, base_policy.objective, config)
-        )
+        return replace(base_policy, tile_config=config)
 
-    current_po = _recompute(make_server(), clients, metrics, initial=True)
+    clients = _make_clients(base_policy, trajectories)
+    service = MPNService(tree)
+    session_id, _ = _open_group_session(service, tuned_policy(), clients)
+    metrics = service.session_metrics(session_id)
     last_update_t = 0
 
     for t in range(1, steps):
         for client in clients:
             client.advance(t)
-        if not any(c.outside_region() for c in clients):
+        trigger = next(
+            (i for i, c in enumerate(clients) if c.outside_region()), None
+        )
+        if trigger is None:
             continue
-        metrics.record_message(location_update())
-        for _ in range(m - 1):
-            metrics.record_message(probe_request())
-            metrics.record_message(location_update())
+        service.update_policy(session_id, tuned_policy())
         cpu_before = metrics.server_cpu_seconds
-        new_po = _recompute(make_server(), clients, metrics)
+        client = clients[trigger]
+        notification = service.report(
+            session_id, trigger, client.position, client.heading, client.theta
+        )
+        if notification is None:  # pragma: no cover - escape implies a round
+            continue
+        _deliver(clients, notification)
         cpu_spent = metrics.server_cpu_seconds - cpu_before
         controller.observe_update(float(t - last_update_t), cpu_spent)
         last_update_t = t
-        if new_po != current_po:
-            metrics.result_changes += 1
-        current_po = new_po
+    metrics.timestamps = steps
     return metrics, controller

@@ -29,9 +29,7 @@ import time
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.circle_msr import circle_msr
-from repro.core.compression import compress_region
-from repro.core.tile_msr import tile_msr
+from repro.geometry.region import Region
 from repro.index.backend import SpatialIndex
 from repro.mobility.trajectory import Trajectory
 from repro.simulation.messages import (
@@ -39,7 +37,7 @@ from repro.simulation.messages import (
     packets_for_values,
     POINT_VALUES,
 )
-from repro.simulation.policies import Policy, PolicyKind
+from repro.simulation.policies import Policy
 
 
 @dataclass(frozen=True)
@@ -79,8 +77,16 @@ def estimate_costs(
     escape_factor: float = 1.0,
     seed: int = 0,
 ) -> CostEstimate:
-    """Calibrate the model from ``n_samples`` snapshot computations."""
-    if policy.kind is PolicyKind.PERIODIC:
+    """Calibrate the model from ``n_samples`` snapshot computations.
+
+    The policy's safe-region strategy is resolved from the registry
+    (:mod:`repro.service.strategies`), so any registered method — not
+    just the paper's built-ins — can be estimated.
+    """
+    from repro.service.strategies import get_strategy
+
+    strategy = get_strategy(policy)
+    if strategy.periodic:
         m = group_size
         packets = m * (packets_for_values(2) + packets_for_values(POINT_VALUES))
         return CostEstimate(
@@ -99,20 +105,13 @@ def estimate_costs(
     for _ in range(n_samples):
         users = _sample_group_positions(trajectories, group_size, rng)
         start = time.perf_counter()
-        if policy.kind is PolicyKind.CIRCLE:
-            result = circle_msr(users, tree, policy.objective)
-            cpu.append(time.perf_counter() - start)
-            if result.radius != float("inf"):
-                radii.append(result.radius)
-            region_values.extend([CIRCLE_VALUES] * group_size)
-        else:
-            result = tile_msr(users, tree, policy.tile_config)
-            cpu.append(time.perf_counter() - start)
-            for region in result.regions:
-                area = sum(t.rect.area for t in region)
-                if area > 0.0 and area < 1e30:
-                    radii.append(math.sqrt(area / math.pi))
-                region_values.append(compress_region(region).value_count)
+        result = strategy.compute(users, tree)
+        cpu.append(time.perf_counter() - start)
+        for region in result.regions:
+            radius = _equivalent_radius(region)
+            if radius is not None:
+                radii.append(radius)
+        region_values.extend(result.region_values)
     effective_radius = sum(radii) / len(radii) if radii else float("inf")
     speed = _mean_speed(trajectories)
     if effective_radius in (0.0, float("inf")):
@@ -135,6 +134,26 @@ def estimate_costs(
         effective_radius=effective_radius,
         mean_speed=speed,
     )
+
+
+def _equivalent_radius(region: Region) -> float | None:
+    """Equivalent-circle radius of one safe region, if finite.
+
+    Circles expose a radius directly; tile-style regions (iterables of
+    tiles with rectangular extents) use the radius of the circle with
+    the same total area.  Unbounded or degenerate regions return
+    ``None`` and are excluded from calibration.
+    """
+    radius = getattr(region, "radius", None)
+    if radius is not None:
+        return None if radius == float("inf") else float(radius)
+    try:
+        area = sum(t.rect.area for t in region)
+    except TypeError:
+        return None
+    if 0.0 < area < 1e30:
+        return math.sqrt(area / math.pi)
+    return None
 
 
 def _mean_speed(trajectories: Sequence[Trajectory]) -> float:

@@ -1,37 +1,41 @@
-"""The monitoring loop: trajectory playback against the MPN server.
+"""Trajectory drivers: playback of mobile groups against the service.
 
-One simulated run plays a group of trajectories for ``n_timestamps``
-steps.  Whenever some client's new location escapes her safe region,
-the three-step protocol of Fig. 3 executes and is charged to the
-metrics: one location update from the trigger client, ``m - 1`` probe
-requests and replies, and ``m`` result notifications carrying the new
-meeting point and safe regions.
+The serving logic lives in :class:`repro.service.MPNService`; this
+module only *drives* it.  One simulated run plays a group of
+trajectories for ``n_timestamps`` steps.  Whenever some client's new
+location escapes her safe region, she fires a report event and the
+three-step protocol of Fig. 3 executes inside the service: one
+location update from the trigger client, ``m - 1`` probe requests and
+replies, and ``m`` result notifications carrying the new meeting point
+and safe regions.
 
 Setting ``check_every`` to a positive value asserts, every so many
 quiet timestamps, that the cached meeting point still equals the exact
 aggregate nearest neighbor — the paper's core guarantee (Definition 3).
 This is how the integration tests establish end-to-end soundness.
+
+:func:`run_service` scales the same playback to many concurrent groups
+with interleaved timestamps and POI churn against one shared index —
+the deployment workload the single-group API cannot express.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence, Union
 
-from repro.gnn.aggregate import find_gnn
+from repro.geometry.point import Point
+from repro.gnn.aggregate import aggregate_dist, find_gnn
 from repro.index.backend import SpatialIndex
 from repro.mobility.trajectory import Trajectory
+from repro.service.messages import MemberState, Notification
+from repro.service.service import MPNService
+from repro.service.strategies import SafeRegionStrategy, get_strategy
 from repro.simulation.client import SimClient
-from repro.simulation.messages import (
-    location_update,
-    periodic_reply,
-    periodic_report,
-    probe_request,
-    result_notify,
-)
+from repro.simulation.messages import periodic_reply, periodic_report
 from repro.simulation.metrics import SimulationMetrics, average_metrics
-from repro.simulation.policies import Policy, PolicyKind
-from repro.simulation.server import MPNServer
+from repro.simulation.policies import Policy
 
 
 class SafeRegionViolation(AssertionError):
@@ -53,13 +57,14 @@ def run_simulation(
     )
     if steps < 1:
         raise ValueError("need at least one timestamp")
-    if policy.kind is PolicyKind.PERIODIC:
-        return _run_periodic(policy, trajectories, tree, steps)
+    strategy = get_strategy(policy)
+    if strategy.periodic:
+        return _run_periodic(strategy, trajectories, tree, steps)
     return _run_safe_regions(policy, trajectories, tree, steps, check_every)
 
 
 def _run_periodic(
-    policy: Policy,
+    strategy: SafeRegionStrategy,
     trajectories: Sequence[Trajectory],
     tree: SpatialIndex,
     steps: int,
@@ -71,16 +76,74 @@ def _run_periodic(
     for t in range(steps):
         users = [traj.at(t) for traj in trajectories]
         start = time.perf_counter()
-        best = find_gnn(tree, users, 1, policy.objective)
+        result = strategy.compute(users, tree)
         metrics.charge_update(time.perf_counter() - start)
-        po = best[0][1].point
-        if t > 0 and po != last_po:
+        if t > 0 and result.po != last_po:
             metrics.result_changes += 1
-        last_po = po
+        last_po = result.po
         for _ in range(m):
             metrics.record_message(periodic_report())
             metrics.record_message(periodic_reply())
     return metrics
+
+
+def _make_clients(
+    policy: Policy, trajectories: Sequence[Trajectory]
+) -> list[SimClient]:
+    cfg = policy.tile_config
+    track_direction = cfg is not None and cfg.ordering.value == "directed"
+    return [SimClient(traj, track_direction) for traj in trajectories]
+
+
+def _client_prober(clients: Sequence[SimClient]) -> Callable[[int], MemberState]:
+    """Probe replies (step 2): read the probed client's live state."""
+
+    def prober(i: int) -> MemberState:
+        client = clients[i]
+        return MemberState(client.position, client.heading, client.theta)
+
+    return prober
+
+
+def _open_group_session(
+    service: MPNService, policy: Policy, clients: Sequence[SimClient]
+) -> tuple[int, Notification]:
+    handle = service.open_session(
+        [MemberState(c.position, c.heading, c.theta) for c in clients],
+        policy,
+        prober=_client_prober(clients),
+    )
+    _deliver(clients, handle.notification)
+    return handle.session_id, handle.notification
+
+
+def _deliver(clients: Sequence[SimClient], notification: Notification) -> None:
+    """Step 3 lands client-side: each member caches her new region."""
+    for client, region in zip(clients, notification.regions):
+        client.assign_region(region)
+
+
+def _play_timestamp(
+    service: MPNService,
+    session_id: int,
+    clients: Sequence[SimClient],
+    t: int,
+) -> Optional[Notification]:
+    """Advance one group to ``t``; fire a report if someone escaped."""
+    for client in clients:
+        client.advance(t)
+    trigger = next(
+        (i for i, c in enumerate(clients) if c.outside_region()), None
+    )
+    if trigger is None:
+        return None
+    client = clients[trigger]
+    notification = service.report(
+        session_id, trigger, client.position, client.heading, client.theta
+    )
+    if notification is not None:
+        _deliver(clients, notification)
+    return notification
 
 
 def _run_safe_regions(
@@ -90,68 +153,27 @@ def _run_safe_regions(
     steps: int,
     check_every: int,
 ) -> SimulationMetrics:
-    track_direction = (
-        policy.kind is PolicyKind.TILE
-        and policy.tile_config is not None
-        and policy.tile_config.ordering.value == "directed"
-    )
-    clients = [SimClient(traj, track_direction) for traj in trajectories]
-    server = MPNServer(tree, policy)
-    metrics = SimulationMetrics(timestamps=steps)
-    m = len(clients)
-
-    current_po = _recompute(server, clients, metrics, initial=True)
+    clients = _make_clients(policy, trajectories)
+    service = MPNService(tree)
+    session_id, registration = _open_group_session(service, policy, clients)
+    current_po = registration.po
 
     for t in range(1, steps):
-        for client in clients:
-            client.advance(t)
-        trigger = next((c for c in clients if c.outside_region()), None)
-        if trigger is None:
+        notification = _play_timestamp(service, session_id, clients, t)
+        if notification is None:
             if check_every > 0 and t % check_every == 0:
                 _assert_result_valid(policy, tree, clients, current_po)
             continue
-        # Step 1: the trigger reports its location.
-        metrics.record_message(location_update())
-        # Step 2: probe the other group members.
-        for _ in range(m - 1):
-            metrics.record_message(probe_request())
-            metrics.record_message(location_update())
-        new_po = _recompute(server, clients, metrics)
-        if new_po != current_po:
-            metrics.result_changes += 1
-        current_po = new_po
+        current_po = notification.po
+    metrics = service.session_metrics(session_id)
+    metrics.timestamps = steps
     return metrics
-
-
-def _recompute(
-    server: MPNServer,
-    clients: list[SimClient],
-    metrics: SimulationMetrics,
-    initial: bool = False,
-) -> object:
-    """Steps 2-3: recompute safe regions, notify every client."""
-    users = [c.position for c in clients]
-    headings = [c.heading for c in clients]
-    thetas = [c.theta for c in clients]
-    response = server.compute(users, headings, thetas)
-    metrics.charge_update(response.cpu_seconds, response.stats)
-    for client, region, values in zip(
-        clients, response.regions, response.region_values
-    ):
-        client.assign_region(region)
-        metrics.record_message(result_notify(values))
-        metrics.region_values_sent += values
-    if initial:
-        # Registration: every client reports its location first.
-        for _ in clients:
-            metrics.record_message(location_update())
-    return response.po
 
 
 def _assert_result_valid(
     policy: Policy,
     tree: SpatialIndex,
-    clients: list[SimClient],
+    clients: Sequence[SimClient],
     current_po: object,
 ) -> None:
     """The headline guarantee: quiet users => the result is still exact.
@@ -160,8 +182,6 @@ def _assert_result_valid(
     the cached point's aggregate distance (the optimal point need not
     be unique).
     """
-    from repro.gnn.aggregate import aggregate_dist
-
     users = [c.position for c in clients]
     best_dist, best_entry = find_gnn(tree, users, 1, policy.objective)[0]
     cached_dist = aggregate_dist(current_po, users, policy.objective)
@@ -185,3 +205,132 @@ def run_groups(
         for group in groups
     ]
     return average_metrics(runs)
+
+
+# ----------------------------------------------------------------------
+# Multi-group serving
+# ----------------------------------------------------------------------
+
+# POI churn for one timestamp: (adds, removes) batches of (point,
+# payload) pairs, or None for a quiet timestamp.
+ChurnBatch = tuple[Sequence[tuple[Point, object]], Sequence[tuple[Point, object]]]
+ChurnSchedule = Union[
+    Mapping[int, ChurnBatch], Callable[[int], Optional[ChurnBatch]]
+]
+
+
+def _no_churn(t: int) -> Optional[ChurnBatch]:
+    return None
+
+
+@dataclass
+class ServiceRunResult:
+    """Outcome of :func:`run_service`."""
+
+    service: MPNService
+    session_ids: list[int]
+    session_metrics: list[SimulationMetrics]
+    churn_notified: list[tuple[int, list[int]]] = field(default_factory=list)
+
+    @property
+    def metrics(self) -> SimulationMetrics:
+        """Service-wide traffic across every session."""
+        return self.service.metrics
+
+
+def run_service(
+    groups: Sequence[Sequence[Trajectory]],
+    policies: Union[Policy, Sequence[Policy]],
+    tree: SpatialIndex,
+    n_timestamps: Optional[int] = None,
+    check_every: int = 0,
+    churn: Optional[ChurnSchedule] = None,
+) -> ServiceRunResult:
+    """Play many concurrent groups against one shared :class:`MPNService`.
+
+    All groups advance with interleaved timestamps: at each step every
+    group moves, and whichever members escaped their regions fire
+    report events against the same service (and the same POI index).
+    ``policies`` is either one policy for every group or one per group.
+
+    ``churn`` schedules POI updates: a mapping (or callable) from
+    timestamp to an ``(adds, removes)`` batch, applied through
+    :meth:`MPNService.update_pois` *before* the groups move at that
+    timestamp.  Sessions invalidated by the batch are re-notified and
+    their clients pick up the fresh regions, exactly like a report
+    round.
+
+    ``check_every`` asserts, every so many timestamps, that every
+    session's cached meeting point is still exactly optimal over the
+    *current* POI set (ties tolerated) — the Definition 3 guarantee
+    under concurrency and churn.
+    """
+    if not groups:
+        raise ValueError("need at least one group")
+    if isinstance(policies, Policy):
+        policies = [policies] * len(groups)
+    if len(policies) != len(groups):
+        raise ValueError("need one policy per group (or a single policy)")
+    steps = n_timestamps if n_timestamps is not None else min(
+        len(t) for group in groups for t in group
+    )
+    if steps < 1:
+        raise ValueError("need at least one timestamp")
+    if callable(churn):
+        churn_at = churn
+    elif churn is not None:
+        churn_at = churn.get
+    else:
+        churn_at = _no_churn
+
+    service = MPNService(tree)
+    # Churn scheduled for t=0 lands before any session registers.
+    initial_batch = churn_at(0)
+    if initial_batch is not None:
+        service.update_pois(*initial_batch)
+    fleet: list[Sequence[SimClient]] = []
+    session_ids: list[int] = []
+    pos: dict[int, Point] = {}  # session id -> cached meeting point
+    by_session: dict[int, Sequence[SimClient]] = {}
+    for policy, group in zip(policies, groups):
+        clients = _make_clients(policy, group)
+        session_id, registration = _open_group_session(service, policy, clients)
+        fleet.append(clients)
+        session_ids.append(session_id)
+        pos[session_id] = registration.po
+        by_session[session_id] = clients
+
+    churn_notified: list[tuple[int, list[int]]] = []
+    for t in range(1, steps):
+        batch = churn_at(t)
+        if batch is not None:
+            adds, removes = batch
+            notifications = service.update_pois(adds, removes)
+            for notification in notifications:
+                _deliver(by_session[notification.session_id], notification)
+                pos[notification.session_id] = notification.po
+            if notifications:
+                churn_notified.append(
+                    (t, [n.session_id for n in notifications])
+                )
+        for session_id, clients in zip(session_ids, fleet):
+            notification = _play_timestamp(service, session_id, clients, t)
+            if notification is not None:
+                pos[session_id] = notification.po
+        if check_every > 0 and t % check_every == 0:
+            for policy, session_id, clients in zip(
+                policies, session_ids, fleet
+            ):
+                _assert_result_valid(policy, tree, clients, pos[session_id])
+
+    session_metrics = []
+    for session_id in session_ids:
+        metrics = service.session_metrics(session_id)
+        metrics.timestamps = steps
+        session_metrics.append(metrics)
+    return ServiceRunResult(
+        service=service,
+        session_ids=session_ids,
+        session_metrics=session_metrics,
+        churn_notified=churn_notified,
+    )

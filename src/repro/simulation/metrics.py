@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.types import SafeRegionStats
 from repro.simulation.messages import Message
@@ -90,7 +90,7 @@ def average_metrics(runs: list[SimulationMetrics]) -> SimulationMetrics:
         total.merge(run)
     n = len(runs)
     out = SimulationMetrics(
-        timestamps=total.timestamps // n,
+        timestamps=round(total.timestamps / n),
         update_events=round(total.update_events / n),
         result_changes=round(total.result_changes / n),
         messages_up=round(total.messages_up / n),

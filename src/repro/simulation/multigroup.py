@@ -1,8 +1,14 @@
-"""A multi-group server with dynamic POI updates.
+"""Multi-group serving shim over :class:`repro.service.MPNService`.
 
-The paper's protocol serves one group; a deployed server handles many
-groups against one shared POI R-tree, and the POI set itself changes
-(venues open and close).  Safe regions make both cheap:
+.. deprecated::
+    ``MultiGroupServer`` predates the session-oriented service; it
+    survives as a thin compatibility wrapper.  New code should talk to
+    :class:`repro.service.MPNService` directly — same semantics, plus
+    report events, probers, per-session *and* service-wide metrics, and
+    typed notifications.
+
+The POI-churn reasoning lives with the session state in
+:mod:`repro.service.session`:
 
 * **POI insertion.**  A new point ``p`` can only invalidate a group if
   it could beat the group's current meeting point somewhere inside the
@@ -17,56 +23,44 @@ groups against one shared POI R-tree, and the POI set itself changes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
-from repro.core.verify import verify_regions
 from repro.geometry.point import Point
 from repro.geometry.region import Region
-from repro.gnn.aggregate import Aggregate
 from repro.index.backend import SpatialIndex
-from repro.simulation.metrics import SimulationMetrics
-from repro.simulation.messages import result_notify
+from repro.service.service import MPNService
+from repro.service.session import ServiceSession, sum_verify_regions
 from repro.simulation.policies import Policy
-from repro.simulation.server import MPNServer
 
+__all__ = [
+    "MultiGroupServer",
+    "GroupSession",
+    "sum_verify_regions",
+]
 
-def sum_verify_regions(regions: Sequence[Region], po: Point, p: Point) -> bool:
-    """Lemma 1's SUM analogue: conservative validity of ``po`` vs ``p``.
-
-    ``sum_i min_dist(p, Ri) >= sum_i max_dist(po, Ri)`` guarantees
-    ``||p, L||_sum >= ||po, L||_sum`` for every instance ``L``.
-    """
-    gap = sum(r.min_dist(p) for r in regions) - sum(r.max_dist(po) for r in regions)
-    return gap >= 0.0
-
-
-@dataclass
-class GroupSession:
-    """Server-side state for one registered group."""
-
-    group_id: int
-    policy: Policy
-    positions: list[Point]
-    po: Optional[Point] = None
-    regions: list[Region] = field(default_factory=list)
-    metrics: SimulationMetrics = field(default_factory=SimulationMetrics)
-
-    def region_valid_against(self, p: Point) -> bool:
-        if self.po is None or p == self.po:
-            return True
-        if self.policy.objective is Aggregate.SUM:
-            return sum_verify_regions(self.regions, self.po, p)
-        return verify_regions(self.regions, self.po, p)
+# Backwards-compatible alias: group sessions are service sessions now.
+GroupSession = ServiceSession
 
 
 class MultiGroupServer:
-    """Shared-index server for many concurrent MPN groups."""
+    """Shared-index server for many concurrent MPN groups.
+
+    Unknown group ids raise
+    :class:`repro.service.errors.UnknownSessionError` (a ``KeyError``
+    subclass, so pre-existing handlers keep working).
+    """
 
     def __init__(self, tree: SpatialIndex):
-        self.tree = tree
-        self._sessions: dict[int, GroupSession] = {}
-        self._next_id = 0
+        self._service = MPNService(tree)
+
+    @property
+    def service(self) -> MPNService:
+        """The underlying session service."""
+        return self._service
+
+    @property
+    def tree(self) -> SpatialIndex:
+        return self._service.tree
 
     # ------------------------------------------------------------------
     # Group lifecycle
@@ -74,21 +68,16 @@ class MultiGroupServer:
 
     def register_group(self, users: Sequence[Point], policy: Policy) -> int:
         """Register a group; computes its first result and regions."""
-        group_id = self._next_id
-        self._next_id += 1
-        session = GroupSession(group_id, policy, list(users))
-        self._sessions[group_id] = session
-        self._recompute(session)
-        return group_id
+        return self._service.open_session(users, policy).session_id
 
     def unregister_group(self, group_id: int) -> None:
-        self._sessions.pop(group_id)
+        self._service.close_session(group_id)
 
     def session(self, group_id: int) -> GroupSession:
-        return self._sessions[group_id]
+        return self._service.session(group_id)
 
     def group_ids(self) -> list[int]:
-        return sorted(self._sessions)
+        return self._service.session_ids()
 
     # ------------------------------------------------------------------
     # Location updates
@@ -102,21 +91,8 @@ class MultiGroupServer:
         Called when some member has escaped her region (the engine
         decides that client-side); returns the new result and regions.
         """
-        session = self._sessions[group_id]
-        if len(positions) != len(session.positions):
-            raise ValueError("position count does not match group size")
-        session.positions = list(positions)
-        self._recompute(session)
-        return session.po, session.regions
-
-    def _recompute(self, session: GroupSession) -> None:
-        server = MPNServer(self.tree, session.policy)
-        response = server.compute(session.positions)
-        session.po = response.po
-        session.regions = list(response.regions)
-        session.metrics.charge_update(response.cpu_seconds, response.stats)
-        for values in response.region_values:
-            session.metrics.record_message(result_notify(values))
+        notification = self._service.update_locations(group_id, positions)
+        return notification.po, list(notification.regions)
 
     # ------------------------------------------------------------------
     # Dynamic POI updates
@@ -135,16 +111,9 @@ class MultiGroupServer:
         group is recomputed a single time even if several updates
         touch it.  Returns the ids of the recomputed groups.
         """
-        self.tree.bulk_update(adds, removes)
-        removed = {p for p, _ in removes}
-        invalidated = []
-        for session in self._sessions.values():
-            if session.po in removed or any(
-                not session.region_valid_against(p) for p, _ in adds
-            ):
-                self._recompute(session)
-                invalidated.append(session.group_id)
-        return invalidated
+        return [
+            n.session_id for n in self._service.update_pois(adds, removes)
+        ]
 
     def add_poi(self, p: Point, payload=None) -> list[int]:
         """Insert a POI; recompute only the groups it invalidates.
@@ -153,21 +122,8 @@ class MultiGroupServer:
         the flat backend each call rebuilds the packing — batch
         update-heavy workloads through :meth:`update_pois`.
         """
-        self.tree.insert(p, payload)
-        invalidated = []
-        for session in self._sessions.values():
-            if not session.region_valid_against(p):
-                self._recompute(session)
-                invalidated.append(session.group_id)
-        return invalidated
+        return [n.session_id for n in self._service.add_poi(p, payload)]
 
     def remove_poi(self, p: Point, payload=None) -> list[int]:
         """Delete a POI; only groups meeting *at* it are recomputed."""
-        if not self.tree.delete(p, payload):
-            raise KeyError(f"POI {p} not present")
-        invalidated = []
-        for session in self._sessions.values():
-            if session.po == p:
-                self._recompute(session)
-                invalidated.append(session.group_id)
-        return invalidated
+        return [n.session_id for n in self._service.remove_poi(p, payload)]

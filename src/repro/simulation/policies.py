@@ -22,6 +22,13 @@ from repro.gnn.aggregate import Aggregate
 
 
 class PolicyKind(Enum):
+    """The built-in method families compared in the paper.
+
+    Kept for describing the paper's policies; the serving layer does
+    not branch on it — it resolves :attr:`Policy.strategy_name` in the
+    strategy registry of :mod:`repro.service.strategies` instead.
+    """
+
     CIRCLE = "circle"
     TILE = "tile"
     PERIODIC = "periodic"
@@ -29,12 +36,28 @@ class PolicyKind(Enum):
 
 @dataclass(frozen=True)
 class Policy:
-    """A named safe-region method with its configuration."""
+    """A named safe-region method with its configuration.
+
+    ``strategy`` names the registered safe-region strategy serving this
+    policy; when ``None`` the built-in ``kind``'s name is used.  Custom
+    methods set ``strategy`` (see :func:`custom_policy`) and need no
+    ``PolicyKind`` at all.
+    """
 
     name: str
-    kind: PolicyKind
+    kind: Optional[PolicyKind] = None
     objective: Aggregate = Aggregate.MAX
     tile_config: Optional[TileMSRConfig] = None
+    strategy: Optional[str] = None
+
+    @property
+    def strategy_name(self) -> str:
+        """The registry key this policy resolves to."""
+        if self.strategy is not None:
+            return self.strategy
+        if self.kind is not None:
+            return self.kind.value
+        raise ValueError(f"policy {self.name!r} names no strategy")
 
     def with_objective(self, objective: Aggregate) -> "Policy":
         cfg = self.tile_config
@@ -42,7 +65,17 @@ class Policy:
             cfg = replace(cfg, objective=objective)
         suffix = "-sum" if objective is Aggregate.SUM else ""
         base = self.name.removesuffix("-sum")
-        return Policy(base + suffix, self.kind, objective, cfg)
+        return Policy(base + suffix, self.kind, objective, cfg, self.strategy)
+
+
+def custom_policy(
+    name: str,
+    strategy: str,
+    objective: Aggregate = Aggregate.MAX,
+    tile_config: Optional[TileMSRConfig] = None,
+) -> Policy:
+    """A policy served by a custom registered strategy."""
+    return Policy(name, None, objective, tile_config, strategy)
 
 
 def periodic_policy(objective: Aggregate = Aggregate.MAX) -> Policy:

@@ -1,10 +1,15 @@
-"""The MPN server: safe-region computation behind one interface.
+"""The single-group MPN server — now a shim over the strategy registry.
 
-Given the current user locations (and optionally their predicted
-headings) the server returns the optimal meeting point, a safe region
-per user, and the wire cost of shipping each region — 3 values for a
-circle, the compressed form of :mod:`repro.core.compression` for tile
-regions.
+.. deprecated::
+    New code should use :class:`repro.service.MPNService`: it serves
+    many sessions, takes escape-report events, and handles POI churn.
+    ``MPNServer`` remains as a thin compatibility wrapper for callers
+    that want one stateless safe-region computation at a time.
+
+The policy's strategy is resolved once, at construction, from
+:mod:`repro.service.strategies`; there is no per-method branching here,
+so strategies registered by extensions are served without touching this
+module.
 """
 
 from __future__ import annotations
@@ -13,15 +18,12 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.core.circle_msr import circle_msr
-from repro.core.compression import compress_region
-from repro.core.tile_msr import tile_msr
 from repro.core.types import SafeRegionStats
 from repro.geometry.point import Point
 from repro.geometry.region import Region
 from repro.index.backend import SpatialIndex
-from repro.simulation.messages import CIRCLE_VALUES
-from repro.simulation.policies import Policy, PolicyKind
+from repro.service.strategies import get_strategy
+from repro.simulation.policies import Policy
 
 
 @dataclass
@@ -39,10 +41,12 @@ class MPNServer:
     """Holds the POI R-tree and computes safe regions per the policy."""
 
     def __init__(self, tree: SpatialIndex, policy: Policy):
-        if policy.kind is PolicyKind.PERIODIC:
+        strategy = get_strategy(policy)
+        if strategy.periodic:
             raise ValueError("the periodic baseline bypasses the server API")
         self.tree = tree
         self.policy = policy
+        self.strategy = strategy
 
     def compute(
         self,
@@ -51,25 +55,12 @@ class MPNServer:
         thetas: Optional[Sequence[Optional[float]]] = None,
     ) -> ServerResponse:
         start = time.perf_counter()
-        if self.policy.kind is PolicyKind.CIRCLE:
-            result = circle_msr(users, self.tree, self.policy.objective)
-            regions: list[Region] = list(result.circles)
-            values = [CIRCLE_VALUES] * len(users)
-            stats = result.stats
-            po = result.po
-        else:
-            result = tile_msr(
-                users, self.tree, self.policy.tile_config, headings, thetas
-            )
-            regions = list(result.regions)
-            values = [compress_region(r).value_count for r in result.regions]
-            stats = result.stats
-            po = result.po
+        result = self.strategy.compute(users, self.tree, headings, thetas)
         cpu = time.perf_counter() - start
         return ServerResponse(
-            po=po,
-            regions=regions,
-            region_values=values,
+            po=result.po,
+            regions=list(result.regions),
+            region_values=list(result.region_values),
             cpu_seconds=cpu,
-            stats=stats,
+            stats=result.stats,
         )

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Sequence
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect

@@ -7,7 +7,7 @@ from repro.core.types import SafeRegionStats
 from repro.geometry.point import Point
 from repro.geometry.region import TileRegion
 from repro.geometry.tile import tile_at
-from repro.gnn.aggregate import Aggregate, find_gnn
+from repro.gnn.aggregate import Aggregate
 from repro.gnn.bruteforce import brute_force_gnn
 from repro.index.backend import build_index
 from tests.conftest import random_users

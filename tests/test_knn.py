@@ -1,6 +1,5 @@
 """Tests for best-first kNN and range queries against brute force."""
 
-import random
 
 import pytest
 from hypothesis import HealthCheck, given, settings

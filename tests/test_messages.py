@@ -5,7 +5,6 @@ import pytest
 from repro.simulation.messages import (
     CIRCLE_VALUES,
     VALUES_PER_PACKET,
-    Message,
     MessageKind,
     location_update,
     packets_for_values,

@@ -46,3 +46,16 @@ class TestSimulationMetrics:
     def test_average_empty_raises(self):
         with pytest.raises(ValueError):
             average_metrics([])
+
+    def test_average_rounds_all_counters_consistently(self):
+        # timestamps used to truncate (// n) while every other counter
+        # rounded; all integer counters now use round().
+        runs = [
+            SimulationMetrics(timestamps=10, update_events=10, packets_up=10),
+            SimulationMetrics(timestamps=13, update_events=13, packets_up=13),
+        ]
+        avg = average_metrics(runs)
+        expected = round(23 / 2)
+        assert avg.timestamps == expected
+        assert avg.update_events == expected
+        assert avg.packets_up == expected

@@ -6,7 +6,6 @@ import random
 import networkx as nx
 import pytest
 
-from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.mobility.network import (
     NetworkParams,

@@ -1,7 +1,5 @@
 """Tests for the multi-group server and dynamic POI updates."""
 
-import random
-
 import pytest
 
 from repro.gnn.aggregate import Aggregate

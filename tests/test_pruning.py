@@ -2,18 +2,15 @@
 
 import random
 
-import pytest
 
 from repro.core.pruning import all_candidates, max_candidates, sum_candidates
 from repro.core.types import SafeRegionStats
 from repro.core.verify import dominant_distance
 from repro.gnn.bruteforce import brute_force_gnn
 from repro.gnn.aggregate import Aggregate
-from repro.geometry.point import Point
 from repro.geometry.region import TileRegion
 from repro.geometry.tile import tile_at
-from repro.workloads.poi import build_poi_tree
-from tests.conftest import SMALL_WORLD, random_users
+from tests.conftest import random_users
 
 
 def _setup(rng, pois, m=3, side=30.0, tiles=4):

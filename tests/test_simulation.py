@@ -14,7 +14,6 @@ from repro.mobility.trajectory import Trajectory
 from repro.simulation.client import SimClient
 from repro.simulation.engine import run_groups, run_simulation
 from repro.simulation.policies import (
-    PolicyKind,
     circle_policy,
     periodic_policy,
     tile_d_b_policy,

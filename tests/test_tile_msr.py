@@ -7,7 +7,6 @@ every verifier kind, with and without buffering.
 """
 
 import math
-import random
 
 import pytest
 

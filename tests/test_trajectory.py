@@ -1,6 +1,5 @@
 """Tests for trajectories and the paper's speed-scaling transform."""
 
-import math
 
 import pytest
 

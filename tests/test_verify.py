@@ -1,8 +1,6 @@
 """Tests for dominant distances and the Lemma 1 verification."""
 
-import random
 
-import pytest
 
 from repro.core.verify import (
     dominant_distance,

@@ -5,7 +5,7 @@ import pytest
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.mobility.trajectory import Trajectory
-from repro.workloads.datasets import Dataset, DatasetSpec, WORLD, build_dataset
+from repro.workloads.datasets import DatasetSpec, WORLD, build_dataset
 from repro.workloads.groups import partition_groups
 from repro.workloads.poi import (
     PAPER_POI_COUNT,
