@@ -41,6 +41,33 @@ def maximal_circle_radius(
     return gap / (2.0 * m)
 
 
+def _result_from_best_two(
+    users: Sequence[Point],
+    best_two: Sequence[tuple[float, object]],
+    objective: Aggregate,
+    elapsed: float,
+) -> CircleResult:
+    """Shared tail of Algorithm 1: radii and circles from the two GNNs."""
+    po_dist, po_entry = best_two[0]
+    if len(best_two) == 1:
+        radius = float("inf")
+        second_dist = float("inf")
+    else:
+        second_dist = best_two[1][0]
+        radius = maximal_circle_radius(po_dist, second_dist, len(users), objective)
+    circles = [Circle(u, radius) for u in users]
+    return CircleResult(
+        po=po_entry.point,
+        po_payload=po_entry.payload,
+        po_dist=po_dist,
+        second_dist=second_dist,
+        radius=radius,
+        circles=circles,
+        objective=objective,
+        stats=SafeRegionStats(elapsed_seconds=elapsed),
+    )
+
+
 def circle_msr(
     users: Sequence[Point],
     tree: SpatialIndex,
@@ -59,22 +86,38 @@ def circle_msr(
         raise ValueError("POI set must be non-empty")
     start = time.perf_counter()
     best_two = find_gnn(tree, users, 2, objective)
-    po_dist, po_entry = best_two[0]
-    if len(best_two) == 1:
-        radius = float("inf")
-        second_dist = float("inf")
-    else:
-        second_dist = best_two[1][0]
-        radius = maximal_circle_radius(po_dist, second_dist, len(users), objective)
-    circles = [Circle(u, radius) for u in users]
-    stats = SafeRegionStats(elapsed_seconds=time.perf_counter() - start)
-    return CircleResult(
-        po=po_entry.point,
-        po_payload=po_entry.payload,
-        po_dist=po_dist,
-        second_dist=second_dist,
-        radius=radius,
-        circles=circles,
-        objective=objective,
-        stats=stats,
+    return _result_from_best_two(
+        users, best_two, objective, time.perf_counter() - start
     )
+
+
+def circle_msr_batch(
+    groups: Sequence[Sequence[Point]],
+    tree: SpatialIndex,
+    objective: Aggregate = Aggregate.MAX,
+) -> list[CircleResult]:
+    """Algorithm 1 for many groups through one batched GNN dispatch.
+
+    Equivalent to ``[circle_msr(g, tree, objective) for g in groups]``
+    but retrieves every group's two best aggregate nearest neighbors
+    with a single :meth:`~repro.index.backend.SpatialIndex.gnn_many`
+    call, which the flat backend answers in one vectorized frontier
+    traversal (:func:`repro.index.kernels.gnn_batch`) when the groups
+    share a size.  Both paths are exact, so results agree except for
+    ties between equally-good meeting points.  Elapsed time is split
+    evenly across the batch; all other statistics are per group.
+    """
+    if not groups:
+        return []
+    for users in groups:
+        if not users:
+            raise ValueError("user group must be non-empty")
+    if len(tree) == 0:
+        raise ValueError("POI set must be non-empty")
+    start = time.perf_counter()
+    best_two = tree.gnn_many([list(g) for g in groups], 2, objective.value)
+    share = (time.perf_counter() - start) / len(groups)
+    return [
+        _result_from_best_two(users, best, objective, share)
+        for users, best in zip(groups, best_two)
+    ]

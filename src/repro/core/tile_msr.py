@@ -25,6 +25,7 @@ from repro.core.pruning import max_candidates, sum_candidates
 from repro.core.sum_verify import SumVerifier
 from repro.core.tiles import TileOrdering
 from repro.core.types import (
+    CircleResult,
     Ordering,
     SafeRegionStats,
     TileMSRConfig,
@@ -53,6 +54,7 @@ def tile_msr(
     config: TileMSRConfig | None = None,
     headings: Optional[Sequence[Optional[float]]] = None,
     thetas: Optional[Sequence[Optional[float]]] = None,
+    seed: Optional[CircleResult] = None,
 ) -> TileMSRResult:
     """Algorithm 3: compute tile-based safe regions for the group.
 
@@ -61,6 +63,12 @@ def tile_msr(
     back to undirected browsing for that user.  ``thetas`` optionally
     overrides the config's deviation bound per user (the bound is
     "learned from the user's recent travel directions", Section 5.2).
+
+    ``seed`` optionally supplies a precomputed Circle-MSR result for
+    the same ``users``/``objective`` (lines 1-2 of Algorithm 3); the
+    batched serving path computes the seeds of many groups with one
+    :func:`~repro.core.circle_msr.circle_msr_batch` dispatch and hands
+    each one in here.  The tile growth that follows is unchanged.
     """
     if config is None:
         config = TileMSRConfig()
@@ -71,7 +79,8 @@ def tile_msr(
     stats = SafeRegionStats()
     start = time.perf_counter()
 
-    seed = circle_msr(users, tree, config.objective)
+    if seed is None:
+        seed = circle_msr(users, tree, config.objective)
     po = seed.po
     rmax = seed.radius
 

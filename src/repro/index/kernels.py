@@ -184,17 +184,25 @@ def _scorers(tree, U: np.ndarray, agg: str):
     ids shaped ``(g, cap)``; ``pair_*`` score flat (group, node/point)
     pair arrays, where ``gidx`` maps each row to its group.  All four
     gather from the level/point *column* arrays (contiguous 1-D), which
-    beats row gathers of the packed 2-D layouts.  Groups of one user
-    skip the per-user axis and its reductions entirely and always score
-    in squared space (MAX and SUM coincide for m = 1); returns
-    ``(block_bounds, block_points, pair_bounds, pair_points,
-    out_sqrt)`` with ``out_sqrt`` telling the caller whether final
-    scores still need the square root.
+    beats row gathers of the packed 2-D layouts.  Single-user MAX
+    groups (plain k-NN) skip the per-user axis and its reductions
+    entirely and score in squared space; returns ``(block_bounds,
+    block_points, pair_bounds, pair_points, out_sqrt)`` with
+    ``out_sqrt`` telling the caller whether final scores still need the
+    square root.
+
+    Rounding parity: SUM scores use ``np.hypot`` exactly like the
+    scalar traversal's ``min_dists_multi`` / ``point_dists_multi``, so
+    a batched query returns bit-identical distances to its scalar
+    equivalent (the batched-service equivalence suite relies on this);
+    MAX scores stay in squared space on both paths and take one
+    correctly-rounded square root at the end, which is likewise
+    bit-identical.
     """
     g, m, _ = U.shape
     squared = agg == "max"  # max is monotone under squaring; sum is not
     xs, ys = tree.point_columns()
-    if m == 1:
+    if m == 1 and squared:
         qx = np.ascontiguousarray(U[:, 0, 0])
         qy = np.ascontiguousarray(U[:, 0, 1])
 
@@ -239,14 +247,18 @@ def _scorers(tree, U: np.ndarray, agg: str):
         bhy = hi_y[cidx][:, None, :]
         dx = np.maximum(np.maximum(blx - ux3, ux3 - bhx), 0.0)
         dy = np.maximum(np.maximum(bly - uy3, uy3 - bhy), 0.0)
-        D = dx * dx + dy * dy  # (g, m, cap)
-        return D.max(axis=1) if squared else np.sqrt(D).sum(axis=1)
+        if squared:
+            D = dx * dx + dy * dy  # (g, m, cap)
+            return D.max(axis=1)
+        return np.hypot(dx, dy).sum(axis=1)
 
     def block_points(pidx: np.ndarray) -> np.ndarray:
         dx = xs[pidx][:, None, :] - ux3  # (g, m, cap)
         dy = ys[pidx][:, None, :] - uy3
-        d = dx * dx + dy * dy
-        return d.max(axis=1) if squared else np.sqrt(d).sum(axis=1)
+        if squared:
+            d = dx * dx + dy * dy
+            return d.max(axis=1)
+        return np.hypot(dx, dy).sum(axis=1)
 
     def pair_bounds(lvl, nid: np.ndarray, gidx: np.ndarray) -> np.ndarray:
         lo_x, lo_y, hi_x, hi_y = lvl.columns()
@@ -258,14 +270,18 @@ def _scorers(tree, U: np.ndarray, agg: str):
         bhy = hi_y[nid][:, None]
         dx = np.maximum(np.maximum(blx - gx, gx - bhx), 0.0)
         dy = np.maximum(np.maximum(bly - gy, gy - bhy), 0.0)
-        D = dx * dx + dy * dy
-        return D.max(axis=1) if squared else np.sqrt(D).sum(axis=1)
+        if squared:
+            D = dx * dx + dy * dy
+            return D.max(axis=1)
+        return np.hypot(dx, dy).sum(axis=1)
 
     def pair_points(nid: np.ndarray, gidx: np.ndarray) -> np.ndarray:
         dx = xs[nid][:, None] - qxm[gidx]  # (p, m)
         dy = ys[nid][:, None] - qym[gidx]
-        d = dx * dx + dy * dy
-        return d.max(axis=1) if squared else np.sqrt(d).sum(axis=1)
+        if squared:
+            d = dx * dx + dy * dy
+            return d.max(axis=1)
+        return np.hypot(dx, dy).sum(axis=1)
 
     return block_bounds, block_points, pair_bounds, pair_points, squared
 

@@ -8,7 +8,11 @@ This package is the public API for deploying the paper's protocol:
   name.
 * :mod:`repro.service.service` — :class:`MPNService`, the
   session-oriented facade: ``open_session`` / ``report`` /
-  ``update_pois`` with per-session and service-wide metrics.
+  ``update_pois`` with per-session and service-wide metrics, plus the
+  batched fleet path (``report_many`` / ``recompute_many``) that
+  serves whole waves of escape events through the strategies'
+  vectorized ``build_regions_batch`` hooks
+  (:class:`~repro.service.strategies.BatchableSafeRegionStrategy`).
 * :mod:`repro.service.messages` — the typed envelopes crossing the
   service boundary (``MemberState``, ``ReportEvent``, ``Notification``,
   ``SessionHandle``).
@@ -40,6 +44,7 @@ from repro.service.messages import (
 from repro.service.session import ServiceSession, sum_verify_regions
 from repro.service.service import MPNService
 from repro.service.strategies import (
+    BatchableSafeRegionStrategy,
     CircleMSRStrategy,
     PeriodicStrategy,
     SafeRegionStrategy,
@@ -63,6 +68,7 @@ __all__ = [
     "sum_verify_regions",
     "MPNService",
     "SafeRegionStrategy",
+    "BatchableSafeRegionStrategy",
     "StrategyResult",
     "CircleMSRStrategy",
     "TileMSRStrategy",

@@ -19,6 +19,27 @@ Every message and recomputation is charged twice: to the session's own
 :class:`~repro.simulation.metrics.SimulationMetrics` and to the
 service-wide aggregate ``metrics`` — the per-tenant and whole-fleet
 views of the same traffic.
+
+The batched fleet path
+----------------------
+
+:meth:`report` serves one escape event; a fleet tick produces hundreds
+of them.  :meth:`report_many` accepts a whole batch of
+:class:`~repro.service.messages.ReportEvent` objects, validates them
+all up front (a bad event raises before any sibling's state is
+touched), charges the same trigger/probe traffic per escaped session,
+and then recomputes every escaped session through
+:meth:`recompute_many` — which buckets sessions by strategy
+``batch_key()`` and group size and recomputes each bucket with ONE
+``build_regions_batch`` call, so the expensive index work runs through
+the vectorized batch kernels (:func:`repro.index.kernels.gnn_batch`)
+in one NumPy pass instead of N scalar traversals.  Strategies that
+don't implement the hook (see
+:class:`~repro.service.strategies.BatchableSafeRegionStrategy`), and
+services constructed with ``batched=False``, fall back to the scalar
+per-session path.  Both paths are exact and charge identical metrics
+counters; ``tests/test_service_batch_equivalence.py`` holds them to
+that on randomized fleets.
 """
 
 from __future__ import annotations
@@ -36,7 +57,7 @@ from repro.service.messages import (
     SessionHandle,
 )
 from repro.service.session import Prober, ServiceSession
-from repro.service.strategies import get_strategy
+from repro.service.strategies import StrategyResult, get_strategy
 from repro.simulation.messages import (
     Message,
     location_update,
@@ -56,10 +77,20 @@ def _as_state(member: Member) -> MemberState:
 
 
 class MPNService:
-    """Serves many concurrent monitoring sessions over one POI index."""
+    """Serves many concurrent monitoring sessions over one POI index.
 
-    def __init__(self, tree: SpatialIndex):
+    ``batched`` selects the fleet execution path: when true (the
+    default), :meth:`report_many`, :meth:`recompute_many` and the POI
+    churn re-notification dispatch whole waves of sessions through the
+    strategies' vectorized ``build_regions_batch`` hooks; when false
+    every recomputation runs the scalar per-session path.  The two are
+    answer- and metrics-equivalent — the flag trades batched throughput
+    against scalar simplicity, nothing else.
+    """
+
+    def __init__(self, tree: SpatialIndex, batched: bool = True):
         self.tree = tree
+        self.batched = batched
         self.metrics = SimulationMetrics()  # service-wide aggregate
         self._sessions: dict[int, ServiceSession] = {}
         self._next_id = 0
@@ -191,6 +222,173 @@ class MPNService:
         session.members = [_as_state(m) for m in members]
         return self._recompute(session, cause="refresh")
 
+    # ------------------------------------------------------------------
+    # The batched fleet path
+    # ------------------------------------------------------------------
+
+    def report_many(
+        self, events: Sequence[ReportEvent]
+    ) -> list[Optional[Notification]]:
+        """Serve a whole batch of escape reports in vectorized waves.
+
+        Equivalent to calling :meth:`report` once per event, in order
+        — same notifications, same metrics counters — but sessions that
+        escape in the same wave are recomputed together through
+        :meth:`recompute_many`, so one fleet tick costs one batched
+        kernel dispatch instead of one scalar index traversal per
+        session.
+
+        Every event is validated before anything mutates: an unknown
+        session id raises :class:`UnknownSessionError` (and an
+        out-of-range member a ``ValueError``) with every sibling
+        session's state and metrics untouched.
+
+        Duplicate session ids are legal: the second event for a
+        session lands in a later wave, checked against the regions the
+        first one just produced — exactly the sequential semantics.
+        Returns one entry per event, ``None`` where the reported point
+        was still covered by the member's region.
+        """
+        events = list(events)
+        for event in events:
+            session = self.session(event.session_id)
+            if not 0 <= event.member_id < session.size:
+                raise ValueError(
+                    f"member {event.member_id} out of range for session "
+                    f"of {session.size}"
+                )
+        out: list[Optional[Notification]] = [None] * len(events)
+        pending = list(range(len(events)))
+        while pending:
+            wave: list[int] = []
+            taken: set[int] = set()
+            deferred: list[int] = []
+            for idx in pending:
+                sid = events[idx].session_id
+                if sid in taken:
+                    deferred.append(idx)
+                else:
+                    taken.add(sid)
+                    wave.append(idx)
+            pending = deferred
+            escaped: list[int] = []
+            escaped_sessions: list[ServiceSession] = []
+            for idx in wave:
+                event = events[idx]
+                session = self._sessions.get(event.session_id)
+                if session is None:
+                    continue  # closed reentrantly since validation; skip
+                session.members[event.member_id] = event.state
+                if session.regions and session.regions[
+                    event.member_id
+                ].contains_point(event.state.point):
+                    continue  # in-region report: state refreshed, no traffic
+                self._charge_message(session, event.message())
+                self._probe(session, exclude=event.member_id)
+                escaped.append(idx)
+                escaped_sessions.append(session)
+            notifications = self._recompute_sessions(
+                escaped_sessions, cause="report"
+            )
+            for idx, notification in zip(escaped, notifications):
+                out[idx] = notification
+        return out
+
+    def recompute_many(
+        self, session_ids: Sequence[int], cause: str = "refresh"
+    ) -> list[Notification]:
+        """Recompute many sessions at once through the batched path.
+
+        All ids are validated up front (:class:`UnknownSessionError`
+        before any recomputation runs).  Each session is recomputed
+        exactly once and re-notified — duplicate ids coalesce — and
+        results come back in first-occurrence order.
+        """
+        unique: dict[int, ServiceSession] = {}
+        for sid in session_ids:
+            if sid not in unique:
+                unique[sid] = self.session(sid)
+        notifications = self._recompute_sessions(list(unique.values()), cause)
+        return [n for n in notifications if n is not None]
+
+    def _recompute_sessions(
+        self, sessions: Sequence[ServiceSession], cause: str
+    ) -> list[Optional[Notification]]:
+        """Recompute ``sessions``, bucketing batchable strategies.
+
+        Sessions whose strategies share a ``batch_key()`` (and a group
+        size, so the batch kernel sees a rectangular array) are
+        recomputed with one ``build_regions_batch`` call; everyone else
+        — and every session when ``self.batched`` is off — runs the
+        scalar path.  The wall-clock of a batched wave is split evenly
+        across its sessions; every counter is charged per session,
+        identically to the scalar path.
+
+        Returns notifications aligned with ``sessions``; an entry is
+        ``None`` only if its session was closed reentrantly (e.g. by a
+        strategy callback) before its recomputation ran.
+        """
+        out: list[Optional[Notification]] = [None] * len(sessions)
+        buckets: dict[object, list[int]] = {}
+        scalar: list[int] = []
+        if self.batched and len(sessions) > 1:
+            for i, session in enumerate(sessions):
+                key = self._batch_key(session)
+                if key is None:
+                    scalar.append(i)
+                else:
+                    buckets.setdefault(key, []).append(i)
+        else:
+            scalar = list(range(len(sessions)))
+        for key, idxs in buckets.items():
+            if len(idxs) == 1:  # nothing to batch; skip the packing
+                scalar.extend(idxs)
+                continue
+            batch = [sessions[i] for i in idxs]
+            strategy = batch[0].strategy
+            start = time.perf_counter()
+            results = strategy.build_regions_batch(
+                [s.positions for s in batch],
+                self.tree,
+                [[m.heading for m in s.members] for s in batch],
+                [[m.theta for m in s.members] for s in batch],
+            )
+            share = (time.perf_counter() - start) / len(batch)
+            if results is None:  # strategy declined this batch
+                scalar.extend(idxs)
+                continue
+            if len(results) != len(batch):
+                raise ValueError(
+                    f"{type(strategy).__name__}.build_regions_batch returned "
+                    f"{len(results)} results for {len(batch)} groups"
+                )
+            for i, result in zip(idxs, results):
+                if sessions[i].session_id not in self._sessions:
+                    continue
+                out[i] = self._apply_result(sessions[i], result, share, cause)
+        for i in sorted(scalar):
+            if sessions[i].session_id not in self._sessions:
+                continue
+            out[i] = self._recompute(sessions[i], cause)
+        return out
+
+    def _batch_key(self, session: ServiceSession) -> Optional[object]:
+        """Bucket token for one session, or ``None`` for the scalar path.
+
+        Two sessions share a bucket only when their strategies are the
+        same class with equal ``batch_key()`` tokens and their groups
+        are the same size (the batch kernels pack rectangular
+        structure-of-arrays).
+        """
+        strategy = session.strategy
+        if not hasattr(strategy, "build_regions_batch"):
+            return None
+        key_fn = getattr(strategy, "batch_key", None)
+        token = key_fn() if callable(key_fn) else None
+        if token is None:
+            return None
+        return (type(strategy), token, session.size)
+
     def _probe(self, session: ServiceSession, exclude: int) -> None:
         """Step 2: fetch every other member's state, charging the round."""
         for i in range(session.size):
@@ -220,13 +418,18 @@ class MPNService:
         """
         self.tree.bulk_update(adds, removes)
         removed = {p for p, _ in removes}
-        notifications = []
-        for session in self._sessions.values():
-            if session.po in removed or any(
-                not session.region_valid_against(p) for p, _ in adds
-            ):
-                notifications.append(self._recompute(session, cause="poi_update"))
-        return notifications
+        # Snapshot before recomputing: strategies may close sessions
+        # reentrantly, and the recomputation wave must neither blow up
+        # on dict mutation nor notify a session closed mid-batch
+        # (closed sessions are skipped inside _recompute_sessions).
+        invalidated = [
+            session
+            for session in list(self._sessions.values())
+            if session.po in removed
+            or any(not session.region_valid_against(p) for p, _ in adds)
+        ]
+        notifications = self._recompute_sessions(invalidated, cause="poi_update")
+        return [n for n in notifications if n is not None]
 
     def add_poi(self, p: Point, payload=None) -> list[Notification]:
         """Insert a POI; recompute only the sessions it invalidates."""
@@ -253,6 +456,18 @@ class MPNService:
             [m.theta for m in session.members],
         )
         cpu = time.perf_counter() - start
+        return self._apply_result(session, result, cpu, cause)
+
+    def _apply_result(
+        self,
+        session: ServiceSession,
+        result: StrategyResult,
+        cpu: float,
+        cause: str,
+    ) -> Notification:
+        """Install a strategy result and charge it — the one place both
+        the scalar and the batched path account their work, so the two
+        cannot drift apart in what they charge."""
         if session.po is not None and result.po != session.po:
             session.metrics.result_changes += 1
             self.metrics.result_changes += 1

@@ -21,10 +21,11 @@ the engine: a :class:`~repro.simulation.policies.Policy` whose
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, ClassVar, Optional, Protocol, Sequence, runtime_checkable
 
-from repro.core.circle_msr import circle_msr
+from repro.core.circle_msr import circle_msr, circle_msr_batch
 from repro.core.compression import compress_region
 from repro.core.tile_msr import tile_msr
 from repro.core.types import SafeRegionStats, TileMSRConfig
@@ -55,6 +56,11 @@ class SafeRegionStrategy(Protocol):
     facade rejects them (every client must re-report every timestamp,
     so the event protocol does not apply) and the engine drives them
     through its periodic loop instead.
+
+    Strategies may additionally opt into the batched fleet path by
+    implementing the two optional hooks of
+    :class:`BatchableSafeRegionStrategy`; the service falls back to
+    per-session :meth:`compute` calls for strategies that don't.
     """
 
     periodic: bool
@@ -66,6 +72,47 @@ class SafeRegionStrategy(Protocol):
         headings: Optional[Sequence[Optional[float]]] = None,
         thetas: Optional[Sequence[Optional[float]]] = None,
     ) -> StrategyResult: ...
+
+
+@runtime_checkable
+class BatchableSafeRegionStrategy(SafeRegionStrategy, Protocol):
+    """The optional vectorized extension of :class:`SafeRegionStrategy`.
+
+    The service's batched fleet path (``MPNService.report_many`` /
+    ``recompute_many``) groups sessions whose strategies share a
+    ``batch_key()`` (and a group size) and recomputes each bucket with
+    ONE :meth:`build_regions_batch` call, letting the strategy dispatch
+    the expensive index work through the batched kernels of
+    :mod:`repro.index.kernels` instead of per-session scalar queries.
+
+    The contract a batch implementation must honor:
+
+    * **Answer-preserving.**  ``build_regions_batch(groups, ...)`` must
+      return exactly ``[self.compute(g, ...) for g in groups]`` — same
+      meeting points, same regions, same region wire sizes and the same
+      integer work counters in ``stats`` (ties between equally-optimal
+      meeting points are the only tolerated divergence).  The
+      equivalence suite (``tests/test_service_batch_equivalence.py``)
+      enforces this for the built-ins.
+    * **batch_key.**  Two strategy instances whose ``batch_key()``
+      tokens are equal (and truthy under hashing) must be
+      interchangeable for ``build_regions_batch``; the token must cover
+      every piece of configuration that affects the computation.
+      Returning ``None`` opts the instance out of batching.
+    * **Graceful decline.**  ``build_regions_batch`` may return ``None``
+      to decline a batch (e.g. an unsupported shape); the service then
+      recomputes those sessions through the scalar path.
+    """
+
+    def batch_key(self) -> Optional[object]: ...
+
+    def build_regions_batch(
+        self,
+        groups: Sequence[Sequence[Point]],
+        tree: SpatialIndex,
+        headings: Optional[Sequence[Sequence[Optional[float]]]] = None,
+        thetas: Optional[Sequence[Sequence[Optional[float]]]] = None,
+    ) -> Optional[list[StrategyResult]]: ...
 
 
 StrategyFactory = Callable[[Policy], SafeRegionStrategy]
@@ -125,11 +172,31 @@ class CircleMSRStrategy:
         headings: Optional[Sequence[Optional[float]]] = None,
         thetas: Optional[Sequence[Optional[float]]] = None,
     ) -> StrategyResult:
-        result = circle_msr(users, tree, self.objective)
+        return self._wrap(circle_msr(users, tree, self.objective), len(users))
+
+    def batch_key(self) -> Optional[object]:
+        return self.objective
+
+    def build_regions_batch(
+        self,
+        groups: Sequence[Sequence[Point]],
+        tree: SpatialIndex,
+        headings: Optional[Sequence[Sequence[Optional[float]]]] = None,
+        thetas: Optional[Sequence[Sequence[Optional[float]]]] = None,
+    ) -> Optional[list[StrategyResult]]:
+        """All groups' circles from one batched two-best-GNN dispatch."""
+        results = circle_msr_batch(groups, tree, self.objective)
+        return [
+            self._wrap(result, len(users))
+            for users, result in zip(groups, results)
+        ]
+
+    @staticmethod
+    def _wrap(result, n_users: int) -> StrategyResult:
         return StrategyResult(
             po=result.po,
             regions=list(result.circles),
-            region_values=[CIRCLE_VALUES] * len(users),
+            region_values=[CIRCLE_VALUES] * n_users,
             stats=result.stats,
         )
 
@@ -149,7 +216,45 @@ class TileMSRStrategy:
         headings: Optional[Sequence[Optional[float]]] = None,
         thetas: Optional[Sequence[Optional[float]]] = None,
     ) -> StrategyResult:
-        result = tile_msr(users, tree, self.config, headings, thetas)
+        return self._wrap(tile_msr(users, tree, self.config, headings, thetas))
+
+    def batch_key(self) -> Optional[object]:
+        # Derived from the dataclass fields so a future config knob
+        # cannot silently merge differently-configured sessions.
+        return dataclasses.astuple(self.config)
+
+    def build_regions_batch(
+        self,
+        groups: Sequence[Sequence[Point]],
+        tree: SpatialIndex,
+        headings: Optional[Sequence[Sequence[Optional[float]]]] = None,
+        thetas: Optional[Sequence[Sequence[Optional[float]]]] = None,
+    ) -> Optional[list[StrategyResult]]:
+        """Batch the Circle-MSR seeds; grow each group's tiles as usual.
+
+        The seed (lines 1-2 of Algorithm 3) is the part every group
+        shares in shape — one two-best-GNN per group — so it dispatches
+        through :func:`~repro.core.circle_msr.circle_msr_batch` in one
+        NumPy pass.  The tile growth that follows is data-dependent per
+        group and stays scalar, charging the exact same work counters
+        as the per-session path.
+        """
+        seeds = circle_msr_batch(groups, tree, self.config.objective)
+        out = []
+        for i, (users, seed) in enumerate(zip(groups, seeds)):
+            result = tile_msr(
+                users,
+                tree,
+                self.config,
+                headings[i] if headings is not None else None,
+                thetas[i] if thetas is not None else None,
+                seed=seed,
+            )
+            out.append(self._wrap(result))
+        return out
+
+    @staticmethod
+    def _wrap(result) -> StrategyResult:
         return StrategyResult(
             po=result.po,
             regions=list(result.regions),

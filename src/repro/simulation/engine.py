@@ -29,7 +29,7 @@ from repro.geometry.point import Point
 from repro.gnn.aggregate import aggregate_dist, find_gnn
 from repro.index.backend import SpatialIndex
 from repro.mobility.trajectory import Trajectory
-from repro.service.messages import MemberState, Notification
+from repro.service.messages import MemberState, Notification, ReportEvent
 from repro.service.service import MPNService
 from repro.service.strategies import SafeRegionStrategy, get_strategy
 from repro.simulation.client import SimClient
@@ -123,13 +123,10 @@ def _deliver(clients: Sequence[SimClient], notification: Notification) -> None:
         client.assign_region(region)
 
 
-def _play_timestamp(
-    service: MPNService,
-    session_id: int,
-    clients: Sequence[SimClient],
-    t: int,
-) -> Optional[Notification]:
-    """Advance one group to ``t``; fire a report if someone escaped."""
+def _advance_and_find_trigger(
+    clients: Sequence[SimClient], t: int
+) -> Optional[tuple[int, MemberState]]:
+    """Advance one group to ``t``; the escaping member's report, if any."""
     for client in clients:
         client.advance(t)
     trigger = next(
@@ -138,8 +135,22 @@ def _play_timestamp(
     if trigger is None:
         return None
     client = clients[trigger]
+    return trigger, MemberState(client.position, client.heading, client.theta)
+
+
+def _play_timestamp(
+    service: MPNService,
+    session_id: int,
+    clients: Sequence[SimClient],
+    t: int,
+) -> Optional[Notification]:
+    """Advance one group to ``t``; fire a report if someone escaped."""
+    escaped = _advance_and_find_trigger(clients, t)
+    if escaped is None:
+        return None
+    trigger, state = escaped
     notification = service.report(
-        session_id, trigger, client.position, client.heading, client.theta
+        session_id, trigger, state.point, state.heading, state.theta
     )
     if notification is not None:
         _deliver(clients, notification)
@@ -245,6 +256,7 @@ def run_service(
     n_timestamps: Optional[int] = None,
     check_every: int = 0,
     churn: Optional[ChurnSchedule] = None,
+    batched: bool = True,
 ) -> ServiceRunResult:
     """Play many concurrent groups against one shared :class:`MPNService`.
 
@@ -264,6 +276,14 @@ def run_service(
     session's cached meeting point is still exactly optimal over the
     *current* POI set (ties tolerated) — the Definition 3 guarantee
     under concurrency and churn.
+
+    ``batched`` picks the fleet execution path: when true (the
+    default) each timestamp's escape events across ALL groups are
+    collected and served with one :meth:`MPNService.report_many` call
+    (one batched kernel dispatch per wave); when false every group
+    fires its own scalar :meth:`MPNService.report`.  The two paths are
+    verified equivalent — identical notifications and metrics counters
+    — by ``tests/test_service_batch_equivalence.py``.
     """
     if not groups:
         raise ValueError("need at least one group")
@@ -283,7 +303,7 @@ def run_service(
     else:
         churn_at = _no_churn
 
-    service = MPNService(tree)
+    service = MPNService(tree, batched=batched)
     # Churn scheduled for t=0 lands before any session registers.
     initial_batch = churn_at(0)
     if initial_batch is not None:
@@ -313,10 +333,24 @@ def run_service(
                 churn_notified.append(
                     (t, [n.session_id for n in notifications])
                 )
-        for session_id, clients in zip(session_ids, fleet):
-            notification = _play_timestamp(service, session_id, clients, t)
-            if notification is not None:
-                pos[session_id] = notification.po
+        if batched:
+            # Collect the tick's escape events fleet-wide, serve them
+            # with one report_many wave (one batched kernel dispatch).
+            events: list[ReportEvent] = []
+            for session_id, clients in zip(session_ids, fleet):
+                escaped = _advance_and_find_trigger(clients, t)
+                if escaped is not None:
+                    trigger, state = escaped
+                    events.append(ReportEvent(session_id, trigger, state))
+            for notification in service.report_many(events):
+                if notification is not None:
+                    _deliver(by_session[notification.session_id], notification)
+                    pos[notification.session_id] = notification.po
+        else:
+            for session_id, clients in zip(session_ids, fleet):
+                notification = _play_timestamp(service, session_id, clients, t)
+                if notification is not None:
+                    pos[session_id] = notification.po
         if check_every > 0 and t % check_every == 0:
             for policy, session_id, clients in zip(
                 policies, session_ids, fleet
