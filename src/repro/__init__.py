@@ -15,12 +15,23 @@ Public entry points:
 * :mod:`repro.service` — the session-oriented serving layer:
   :class:`MPNService` (open_session / report / update_pois) and the
   pluggable safe-region strategy registry.
+* :mod:`repro.space` — the metric-space abstraction the serving layer
+  is generic over; road networks plug in via
+  :class:`repro.space.network.NetworkPOISpace` and the ``net_circle``
+  / ``net_tile`` strategies.
 * :mod:`repro.simulation` — the client-server monitoring loop with the
   paper's message/packet accounting.
 * :mod:`repro.experiments` — harnesses regenerating Figures 13-19.
 """
 
-from repro.core import circle_msr, tile_msr, TileMSRConfig, Ordering, VerifierKind
+from repro.core import (
+    circle_msr,
+    metric_circle_msr,
+    tile_msr,
+    TileMSRConfig,
+    Ordering,
+    VerifierKind,
+)
 from repro.gnn import Aggregate, find_max_gnn, find_sum_gnn
 from repro.geometry import Point, Rect, Circle, Tile, TileRegion
 from repro.index import (
@@ -40,11 +51,13 @@ from repro.service import (
     get_strategy,
     register_strategy,
 )
+from repro.space import EuclideanSpace, Space, as_space
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "circle_msr",
+    "metric_circle_msr",
     "tile_msr",
     "TileMSRConfig",
     "Ordering",
@@ -70,5 +83,8 @@ __all__ = [
     "register_strategy",
     "get_strategy",
     "available_strategies",
+    "Space",
+    "EuclideanSpace",
+    "as_space",
     "__version__",
 ]

@@ -17,7 +17,13 @@ This subpackage implements that extension:
   network metric.  Theorems 1 and 5 carry over verbatim because their
   proofs only use the triangle inequality, which shortest-path distance
   satisfies;
-* :mod:`repro.network_ext.monitor` — a network-native monitoring loop.
+* :mod:`repro.network_ext.strategies` — the ``net_circle`` /
+  ``net_tile`` registry strategies serving network sessions through
+  :class:`repro.service.MPNService` (see also
+  :class:`repro.space.network.NetworkPOISpace` and
+  :class:`repro.index.network.NetworkIndex`);
+* :mod:`repro.network_ext.monitor` — network trajectories plus the
+  deprecated :func:`run_network_simulation` shim over the service.
 """
 
 from repro.network_ext.space import NetworkPosition, NetworkSpace
@@ -30,7 +36,12 @@ from repro.network_ext.tile_msr import (
     NetworkTileResult,
     network_tile_msr,
 )
-from repro.network_ext.monitor import run_network_simulation
+from repro.network_ext.strategies import NetworkCircleStrategy, NetworkTileStrategy
+from repro.network_ext.monitor import (
+    NetworkTrajectory,
+    network_trajectory,
+    run_network_simulation,
+)
 
 __all__ = [
     "NetworkPosition",
@@ -43,5 +54,9 @@ __all__ = [
     "NetworkTileRegion",
     "NetworkTileResult",
     "network_tile_msr",
+    "NetworkCircleStrategy",
+    "NetworkTileStrategy",
+    "NetworkTrajectory",
+    "network_trajectory",
     "run_network_simulation",
 ]

@@ -28,15 +28,12 @@ class NetworkBall:
         # Distance from the center to every node (bounded by r + any
         # incident edge, but the full map is cheap and cacheable).
         self._node_dist: dict[Hashable, float] = {}
-        for node, d0 in space._anchors(center):
+        for node, d0 in space.anchors(center):
             for target, d in space.node_distances(node).items():
                 total = d0 + d
                 old = self._node_dist.get(target)
                 if old is None or total < old:
                     self._node_dist[target] = total
-        if center.edge is not None:
-            # The center's own edge is reachable directly.
-            pass
 
     def node_distance(self, node: Hashable) -> float:
         return self._node_dist.get(node, float("inf"))
@@ -47,6 +44,29 @@ class NetworkBall:
         cover_u = max(0.0, min(length, self.radius - self.node_distance(u)))
         cover_v = max(0.0, min(length, self.radius - self.node_distance(v)))
         return cover_u, cover_v
+
+    def _target_distance(self, target) -> float:
+        """Center-to-target distance; ``target`` is a node or position."""
+        if isinstance(target, NetworkPosition):
+            return self.space.distance(self.center, target)
+        return self.node_distance(target)
+
+    def min_dist(self, target) -> float:
+        """``||target, R||_min``, exact: the nearest ball position lies
+        on the shortest target-center path, ``radius`` short of it."""
+        return max(0.0, self._target_distance(target) - self.radius)
+
+    def max_dist(self, target) -> float:
+        """``||target, R||_max`` upper bound (triangle inequality).
+
+        An overestimate is conservative for Lemma 1: it can only make
+        the verification fail more often, never accept a stale result.
+        """
+        return self._target_distance(target) + self.radius
+
+    def contains_point(self, pos: NetworkPosition, eps: float = 0.0) -> bool:
+        """Region-protocol alias for :meth:`contains`."""
+        return self.contains(pos, eps)
 
     def contains(self, pos: NetworkPosition, eps: float = 1e-9) -> bool:
         """Is ``pos`` within network distance ``radius`` of the center?

@@ -44,9 +44,21 @@ def network_circle_msr(
     pois: Sequence[Hashable],
     users: Sequence[NetworkPosition],
     objective: Aggregate = Aggregate.MAX,
+    index=None,
 ) -> NetworkCircleResult:
-    """Algorithm 1 under network distance."""
-    best_two = network_gnn(space, pois, users, 2, objective)
+    """Algorithm 1 under network distance.
+
+    ``index`` (a :class:`~repro.index.network.NetworkIndex` over the
+    same graph and POI set) retrieves the two best aggregate nearest
+    neighbors through the bulk CSR distance kernels instead of the
+    brute-force per-POI scan; the results are bit-identical, only the
+    retrieval cost changes.  This is the serving path — the registry's
+    ``net_circle`` strategy always passes its session's index.
+    """
+    if index is not None:
+        best_two = index.gnn(users, 2, objective)
+    else:
+        best_two = network_gnn(space, pois, users, 2, objective)
     po_dist, po = best_two[0]
     if len(best_two) == 1:
         radius = float("inf")
@@ -70,7 +82,4 @@ def network_circle_msr(
 
 def _diameter(space: NetworkSpace) -> float:
     """A radius covering the whole network (single-POI degenerate case)."""
-    total = sum(
-        space.edge_length(u, v) for u, v in space.graph.edges
-    )
-    return total
+    return space.total_edge_length()

@@ -21,7 +21,9 @@ def network_aggregate_dist(
     users: Sequence[NetworkPosition],
     agg: Aggregate,
 ) -> float:
-    target = NetworkPosition.at_node(poi)
+    """``||poi, U||`` under network distance; ``poi`` is a graph node
+    or a :class:`NetworkPosition`."""
+    target = poi if isinstance(poi, NetworkPosition) else NetworkPosition.at_node(poi)
     dists = [space.distance(u, target) for u in users]
     return max(dists) if agg is Aggregate.MAX else sum(dists)
 
@@ -43,7 +45,7 @@ def network_gnn(
     # One distance map per user anchor; aggregates read from the maps.
     per_user_maps = []
     for u in users:
-        anchors = space._anchors(u)
+        anchors = space.anchors(u)
         maps = [(d0, space.node_distances(node)) for node, d0 in anchors]
         per_user_maps.append(maps)
 

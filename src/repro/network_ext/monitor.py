@@ -1,29 +1,57 @@
-"""Network-native monitoring loop for the road-network extension.
+"""Network trajectories plus the deprecated network monitoring loop.
 
-The Euclidean engine (:mod:`repro.simulation.engine`) replays planar
-trajectories; here users move along the road graph as sequences of
-:class:`NetworkPosition` and safe regions are network balls.  The
-protocol and accounting are unchanged: a user escaping her ball
-triggers the three-step exchange of Fig. 3.
+The network-native loop this module used to own is gone: road-network
+groups are now first-class sessions of :class:`repro.service.MPNService`
+(strategies ``net_circle`` / ``net_tile`` over a
+:class:`repro.space.network.NetworkPOISpace`), and fleets of them run
+through :func:`repro.simulation.run_service` alongside Euclidean
+groups.  :func:`run_network_simulation` remains as a thin deprecated
+shim over the service, kept notification- and counter-identical to the
+old loop (``tests/test_network_shim_equivalence.py`` regresses that
+equivalence against a verbatim copy of the legacy implementation).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Hashable, Sequence
+import warnings
+from dataclasses import dataclass
+from typing import Hashable, Iterator, Sequence
 
 import networkx as nx
 
 from repro.gnn.aggregate import Aggregate
-from repro.network_ext.circle_msr import network_circle_msr
 from repro.network_ext.gnn import network_gnn
 from repro.network_ext.space import NetworkPosition, NetworkSpace
-from repro.simulation.messages import (
-    location_update,
-    probe_request,
-    result_notify,
-)
 from repro.simulation.metrics import SimulationMetrics
+
+
+@dataclass(frozen=True)
+class NetworkTrajectory:
+    """One network position per timestamp (the road-graph Trajectory)."""
+
+    positions: tuple[NetworkPosition, ...]
+
+    def __post_init__(self) -> None:
+        if not self.positions:
+            raise ValueError("trajectory must contain at least one position")
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def __getitem__(self, t: int) -> NetworkPosition:
+        return self.positions[t]
+
+    def __iter__(self) -> Iterator[NetworkPosition]:
+        return iter(self.positions)
+
+    def at(self, t: int) -> NetworkPosition:
+        """Position at timestamp ``t``; clamps past the end."""
+        if t < 0:
+            raise IndexError("negative timestamp")
+        if t >= len(self.positions):
+            return self.positions[-1]
+        return self.positions[t]
 
 
 def network_trajectory(
@@ -31,7 +59,7 @@ def network_trajectory(
     n_timestamps: int,
     speed: float,
     rng: random.Random,
-) -> list[NetworkPosition]:
+) -> NetworkTrajectory:
     """Shortest-path motion emitting one NetworkPosition per timestamp."""
     nodes = list(space.graph.nodes)
     current = rng.choice(nodes)
@@ -53,7 +81,7 @@ def network_trajectory(
             if len(out) >= n_timestamps:
                 break
         current = dest
-    return out[:n_timestamps]
+    return NetworkTrajectory(tuple(out[:n_timestamps]))
 
 
 def run_network_simulation(
@@ -64,55 +92,59 @@ def run_network_simulation(
     check_every: int = 0,
     method: str = "circle",
 ) -> SimulationMetrics:
-    """Replay a group on the network.
+    """Replay a group on the network (deprecated shim over the service).
 
-    ``method`` selects the safe-region shape: ``"circle"`` uses network
-    balls (Theorem 1), ``"tile"`` the recursive road partitions of
-    :mod:`repro.network_ext.tile_msr`.
+    Opens one :class:`~repro.service.MPNService` session on a
+    :class:`~repro.space.network.NetworkPOISpace` under the
+    ``net_circle`` / ``net_tile`` strategy named by ``method`` and
+    replays the trajectories against it.  Notification sequences and
+    the legacy loop's metrics counters are bit-identical to the old
+    network-native implementation; prefer driving the service (or
+    :func:`repro.simulation.run_service`) directly in new code.
     """
+    warnings.warn(
+        "run_network_simulation is deprecated; open a net_circle/net_tile "
+        "session on MPNService (or drive fleets through run_service) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if not trajectories:
         raise ValueError("need at least one trajectory")
     if method not in ("circle", "tile"):
         raise ValueError(f"unknown method: {method!r}")
+    # Deferred imports: repro.space.network imports this package, and the
+    # serving layer sits above this module in the import order.
+    from repro.service import MemberState, MPNService
+    from repro.simulation.policies import net_circle_policy, net_tile_policy
+    from repro.space.network import NetworkPOISpace
+
     steps = min(len(t) for t in trajectories)
-    m = len(trajectories)
-    metrics = SimulationMetrics(timestamps=steps)
-
-    def recompute(positions):
-        if method == "circle":
-            result = network_circle_msr(space, pois, positions, objective)
-            result_regions = result.balls
-        else:
-            from repro.network_ext.tile_msr import network_tile_msr
-
-            result = network_tile_msr(space, pois, positions, objective=objective)
-            result_regions = result.regions
-        metrics.update_events += 1
-        for region in result_regions:
-            metrics.record_message(result_notify(region.wire_values()))
-            metrics.region_values_sent += region.wire_values()
-        return result.po, result_regions
-
-    positions = [t[0] for t in trajectories]
-    for _ in range(m):
-        metrics.record_message(location_update())
-    current_po, regions = recompute(positions)
+    policy = (
+        net_circle_policy(objective)
+        if method == "circle"
+        else net_tile_policy(objective)
+    )
+    service = MPNService(NetworkPOISpace(space, pois))
+    current = [t[0] for t in trajectories]
+    handle = service.open_session(
+        list(current),
+        policy,
+        prober=lambda i: MemberState(point=current[i]),
+    )
+    regions = handle.notification.regions
+    current_po = handle.notification.po
 
     for t in range(1, steps):
-        positions = [traj[t] for traj in trajectories]
+        current = [traj[t] for traj in trajectories]
         trigger = next(
-            (
-                k
-                for k, pos in enumerate(positions)
-                if not regions[k].contains(pos)
-            ),
+            (k for k, pos in enumerate(current) if not regions[k].contains(pos)),
             None,
         )
         if trigger is None:
             if check_every > 0 and t % check_every == 0:
-                best_dist, best = network_gnn(space, pois, positions, 1, objective)[0]
+                best_dist, best = network_gnn(space, pois, current, 1, objective)[0]
                 cached = network_gnn(
-                    space, [current_po], positions, 1, objective
+                    space, [current_po], current, 1, objective
                 )[0][0]
                 if cached > best_dist + 1e-7:
                     raise AssertionError(
@@ -120,12 +152,12 @@ def run_network_simulation(
                         f"by {best} (agg {best_dist}) at t={t}"
                     )
             continue
-        metrics.record_message(location_update())
-        for _ in range(m - 1):
-            metrics.record_message(probe_request())
-            metrics.record_message(location_update())
-        new_po, regions = recompute(positions)
-        if new_po != current_po:
-            metrics.result_changes += 1
-        current_po = new_po
+        notification = service.report(
+            handle.session_id, trigger, current[trigger]
+        )
+        regions = notification.regions
+        current_po = notification.po
+
+    metrics = service.session_metrics(handle.session_id)
+    metrics.timestamps = steps
     return metrics

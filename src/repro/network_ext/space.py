@@ -62,21 +62,70 @@ class NetworkSpace:
             raise ValueError("road network must be connected")
         self.graph = graph
         self._sssp_cache: dict[Hashable, dict[Hashable, float]] = {}
+        self._distance_provider = None
+
+    @classmethod
+    def from_grid(
+        cls,
+        world=None,
+        grid_size: int = 8,
+        perturbation: float = 0.25,
+        drop_fraction: float = 0.15,
+        seed: int = 11,
+    ) -> "NetworkSpace":
+        """A quick-setup space over a synthetic city grid.
+
+        Builds the connected perturbed-grid road graph of
+        :func:`repro.mobility.network.build_road_network` (the
+        Brinkhoff-substitute layout) and wraps it; ``world`` defaults
+        to a 1000x1000 block.
+        """
+        from repro.geometry.rect import Rect
+        from repro.mobility.network import NetworkParams, build_road_network
+
+        if world is None:
+            world = Rect(0.0, 0.0, 1000.0, 1000.0)
+        params = NetworkParams(
+            grid_size=grid_size,
+            perturbation=perturbation,
+            drop_fraction=drop_fraction,
+        )
+        return cls(build_road_network(world, params, seed=seed))
 
     def edge_length(self, u: Hashable, v: Hashable) -> float:
         return self.graph.edges[u, v]["length"]
+
+    def total_edge_length(self) -> float:
+        """Total road length — a radius covering the whole network."""
+        return sum(self.edge_length(u, v) for u, v in self.graph.edges)
+
+    def set_distance_provider(self, provider) -> None:
+        """Install a faster exact SSSP backend for :meth:`node_distances`.
+
+        ``provider(source) -> {node: distance}`` must return the exact
+        shortest-path map the default networkx Dijkstra would.  The CSR
+        index installs its bulk distance rows here
+        (:meth:`repro.index.network.NetworkIndex.distance_map`), so
+        ball construction and tile verification stop paying a second
+        per-anchor Dijkstra next to the GNN kernel's.  Already-cached
+        maps are kept either way.
+        """
+        self._distance_provider = provider
 
     def node_distances(self, source: Hashable) -> dict[Hashable, float]:
         """All-nodes shortest-path distances from ``source`` (cached)."""
         cached = self._sssp_cache.get(source)
         if cached is None:
-            cached = nx.single_source_dijkstra_path_length(
-                self.graph, source, weight="length"
-            )
+            if self._distance_provider is not None:
+                cached = self._distance_provider(source)
+            else:
+                cached = nx.single_source_dijkstra_path_length(
+                    self.graph, source, weight="length"
+                )
             self._sssp_cache[source] = cached
         return cached
 
-    def _anchors(self, pos: NetworkPosition) -> list[tuple[Hashable, float]]:
+    def anchors(self, pos: NetworkPosition) -> list[tuple[Hashable, float]]:
         """(node, distance-to-node) pairs anchoring a position."""
         if pos.node is not None:
             return [(pos.node, 0.0)]
@@ -85,6 +134,9 @@ class NetworkSpace:
         if not 0.0 <= pos.offset <= length + 1e-9:
             raise ValueError(f"offset {pos.offset} outside edge of length {length}")
         return [(u, pos.offset), (v, length - pos.offset)]
+
+    # Backwards-compatible private alias (pre-Space-abstraction name).
+    _anchors = anchors
 
     def distance(self, a: NetworkPosition, b: NetworkPosition) -> float:
         """Exact shortest-path distance between two positions."""

@@ -73,7 +73,7 @@ class NetworkTileRegion:
         self.anchor = anchor
         self._intervals: dict[tuple[Hashable, Hashable], list[tuple[float, float]]] = {}
         self._anchor_maps = [
-            (d0, space.node_distances(node)) for node, d0 in space._anchors(anchor)
+            (d0, space.node_distances(node)) for node, d0 in space.anchors(anchor)
         ]
         self.r_up = 0.0
 
@@ -161,6 +161,25 @@ class NetworkTileRegion:
         dv = self._anchor_dist_to_node(v)
         _, high = self._interval_extremes(du, dv, EdgeInterval(u, v, lo, hi))
         self.r_up = max(self.r_up, high)
+
+    def min_dist(self, target) -> float:
+        """``||target, R||_min`` for a node target (Region protocol)."""
+        return self._bounds_to_node(target)[0]
+
+    def max_dist(self, target) -> float:
+        """``||target, R||_max`` for a node target (Region protocol)."""
+        return self._bounds_to_node(target)[1]
+
+    def _bounds_to_node(self, target) -> tuple[float, float]:
+        if isinstance(target, NetworkPosition):
+            if target.node is None:
+                raise ValueError("tile-region distance bounds need a node target")
+            target = target.node
+        return self.dist_pair_to_node(target, self.space.node_distances(target))
+
+    def contains_point(self, pos: NetworkPosition, eps: float = 0.0) -> bool:
+        """Region-protocol alias for :meth:`contains`."""
+        return self.contains(pos, eps)
 
     def contains(self, pos: NetworkPosition, eps: float = 1e-9) -> bool:
         if pos.node is not None:
@@ -259,18 +278,23 @@ def network_tile_msr(
     users: Sequence[NetworkPosition],
     config: NetworkTileConfig | None = None,
     objective: Aggregate = Aggregate.MAX,
+    index=None,
 ) -> NetworkTileResult:
     """Recursive-partition safe regions on the road network.
 
     Supports both objectives: MAX via the metric form of the exact
     tile verification, SUM via the Algorithm 6 decomposition with
     per-interval minima of the piecewise-linear distance difference.
+    ``index`` (a :class:`~repro.index.network.NetworkIndex`) answers
+    the Circle-MSR seed's two-best GNN through the CSR distance
+    kernels instead of the brute-force scan; the verification itself
+    reads the same cached per-node distance maps either way.
     """
     if config is None:
         config = NetworkTileConfig()
     stats = SafeRegionStats()
 
-    seed = network_circle_msr(space, pois, users, objective)
+    seed = network_circle_msr(space, pois, users, objective, index=index)
     po = seed.po
     radius = seed.radius
     regions = [NetworkTileRegion(space, u) for u in users]
@@ -416,7 +440,7 @@ def network_tile_msr(
         frontier: list[tuple[float, int, Hashable, Hashable]] = []
         counter = 0
         seen: set[tuple[Hashable, Hashable]] = set()
-        dist_maps = [(d0, space.node_distances(n)) for n, d0 in space._anchors(user)]
+        dist_maps = [(d0, space.node_distances(n)) for n, d0 in space.anchors(user)]
 
         def user_dist(node: Hashable) -> float:
             return min(d0 + m.get(node, float("inf")) for d0, m in dist_maps)

@@ -20,6 +20,24 @@ Every message and recomputation is charged twice: to the session's own
 service-wide aggregate ``metrics`` — the per-tenant and whole-fleet
 views of the same traffic.
 
+Spaces
+------
+
+The service is space-generic: every session lives in a metric space
+(:class:`repro.space.base.Space` — metric, position type, POI index
+and region primitives).  The constructor's ``tree`` is the *default*
+space (a bare spatial index is wrapped into a
+:class:`~repro.space.EuclideanSpace`); :meth:`open_session` accepts a
+``space`` argument to serve a session elsewhere, e.g. a
+:class:`repro.space.network.NetworkPOISpace` under the ``net_circle``
+/ ``net_tile`` strategies.  Strategies receive their session space's
+POI index, regions answer Lemma-1 bounds in their own metric, and
+:meth:`update_pois` targets one space's index per call — so Euclidean
+and road-network fleets coexist on a single service with identical
+feature coverage (report/probe/notify, churn re-notification,
+per-session + service-wide metrics, batched waves with scalar
+fallback).
+
 The batched fleet path
 ----------------------
 
@@ -66,6 +84,7 @@ from repro.simulation.messages import (
 )
 from repro.simulation.metrics import SimulationMetrics
 from repro.simulation.policies import Policy
+from repro.space import Space, as_space
 
 Member = Union[Point, MemberState]
 
@@ -88,12 +107,17 @@ class MPNService:
     against scalar simplicity, nothing else.
     """
 
-    def __init__(self, tree: SpatialIndex, batched: bool = True):
-        self.tree = tree
+    def __init__(self, tree: Union[SpatialIndex, Space], batched: bool = True):
+        self.space = as_space(tree)  # the default session space
         self.batched = batched
         self.metrics = SimulationMetrics()  # service-wide aggregate
         self._sessions: dict[int, ServiceSession] = {}
         self._next_id = 0
+
+    @property
+    def tree(self):
+        """The default space's POI index (pre-Space-abstraction name)."""
+        return self.space.index
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -104,19 +128,31 @@ class MPNService:
         members: Sequence[Member],
         policy: Policy,
         prober: Optional[Prober] = None,
+        space: Optional[Space] = None,
     ) -> SessionHandle:
         """Register a group; computes its first result and regions.
 
         ``prober`` supplies fresh member states during probe rounds;
         without one the probe round reuses each member's last reported
-        state.  The registration charges one location update per member
-        plus the first result notification round.
+        state.  ``space`` is the metric space the session lives in
+        (``None`` = the service's default space); member positions must
+        be of that space's position type, and the policy's strategy
+        must serve that space kind (e.g. ``net_circle`` sessions need a
+        network space).  The registration charges one location update
+        per member plus the first result notification round.
         """
         strategy = get_strategy(policy)
         if strategy.periodic:
             raise ValueError("periodic strategies bypass the session API")
         if not members:
             raise ValueError("need at least one member")
+        space = space if space is not None else self.space
+        required_kind = getattr(strategy, "space_kind", None)
+        if required_kind is not None and required_kind != space.kind:
+            raise ValueError(
+                f"strategy {policy.strategy_name!r} serves {required_kind} "
+                f"spaces, but the session space is {space.kind}"
+            )
         session_id = self._next_id
         self._next_id += 1
         session = ServiceSession(
@@ -125,6 +161,7 @@ class MPNService:
             strategy=strategy,
             members=[_as_state(m) for m in members],
             prober=prober,
+            space=space,
         )
         # Register only after the first computation succeeds, so a
         # failing strategy cannot leak a half-initialized session.
@@ -166,6 +203,12 @@ class MPNService:
         strategy = get_strategy(policy)
         if strategy.periodic:
             raise ValueError("periodic strategies bypass the session API")
+        required_kind = getattr(strategy, "space_kind", None)
+        if required_kind is not None and required_kind != session.space.kind:
+            raise ValueError(
+                f"strategy {policy.strategy_name!r} serves {required_kind} "
+                f"spaces, but the session space is {session.space.kind}"
+            )
         session.policy = policy
         session.strategy = strategy
 
@@ -349,7 +392,7 @@ class MPNService:
             start = time.perf_counter()
             results = strategy.build_regions_batch(
                 [s.positions for s in batch],
-                self.tree,
+                batch[0].space.index,
                 [[m.heading for m in s.members] for s in batch],
                 [[m.theta for m in s.members] for s in batch],
             )
@@ -376,9 +419,10 @@ class MPNService:
         """Bucket token for one session, or ``None`` for the scalar path.
 
         Two sessions share a bucket only when their strategies are the
-        same class with equal ``batch_key()`` tokens and their groups
-        are the same size (the batch kernels pack rectangular
-        structure-of-arrays).
+        same class with equal ``batch_key()`` tokens, their groups are
+        the same size (the batch kernels pack rectangular
+        structure-of-arrays), and they live in the same space (a batch
+        runs against exactly one POI index).
         """
         strategy = session.strategy
         if not hasattr(strategy, "build_regions_batch"):
@@ -387,7 +431,7 @@ class MPNService:
         token = key_fn() if callable(key_fn) else None
         if token is None:
             return None
-        return (type(strategy), token, session.size)
+        return (type(strategy), token, session.size, id(session.space))
 
     def _probe(self, session: ServiceSession, exclude: int) -> None:
         """Step 2: fetch every other member's state, charging the round."""
@@ -407,40 +451,52 @@ class MPNService:
         self,
         adds: Sequence[tuple[Point, object]] = (),
         removes: Sequence[tuple[Point, object]] = (),
+        space: Optional[Space] = None,
     ) -> list[Notification]:
         """Apply a batch of POI inserts/deletes, then recompute once.
 
         Prefer this over per-item :meth:`add_poi` / :meth:`remove_poi`
         under churn: the flat backend rebuilds its packing per
-        mutation, and a batch pays that rebuild once.  Each invalidated
-        session is recomputed a single time even if several updates
-        touch it.  Returns one notification per re-notified session.
+        mutation, and a batch pays that rebuild once.  The batch
+        targets one space's index — ``space`` (default: the service's
+        default space) — and only that space's sessions are checked
+        for invalidation; adds/removes are in that space's position
+        type (points / graph nodes).  Each invalidated session is
+        recomputed a single time even if several updates touch it.
+        Returns one notification per re-notified session.
         """
-        self.tree.bulk_update(adds, removes)
+        target = space if space is not None else self.space
+        target.bulk_update(adds, removes)
         removed = {p for p, _ in removes}
         # Snapshot before recomputing: strategies may close sessions
         # reentrantly, and the recomputation wave must neither blow up
         # on dict mutation nor notify a session closed mid-batch
         # (closed sessions are skipped inside _recompute_sessions).
+        # Sessions are matched by the *index* they compute against, not
+        # the Space wrapper's identity: two wrappers over one index see
+        # the same POIs, and the churn must invalidate either way.
         invalidated = [
             session
             for session in list(self._sessions.values())
-            if session.po in removed
-            or any(not session.region_valid_against(p) for p, _ in adds)
+            if session.space.index is target.index
+            and (
+                session.po in removed
+                or any(not session.region_valid_against(p) for p, _ in adds)
+            )
         ]
         notifications = self._recompute_sessions(invalidated, cause="poi_update")
         return [n for n in notifications if n is not None]
 
-    def add_poi(self, p: Point, payload=None) -> list[Notification]:
+    def add_poi(self, p: Point, payload=None, space=None) -> list[Notification]:
         """Insert a POI; recompute only the sessions it invalidates."""
-        return self.update_pois(adds=[(p, payload)])
+        return self.update_pois(adds=[(p, payload)], space=space)
 
-    def remove_poi(self, p: Point, payload=None) -> list[Notification]:
+    def remove_poi(self, p: Point, payload=None, space=None) -> list[Notification]:
         """Delete a POI; only sessions meeting *at* it are recomputed.
 
         Raises ``KeyError`` when the POI is not present.
         """
-        return self.update_pois(removes=[(p, payload)])
+        return self.update_pois(removes=[(p, payload)], space=space)
 
     # ------------------------------------------------------------------
     # Internals
@@ -451,7 +507,7 @@ class MPNService:
         start = time.perf_counter()
         result = session.strategy.compute(
             session.positions,
-            self.tree,
+            session.space.index,
             [m.heading for m in session.members],
             [m.theta for m in session.members],
         )

@@ -31,13 +31,20 @@ def sum_verify_regions(regions: Sequence[Region], po: Point, p: Point) -> bool:
 
 @dataclass
 class ServiceSession:
-    """Server-side state for one monitored group."""
+    """Server-side state for one monitored group.
+
+    ``space`` is the metric space the session lives in
+    (:class:`repro.space.base.Space`); positions, regions and the
+    meeting point ``po`` are in that space's types.  ``None`` means the
+    service's default space (filled in by ``open_session``).
+    """
 
     session_id: int
     policy: Policy
     strategy: SafeRegionStrategy
     members: list[MemberState]
     prober: Optional[Prober] = None
+    space: Optional[object] = None
     po: Optional[Point] = None
     regions: list[Region] = field(default_factory=list)
     metrics: SimulationMetrics = field(default_factory=SimulationMetrics)

@@ -13,9 +13,15 @@ paper's algorithms:
   nearest neighbor and returns no regions (clients re-report every
   timestamp, so there is nothing to cache).
 
-New methods — e.g. road-network MSRs from :mod:`repro.network_ext` —
-plug in via :func:`register_strategy` without touching the server or
-the engine: a :class:`~repro.simulation.policies.Policy` whose
+The road-network methods of :mod:`repro.network_ext` are registered
+here too, as ``"net_circle"`` / ``"net_tile"`` — through deferred
+factories, so this module never imports :mod:`networkx` unless a
+network policy is actually served.  A strategy may declare the space
+kind it computes in via an optional ``space_kind`` class attribute
+(``"euclidean"`` / ``"network"``); the session facade refuses to pair
+it with a session space of a different kind.  Further methods plug in
+via :func:`register_strategy` without touching the server or the
+engine: a :class:`~repro.simulation.policies.Policy` whose
 ``strategy_name`` matches a registered factory is served end-to-end.
 """
 
@@ -161,6 +167,7 @@ class CircleMSRStrategy:
     """Circle-MSR: one maximal circle per user (Section 4)."""
 
     periodic: ClassVar[bool] = False
+    space_kind: ClassVar[str] = "euclidean"
 
     def __init__(self, policy: Policy):
         self.objective = policy.objective
@@ -205,6 +212,7 @@ class TileMSRStrategy:
     """Tile-MSR: compressed tile regions (Section 5)."""
 
     periodic: ClassVar[bool] = False
+    space_kind: ClassVar[str] = "euclidean"
 
     def __init__(self, policy: Policy):
         self.config = policy.tile_config or TileMSRConfig(objective=policy.objective)
@@ -267,6 +275,7 @@ class PeriodicStrategy:
     """The strawman: exact GNN every timestamp, no safe regions."""
 
     periodic: ClassVar[bool] = True
+    space_kind: ClassVar[str] = "euclidean"
 
     def __init__(self, policy: Policy):
         self.objective = policy.objective
@@ -285,6 +294,25 @@ class PeriodicStrategy:
         return StrategyResult(po=po, regions=[], region_values=[])
 
 
+def _network_strategy_factory(class_name: str) -> StrategyFactory:
+    """Deferred factory for the road-network strategies.
+
+    They live in :mod:`repro.network_ext.strategies` (which needs
+    :mod:`networkx`), so the import is delayed until a ``net_*`` policy
+    is actually resolved — this module stays importable without the
+    network stack installed.
+    """
+
+    def factory(policy: Policy) -> SafeRegionStrategy:
+        from repro.network_ext import strategies as network_strategies
+
+        return getattr(network_strategies, class_name)(policy)
+
+    return factory
+
+
 register_strategy("circle", CircleMSRStrategy)
 register_strategy("tile", TileMSRStrategy)
 register_strategy("periodic", PeriodicStrategy)
+register_strategy("net_circle", _network_strategy_factory("NetworkCircleStrategy"))
+register_strategy("net_tile", _network_strategy_factory("NetworkTileStrategy"))

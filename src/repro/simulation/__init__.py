@@ -24,6 +24,8 @@ from repro.simulation.policies import (
     PolicyKind,
     circle_policy,
     custom_policy,
+    net_circle_policy,
+    net_tile_policy,
     periodic_policy,
     tile_policy,
     tile_d_policy,
@@ -56,6 +58,8 @@ __all__ = [
     "PolicyKind",
     "circle_policy",
     "custom_policy",
+    "net_circle_policy",
+    "net_tile_policy",
     "periodic_policy",
     "tile_policy",
     "tile_d_policy",

@@ -26,7 +26,6 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence, Union
 
 from repro.geometry.point import Point
-from repro.gnn.aggregate import aggregate_dist, find_gnn
 from repro.index.backend import SpatialIndex
 from repro.mobility.trajectory import Trajectory
 from repro.service.messages import MemberState, Notification, ReportEvent
@@ -36,6 +35,7 @@ from repro.simulation.client import SimClient
 from repro.simulation.messages import periodic_reply, periodic_report
 from repro.simulation.metrics import SimulationMetrics, average_metrics
 from repro.simulation.policies import Policy
+from repro.space import Space, as_space
 
 
 class SafeRegionViolation(AssertionError):
@@ -90,8 +90,10 @@ def _run_periodic(
 def _make_clients(
     policy: Policy, trajectories: Sequence[Trajectory]
 ) -> list[SimClient]:
-    cfg = policy.tile_config
-    track_direction = cfg is not None and cfg.ordering.value == "directed"
+    # ``ordering`` only exists on the Euclidean tile config; network
+    # tile configs (and custom ones) never track direction.
+    ordering = getattr(policy.tile_config, "ordering", None)
+    track_direction = ordering is not None and ordering.value == "directed"
     return [SimClient(traj, track_direction) for traj in trajectories]
 
 
@@ -106,12 +108,16 @@ def _client_prober(clients: Sequence[SimClient]) -> Callable[[int], MemberState]
 
 
 def _open_group_session(
-    service: MPNService, policy: Policy, clients: Sequence[SimClient]
+    service: MPNService,
+    policy: Policy,
+    clients: Sequence[SimClient],
+    space: Optional[Space] = None,
 ) -> tuple[int, Notification]:
     handle = service.open_session(
         [MemberState(c.position, c.heading, c.theta) for c in clients],
         policy,
         prober=_client_prober(clients),
+        space=space,
     )
     _deliver(clients, handle.notification)
     return handle.session_id, handle.notification
@@ -183,23 +189,25 @@ def _run_safe_regions(
 
 def _assert_result_valid(
     policy: Policy,
-    tree: SpatialIndex,
+    tree: Union[SpatialIndex, Space],
     clients: Sequence[SimClient],
     current_po: object,
 ) -> None:
     """The headline guarantee: quiet users => the result is still exact.
 
-    Ties are tolerated: the exact best aggregate distance must equal
-    the cached point's aggregate distance (the optimal point need not
-    be unique).
+    Space-generic (``tree`` is a space or a bare Euclidean index): the
+    exact best aggregate distance over the space's current POI set must
+    equal the cached point's aggregate distance.  Ties are tolerated —
+    the optimal point need not be unique.
     """
+    space = as_space(tree)
     users = [c.position for c in clients]
-    best_dist, best_entry = find_gnn(tree, users, 1, policy.objective)[0]
-    cached_dist = aggregate_dist(current_po, users, policy.objective)
+    best_dist, best_poi = space.gnn(users, 1, policy.objective)[0]
+    cached_dist = space.aggregate_dist(current_po, users, policy.objective)
     if cached_dist > best_dist + 1e-7:
         raise SafeRegionViolation(
             f"cached meeting point {current_po} has aggregate distance "
-            f"{cached_dist}, but {best_entry.point} achieves {best_dist}"
+            f"{cached_dist}, but {best_poi} achieves {best_dist}"
         )
 
 
@@ -222,9 +230,17 @@ def run_groups(
 # Multi-group serving
 # ----------------------------------------------------------------------
 
-# POI churn for one timestamp: (adds, removes) batches of (point,
-# payload) pairs, or None for a quiet timestamp.
-ChurnBatch = tuple[Sequence[tuple[Point, object]], Sequence[tuple[Point, object]]]
+# POI churn for one timestamp: an (adds, removes) batch of (position,
+# payload) pairs — optionally (adds, removes, space) to target a
+# non-default space's index — or None for a quiet timestamp.
+ChurnBatch = Union[
+    tuple[Sequence[tuple[Point, object]], Sequence[tuple[Point, object]]],
+    tuple[
+        Sequence[tuple[object, object]],
+        Sequence[tuple[object, object]],
+        Space,
+    ],
+]
 ChurnSchedule = Union[
     Mapping[int, ChurnBatch], Callable[[int], Optional[ChurnBatch]]
 ]
@@ -252,11 +268,12 @@ class ServiceRunResult:
 def run_service(
     groups: Sequence[Sequence[Trajectory]],
     policies: Union[Policy, Sequence[Policy]],
-    tree: SpatialIndex,
+    tree: Union[SpatialIndex, Space],
     n_timestamps: Optional[int] = None,
     check_every: int = 0,
     churn: Optional[ChurnSchedule] = None,
     batched: bool = True,
+    spaces: Optional[Union[Space, Sequence[Optional[Space]]]] = None,
 ) -> ServiceRunResult:
     """Play many concurrent groups against one shared :class:`MPNService`.
 
@@ -265,11 +282,22 @@ def run_service(
     report events against the same service (and the same POI index).
     ``policies`` is either one policy for every group or one per group.
 
+    ``spaces`` makes the fleet *mixed-metric*: one
+    :class:`~repro.space.base.Space` per group (or a single space for
+    all; ``None`` entries mean the service's default space, which is
+    ``tree`` itself).  Euclidean groups replaying planar trajectories
+    and road-network groups replaying
+    :class:`~repro.network_ext.monitor.NetworkTrajectory` sequences
+    under ``net_circle`` / ``net_tile`` policies then coexist on the
+    one service, each session computing against its own space's index
+    — and the exactness checks run per group in its own metric.
+
     ``churn`` schedules POI updates: a mapping (or callable) from
-    timestamp to an ``(adds, removes)`` batch, applied through
-    :meth:`MPNService.update_pois` *before* the groups move at that
-    timestamp.  Sessions invalidated by the batch are re-notified and
-    their clients pick up the fresh regions, exactly like a report
+    timestamp to an ``(adds, removes)`` batch — or an ``(adds,
+    removes, space)`` triple targeting a non-default space — applied
+    through :meth:`MPNService.update_pois` *before* the groups move at
+    that timestamp.  Sessions invalidated by the batch are re-notified
+    and their clients pick up the fresh regions, exactly like a report
     round.
 
     ``check_every`` asserts, every so many timestamps, that every
@@ -291,6 +319,10 @@ def run_service(
         policies = [policies] * len(groups)
     if len(policies) != len(groups):
         raise ValueError("need one policy per group (or a single policy)")
+    if spaces is None or isinstance(spaces, Space):
+        spaces = [spaces] * len(groups)
+    if len(spaces) != len(groups):
+        raise ValueError("need one space per group (or a single space)")
     steps = n_timestamps if n_timestamps is not None else min(
         len(t) for group in groups for t in group
     )
@@ -304,6 +336,7 @@ def run_service(
         churn_at = _no_churn
 
     service = MPNService(tree, batched=batched)
+    group_spaces = [s if s is not None else service.space for s in spaces]
     # Churn scheduled for t=0 lands before any session registers.
     initial_batch = churn_at(0)
     if initial_batch is not None:
@@ -312,9 +345,11 @@ def run_service(
     session_ids: list[int] = []
     pos: dict[int, Point] = {}  # session id -> cached meeting point
     by_session: dict[int, Sequence[SimClient]] = {}
-    for policy, group in zip(policies, groups):
+    for policy, group, group_space in zip(policies, groups, group_spaces):
         clients = _make_clients(policy, group)
-        session_id, registration = _open_group_session(service, policy, clients)
+        session_id, registration = _open_group_session(
+            service, policy, clients, group_space
+        )
         fleet.append(clients)
         session_ids.append(session_id)
         pos[session_id] = registration.po
@@ -324,8 +359,7 @@ def run_service(
     for t in range(1, steps):
         batch = churn_at(t)
         if batch is not None:
-            adds, removes = batch
-            notifications = service.update_pois(adds, removes)
+            notifications = service.update_pois(*batch)
             for notification in notifications:
                 _deliver(by_session[notification.session_id], notification)
                 pos[notification.session_id] = notification.po
@@ -352,10 +386,12 @@ def run_service(
                 if notification is not None:
                     pos[session_id] = notification.po
         if check_every > 0 and t % check_every == 0:
-            for policy, session_id, clients in zip(
-                policies, session_ids, fleet
+            for policy, group_space, session_id, clients in zip(
+                policies, group_spaces, session_ids, fleet
             ):
-                _assert_result_valid(policy, tree, clients, pos[session_id])
+                _assert_result_valid(
+                    policy, group_space, clients, pos[session_id]
+                )
 
     session_metrics = []
     for session_id in session_ids:

@@ -78,6 +78,32 @@ def custom_policy(
     return Policy(name, None, objective, tile_config, strategy)
 
 
+def net_circle_policy(objective: Aggregate = Aggregate.MAX) -> Policy:
+    """Circle-MSR under road-network distance (strategy ``net_circle``).
+
+    Sessions under this policy must be opened on a network space
+    (:class:`repro.space.network.NetworkPOISpace`).
+    """
+    return custom_policy("Net-Circle", "net_circle", objective)
+
+
+def net_tile_policy(
+    objective: Aggregate = Aggregate.MAX,
+    alpha: int = 20,
+    split_level: int = 2,
+    max_radius_factor: float = 8.0,
+) -> Policy:
+    """Tile-MSR as recursive road partitions (strategy ``net_tile``)."""
+    # Deferred import: the network config lives with the network stack
+    # (networkx), which plain Euclidean deployments never load.
+    from repro.network_ext.tile_msr import NetworkTileConfig
+
+    cfg = NetworkTileConfig(
+        alpha=alpha, split_level=split_level, max_radius_factor=max_radius_factor
+    )
+    return Policy("Net-Tile", None, objective, cfg, "net_tile")
+
+
 def periodic_policy(objective: Aggregate = Aggregate.MAX) -> Policy:
     return Policy("Periodic", PolicyKind.PERIODIC, objective)
 

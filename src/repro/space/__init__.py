@@ -1,0 +1,22 @@
+"""Metric spaces: one serving stack, many worlds.
+
+:class:`Space` (``base``) is the contract; :class:`EuclideanSpace`
+(``euclidean``) wraps a spatial-index tree and is what bare trees are
+coerced into; :class:`repro.space.network.NetworkPOISpace` serves road
+networks (imported lazily by callers — it pulls in :mod:`networkx`
+through :mod:`repro.network_ext`, which this package's own import must
+not require).
+"""
+
+from repro.space.base import Space
+from repro.space.euclidean import EuclideanSpace
+
+
+def as_space(tree_or_space: object) -> Space:
+    """Coerce a bare spatial index into a Space (identity on spaces)."""
+    if isinstance(tree_or_space, Space):
+        return tree_or_space
+    return EuclideanSpace(tree_or_space)
+
+
+__all__ = ["Space", "EuclideanSpace", "as_space"]

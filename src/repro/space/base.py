@@ -1,0 +1,74 @@
+"""The ``Space`` protocol: metric + position type + POI index + regions.
+
+A *space* is everything the serving stack needs to know about the
+world a session lives in:
+
+* the **metric** — ``distance`` between two positions, and the
+  aggregate distances built from it (Definitions 2 and 7);
+* the **position type** — ``Point`` for the Euclidean plane,
+  :class:`~repro.network_ext.space.NetworkPosition` for road networks;
+  the protocol never names it, every method is generic in it;
+* the **POI index** — the backend strategies compute against
+  (:class:`~repro.index.backend.SpatialIndex` /
+  :class:`~repro.index.network.NetworkIndex`), exposed as ``index``
+  and mutated through ``bulk_update``;
+* the **region primitives** — ``ball(center, radius)`` builds the
+  Theorem-1 safe region (a circle / a network ball); the regions a
+  space produces answer ``min_dist`` / ``max_dist`` / ``contains_point``
+  for that space's positions, which is all Lemma 1 and the session
+  facade ever ask of them.
+
+The MSR theorems only use the triangle inequality, so one serving
+stack (:class:`repro.service.MPNService`, :func:`repro.simulation.run_service`)
+serves every space: sessions carry their space, strategies receive its
+index, and Euclidean and network fleets coexist on one service.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.gnn.aggregate import Aggregate
+
+
+@runtime_checkable
+class Space(Protocol):
+    """One metric world: positions, distances, POIs, safe regions."""
+
+    kind: str  # "euclidean" | "network" | ...
+
+    @property
+    def index(self) -> object:
+        """The POI backend safe-region strategies compute against."""
+        ...
+
+    def distance(self, a: object, b: object) -> float:
+        """The metric (must satisfy the triangle inequality)."""
+        ...
+
+    def aggregate_dist(
+        self, candidate: object, users: Sequence[object], objective: Aggregate
+    ) -> float:
+        """``||candidate, U||_max`` or ``||candidate, U||_sum``."""
+        ...
+
+    def gnn(
+        self, users: Sequence[object], k: int = 1, objective: Aggregate = Aggregate.MAX
+    ) -> list[tuple[float, object]]:
+        """The ``k`` best meeting points as ``(aggregate_dist, poi)``."""
+        ...
+
+    def ball(self, center: object, radius: float) -> object:
+        """The set of positions within ``radius`` of ``center``
+        (Theorem 1's safe region; ``inf`` means the whole space)."""
+        ...
+
+    def bulk_update(
+        self,
+        adds: Sequence[tuple[object, object]] = (),
+        removes: Sequence[tuple[object, object]] = (),
+    ) -> None:
+        """Apply batched POI churn to the space's index."""
+        ...
+
+    def poi_count(self) -> int: ...

@@ -186,3 +186,163 @@ class TestNetworkTileMSR:
         result = network_tile_msr(space, pois, users)
         assert result.stats.tiles_added >= 1
         assert result.stats.tile_verifications >= 1
+
+    def test_index_seed_matches_brute_seed(self, space, pois):
+        """``index=`` only swaps the seed's GNN retrieval: same po,
+        same radius, same grown regions."""
+        from repro.index.network import NetworkIndex
+
+        rng = random.Random(13)
+        index = NetworkIndex(space, pois)
+        for _ in range(3):
+            users = [space.random_position(rng) for _ in range(2)]
+            brute = network_tile_msr(space, pois, users)
+            fast = network_tile_msr(space, pois, users, index=index)
+            assert fast.po == brute.po
+            assert fast.radius == brute.radius
+            assert [
+                sorted((str(iv.u), str(iv.v), iv.lo, iv.hi) for iv in r.intervals())
+                for r in fast.regions
+            ] == [
+                sorted((str(iv.u), str(iv.v), iv.lo, iv.hi) for iv in r.intervals())
+                for r in brute.regions
+            ]
+
+
+def one_edge_space(length=100.0):
+    """The degenerate road network: two nodes joined by one edge."""
+    import networkx as nx
+
+    graph = nx.Graph()
+    graph.add_edge("a", "b", length=length)
+    return NetworkSpace(graph)
+
+
+class TestDegenerateGraphs:
+    def test_one_edge_graph_circle_and_tile(self):
+        space = one_edge_space(100.0)
+        pois = ["a", "b"]
+        users = [NetworkPosition.on_edge("a", "b", 30.0)]
+        result = network_tile_msr(space, pois, users)
+        # Closest endpoint wins; the region must cover the user and
+        # never extend past the midpoint tie with the runner-up.
+        assert result.po == "a"
+        assert result.regions[0].contains(users[0])
+        rng = random.Random(2)
+        for _ in range(50):
+            pos = result.regions[0].sample(rng)
+            best_dist, _ = network_gnn(space, pois, [pos], 1)[0]
+            assert space.distance(
+                pos, NetworkPosition.at_node("a")
+            ) <= best_dist + 1e-9
+
+    def test_one_edge_graph_user_at_node(self):
+        space = one_edge_space(60.0)
+        result = network_tile_msr(
+            space, ["a", "b"], [NetworkPosition.at_node("a")]
+        )
+        assert result.po == "a"
+        assert result.po_dist == 0.0
+        assert result.radius == pytest.approx(30.0)
+
+    def test_single_poi_on_one_edge_graph_covers_everything(self):
+        space = one_edge_space(42.0)
+        result = network_tile_msr(
+            space, ["b"], [NetworkPosition.on_edge("a", "b", 1.0)]
+        )
+        assert result.radius == float("inf")
+        assert result.regions[0].contains(NetworkPosition.at_node("a"))
+        assert result.regions[0].contains(NetworkPosition.at_node("b"))
+
+
+class TestPOIAtNode:
+    def test_poi_exactly_at_user_node(self, space, pois):
+        """Zero-distance optimum: the user stands on a POI node."""
+        poi = pois[0]
+        users = [NetworkPosition.at_node(poi)]
+        result = network_tile_msr(space, pois, users)
+        assert result.po == poi
+        assert result.po_dist == 0.0
+        assert result.regions[0].contains(users[0])
+        # Soundness around a zero-distance optimum: sampled positions
+        # inside the region never prefer another POI.
+        rng = random.Random(3)
+        target = NetworkPosition.at_node(poi)
+        for _ in range(40):
+            pos = result.regions[0].sample(rng)
+            best_dist, _ = network_gnn(space, pois, [pos], 1)[0]
+            assert space.distance(pos, target) <= best_dist + 1e-9
+
+    def test_all_users_on_distinct_poi_nodes(self, space, pois):
+        users = [NetworkPosition.at_node(p) for p in pois[:3]]
+        result = network_tile_msr(space, pois, users)
+        exact = network_gnn(space, pois, users, 1)[0]
+        assert result.po == exact[1]
+        for region, user in zip(result.regions, users):
+            assert region.contains(user)
+
+
+class TestBudgetExhaustion:
+    def test_alpha_budget_caps_frontier_growth(self, space, pois):
+        """alpha=1 examines one frontier edge per user; coverage must
+        stay within the seeded ball plus that single edge."""
+        rng = random.Random(17)
+        users = [space.random_position(rng) for _ in range(2)]
+        tight = network_tile_msr(
+            space, pois, users, NetworkTileConfig(alpha=1, split_level=0)
+        )
+        loose = network_tile_msr(
+            space, pois, users, NetworkTileConfig(alpha=30, split_level=2)
+        )
+        assert sum(r.covered_length() for r in tight.regions) <= sum(
+            r.covered_length() for r in loose.regions
+        )
+        for region, user in zip(tight.regions, users):
+            assert region.contains(user, eps=1e-6)
+
+    def test_split_level_zero_rejects_unverifiable_intervals(self, space, pois):
+        rng = random.Random(19)
+        users = [space.random_position(rng) for _ in range(2)]
+        result = network_tile_msr(
+            space, pois, users, NetworkTileConfig(alpha=25, split_level=0)
+        )
+        # With no recursive halving, whole-gap rejections must show up
+        # in the stats (growth hits competitor territory quickly).
+        assert result.stats.tiles_rejected >= 1
+
+    def test_max_radius_factor_caps_reach(self, space, pois):
+        """A sub-1 growth cap leaves every region inside a small
+        multiple of the seed radius around its anchor."""
+        rng = random.Random(23)
+        users = [space.random_position(rng) for _ in range(2)]
+        result = network_tile_msr(
+            space,
+            pois,
+            users,
+            NetworkTileConfig(alpha=50, split_level=1, max_radius_factor=0.5),
+        )
+        for region in result.regions:
+            # r_up tracks the anchor's max distance into the region;
+            # seeded ball = radius, frontier capped at half a radius
+            # away, plus at most one whole edge beyond the cap.
+            longest_edge = max(
+                space.edge_length(u, v) for u, v in space.graph.edges
+            )
+            assert region.r_up <= result.radius + 2 * longest_edge
+
+    def test_exhausted_regions_stay_sound(self, space, pois):
+        """Budget exhaustion degrades coverage, never correctness."""
+        rng = random.Random(29)
+        users = [space.random_position(rng) for _ in range(3)]
+        result = network_tile_msr(
+            space,
+            pois,
+            users,
+            NetworkTileConfig(alpha=2, split_level=0, max_radius_factor=1.0),
+        )
+        po_target = NetworkPosition.at_node(result.po)
+        for _ in range(40):
+            locs = [r.sample(rng) for r in result.regions]
+            best_dist, _ = network_gnn(space, pois, locs, 1, Aggregate.MAX)[0]
+            po_dist = max(space.distance(l, po_target) for l in locs)
+            assert po_dist <= best_dist + 1e-6
