@@ -8,11 +8,18 @@ sessions whose safe regions fail Lemma 1, and ``check_every`` keeps
 asserting that every session's cached meeting point stays exactly
 optimal (Definition 3) the whole time.
 
+The fleet is driven through the :class:`~repro.service.ServiceBackend`
+surface: the backend is built explicitly and handed to
+:func:`run_service` — swap the ``MPNService`` for an
+``MPNCluster(num_shards, ...)`` (see ``examples/cluster_fleet.py``)
+and the identical driver code serves a sharded deployment.
+
 Run:  python examples/service_fleet.py
 """
 
 import random
 
+from repro.service import MPNService, ReportRequest, MemberState
 from repro.simulation import circle_policy, run_service, tile_policy
 from repro.workloads import WORLD
 from repro.workloads.datasets import DatasetSpec, build_dataset
@@ -47,9 +54,24 @@ def main() -> None:
         removes = [(victim, None) for victim in rng.sample(alive, 3)]
         return adds, removes
 
+    backend = MPNService(tree)  # any ServiceBackend; a cluster works too
     result = run_service(
-        groups, policies, tree, n_timestamps=steps, check_every=20, churn=churn
+        groups,
+        policies,
+        n_timestamps=steps,
+        check_every=20,
+        churn=churn,
+        backend=backend,
     )
+
+    # The same backend also answers wire envelopes — this is what a
+    # transport adapter would do with a decoded JSON request.
+    sid = result.session_ids[0]
+    state = backend.session(sid).members[0]
+    response = backend.dispatch(
+        ReportRequest(session_id=sid, member_id=0, state=MemberState(state.point))
+    )
+    assert response.notification is None  # in-region: state refresh only
 
     fleet = result.metrics
     updates = sum(m.update_events for m in result.session_metrics)

@@ -1,9 +1,53 @@
-"""Legacy shim: this environment has setuptools but no `wheel`, so the
-PEP 517 editable path (`bdist_wheel`) is unavailable; install with
+"""Packaging for the MPN reproduction (src layout, setuptools).
+
+Note for hermetic environments without `wheel`: the PEP 517 editable
+path (`bdist_wheel`) is unavailable there; install with
 
     pip install -e . --no-build-isolation --no-use-pep517
+
+A plain `pip install .` works anywhere pip can provision its default
+build backend (CI exercises exactly that plus `import repro`).
 """
 
-from setuptools import setup
+import pathlib
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+# Single source of truth: repro.__version__ (imported textually — the
+# package's dependencies need not be importable at build time).
+_INIT = pathlib.Path(__file__).parent / "src" / "repro" / "__init__.py"
+_VERSION = re.search(r'^__version__ = "([^"]+)"', _INIT.read_text(), re.M).group(1)
+
+setup(
+    name="repro-mpn",
+    version=_VERSION,
+    description=(
+        "Reproduction of 'Efficient Notification of Meeting Points for "
+        "Moving Groups via Independent Safe Regions' (ICDE 2013) grown "
+        "into a sharded serving stack"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    # NumPy powers the default flat backend and every batched kernel;
+    # the object R-tree backend alone would run without it, but the
+    # serving stack is built to be fast, not minimal.
+    install_requires=["numpy"],
+    extras_require={
+        # Road-network spaces: scipy accelerates the CSR bulk-Dijkstra
+        # kernels (a pure-python fallback exists), networkx carries the
+        # graphs themselves.
+        "network": ["scipy", "networkx"],
+        # repro.viz renders plain SVG with the stdlib today; the extra
+        # is the named hook for future plotting dependencies.
+        "viz": [],
+        "dev": [
+            "pytest",
+            "pytest-benchmark",
+            "pytest-cov",
+            "hypothesis",
+            "ruff",
+        ],
+    },
+)

@@ -13,8 +13,13 @@ Public entry points:
   with GT-Verify, index pruning and the buffering optimization, for
   both the MAX (MPN) and SUM (Sum-MPN) objectives.
 * :mod:`repro.service` — the session-oriented serving layer:
-  :class:`MPNService` (open_session / report / update_pois) and the
-  pluggable safe-region strategy registry.
+  :class:`MPNService` (open_session / report / update_pois), the
+  pluggable safe-region strategy registry, and the transport-ready
+  envelope API (:mod:`repro.service.api`: versioned request/response
+  dataclasses + the ``ServiceBackend`` dispatch protocol).
+* :mod:`repro.cluster` — :class:`MPNCluster`, the sharded front door:
+  consistent-hash session routing over per-shard service workers with
+  replicated POI indexes, answer-identical to a single service.
 * :mod:`repro.space` — the metric-space abstraction the serving layer
   is generic over; road networks plug in via
   :class:`repro.space.network.NetworkPOISpace` and the ``net_circle``
@@ -45,15 +50,17 @@ from repro.index import (
 from repro.service import (
     MPNService,
     Notification,
+    ServiceBackend,
     SessionHandle,
     UnknownSessionError,
     available_strategies,
     get_strategy,
     register_strategy,
 )
-from repro.space import EuclideanSpace, Space, as_space
+from repro.cluster import MPNCluster
+from repro.space import EuclideanSpace, Space, as_space, replicate_space
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "circle_msr",
@@ -77,6 +84,8 @@ __all__ = [
     "available_backends",
     "DEFAULT_BACKEND",
     "MPNService",
+    "MPNCluster",
+    "ServiceBackend",
     "Notification",
     "SessionHandle",
     "UnknownSessionError",
@@ -86,5 +95,6 @@ __all__ = [
     "Space",
     "EuclideanSpace",
     "as_space",
+    "replicate_space",
     "__version__",
 ]

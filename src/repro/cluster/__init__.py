@@ -1,0 +1,16 @@
+"""The sharded serving tier: ``MPNCluster``, a multi-shard front door.
+
+One :class:`MPNCluster` implements the same
+:class:`~repro.service.api.ServiceBackend` surface as a single
+:class:`~repro.service.MPNService` — the ``dispatch`` wire face and the
+in-process convenience methods — while routing sessions to per-shard
+service workers by consistent hash (:class:`~repro.cluster.hashring.HashRing`),
+splitting fleet waves per shard, fanning POI churn out to every shard's
+index replica, and merging metrics cluster-wide.  Answers are
+bit-identical to an unsharded service.
+"""
+
+from repro.cluster.cluster import MPNCluster, SpaceFactory
+from repro.cluster.hashring import HashRing
+
+__all__ = ["MPNCluster", "SpaceFactory", "HashRing"]

@@ -1,0 +1,418 @@
+"""The sharded front door: one ``ServiceBackend`` over many services.
+
+:class:`MPNCluster` scales the serving API horizontally while keeping
+the paper's guarantees bit-exact.  It owns ``num_shards`` independent
+:class:`~repro.service.MPNService` workers, each with its **own
+replica** of every space's POI index (transport-honest state
+ownership: a shard could be lifted into its own process without
+changing a single answer), and implements the same API surface as a
+single service:
+
+* the wire face — :meth:`dispatch` serves every
+  :mod:`repro.service.api` request envelope;
+* the in-process face — ``open_session`` / ``report`` /
+  ``report_many`` / ``update_locations`` / ``update_pois`` /
+  ``update_policy`` / ``close_session`` and the ``session*``
+  accessors, so :func:`repro.simulation.run_service` drives a cluster
+  exactly like a service.
+
+Routing and exactness
+---------------------
+
+* **Sessions** are routed by a deterministic consistent hash of the
+  cluster-assigned session id (:mod:`repro.cluster.hashring`).  The
+  cluster numbers sessions 0, 1, 2, … exactly like a single service,
+  and the owning shard registers the session *under that id* — so
+  every notification already carries the global id and no translation
+  layer exists to drift.
+* **Waves** (:meth:`report_many`) are validated on every shard first
+  (all-or-nothing, like the single service), then split per shard with
+  intra-shard order preserved — each shard's sub-wave still flows
+  through the PR-3 batched ``build_regions_batch`` kernels — and the
+  per-event results are reassembled into request order.
+* **POI churn** (:meth:`update_pois`) fans every batch out to every
+  shard's replica of the targeted space; each shard runs its own
+  Lemma-1 invalidation over its own sessions, and the merged
+  re-notifications come back in ascending session order — the same
+  order a single service (whose session table is id-ordered) emits.
+* **Metrics**: every counter is charged on exactly one shard, so the
+  cluster-wide aggregate (:attr:`metrics`) is the plain merge of the
+  shard aggregates and equals the single-service counters bit for bit
+  (wall-clock seconds, as always, excepted).
+
+``tests/test_cluster_equivalence.py`` holds all of the above to
+bit-identical notification sequences and counters against an
+unsharded service, for Euclidean and network spaces, batched and
+scalar, under interleaved reports and churn.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+from repro.geometry.point import Point
+from repro.index.backend import SpatialIndex
+from repro.cluster.hashring import HashRing
+from repro.service.api import Request, Response, dispatch_request
+from repro.service.errors import UnknownSessionError
+from repro.service.messages import (
+    Notification,
+    ReportEvent,
+    SessionHandle,
+)
+from repro.service.service import Member, MPNService
+from repro.service.session import Prober, ServiceSession
+from repro.simulation.metrics import SimulationMetrics
+from repro.simulation.policies import Policy
+from repro.space import Space, as_space, replicate_space
+
+SpaceFactory = Callable[[], Space]
+
+
+def _build_replicas(
+    space: Union[Space, SpaceFactory], num_shards: int
+) -> list[Space]:
+    """One independent space per shard, from a factory or a live space.
+
+    A factory is called once per shard and must build a *fresh* space
+    each time; a live space is copied through
+    :func:`repro.space.replicate_space`.  Either way no two shards may
+    share an index — shared state is exactly what per-shard ownership
+    forbids.
+    """
+    if callable(space) and not isinstance(space, Space):
+        replicas = [space() for _ in range(num_shards)]
+        if len({id(replica) for replica in replicas}) != num_shards:
+            raise ValueError(
+                "space factory must build a fresh space per call; "
+                "shards cannot share one index"
+            )
+        return replicas
+    return [replicate_space(space) for _ in range(num_shards)]
+
+
+def _require_space_ref(space: Union[None, str, Space]) -> Optional[str]:
+    """Cluster space arguments must be ``None`` or a registered name.
+
+    A live space object would name *one* shard's replica (or none),
+    which is exactly the ambiguity the per-shard ownership model
+    forbids.
+    """
+    if space is None or isinstance(space, str):
+        return space
+    raise ValueError(
+        "cluster spaces are per-shard replicas; register the space by name "
+        "(add_space) and reference it by that name"
+    )
+
+
+class MPNCluster:
+    """A sharded, answer-preserving ``ServiceBackend``.
+
+    ``space_factory`` builds one independent default space per shard
+    (call it ``num_shards`` times and the copies must be identical —
+    e.g. ``lambda: as_space(build_poi_tree(points))``).  Alternatively
+    pass ``tree=`` (a space or bare index) and the cluster replicates
+    it per shard via :func:`repro.space.replicate_space`.  ``batched``
+    selects each shard's fleet execution path, exactly as on
+    :class:`~repro.service.MPNService`.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        space_factory: Optional[SpaceFactory] = None,
+        *,
+        tree: Union[None, SpatialIndex, Space] = None,
+        batched: bool = True,
+        ring_replicas: int = 64,
+    ):
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if (space_factory is None) == (tree is None):
+            raise ValueError("pass exactly one of space_factory / tree")
+        self.batched = batched
+        spaces = _build_replicas(
+            space_factory if space_factory is not None else as_space(tree),
+            num_shards,
+        )
+        self._shards = tuple(
+            MPNService(space, batched=batched) for space in spaces
+        )
+        self._ring = HashRing(range(num_shards), replicas=ring_replicas)
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple[MPNService, ...]:
+        """The per-shard workers (read them, don't route around them)."""
+        return self._shards
+
+    def shard_for(self, session_id: int) -> int:
+        """The index of the shard owning ``session_id``."""
+        return self._ring.shard_for(session_id)
+
+    def _shard(self, session_id: int) -> MPNService:
+        return self._shards[self._ring.shard_for(session_id)]
+
+    # ------------------------------------------------------------------
+    # Spaces (per-shard replicas, referenced by name)
+    # ------------------------------------------------------------------
+
+    @property
+    def space(self) -> Space:
+        """Shard 0's default-space replica — a read view for checks.
+
+        All replicas hold the same POI set (churn fans out to every
+        one), so any shard's copy answers exactness queries for the
+        whole cluster.
+        """
+        return self._shards[0].space
+
+    def add_space(
+        self, name: str, space: Union[Space, SpaceFactory]
+    ) -> None:
+        """Register a named space on every shard, one replica each.
+
+        ``space`` is either a factory (called once per shard) or a
+        replicable live space (:func:`repro.space.replicate_space` is
+        applied per shard; the original object stays the caller's and
+        is never mutated by the cluster).
+        """
+        for shard, replica in zip(
+            self._shards, _build_replicas(space, self.num_shards)
+        ):
+            shard.add_space(name, replica)
+
+    def get_space(self, name: str = "default") -> Space:
+        """Shard 0's replica of the named space (a read view)."""
+        if name == "default":
+            return self.space
+        return self._shards[0].get_space(name)
+
+    def space_names(self) -> list[str]:
+        return self._shards[0].space_names()
+
+    # ------------------------------------------------------------------
+    # The wire face
+    # ------------------------------------------------------------------
+
+    def dispatch(self, request: Request) -> Response:
+        """Serve one request envelope — same contract as the service."""
+        return dispatch_request(self, request)
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    def open_session(
+        self,
+        members: Sequence[Member],
+        policy: Policy,
+        prober: Optional[Prober] = None,
+        space: Union[None, str, Space] = None,
+        session_id: Optional[int] = None,
+    ) -> SessionHandle:
+        """Open a session on its hash-routed shard.
+
+        Ids are cluster-assigned (0, 1, 2, … — the same numbering a
+        single service produces) and the owning shard registers the
+        session under the global id, so notifications need no
+        translation.  ``space`` must be ``None`` or a registered name.
+        """
+        _require_space_ref(space)
+        gid = self._next_id if session_id is None else session_id
+        shard = self._shard(gid)
+        # Mirror the single service's numbering exactly: validation
+        # failures consume no id; only a strategy failing *during*
+        # registration (below, after the bump) burns one — which is
+        # precisely when MPNService burns one too.
+        strategy, resolved = shard.validate_open(members, policy, space=space)
+        if session_id is not None:
+            try:
+                shard.session(gid)
+            except UnknownSessionError:
+                pass
+            else:
+                raise ValueError(f"session id {gid} is already in use")
+        self._next_id = max(self._next_id, gid + 1)
+        return shard._open_validated(
+            members, policy, strategy, resolved, prober, gid
+        )
+
+    def close_session(self, session_id: int) -> None:
+        self._shard(session_id).close_session(session_id)
+
+    def session(self, session_id: int) -> ServiceSession:
+        return self._shard(session_id).session(session_id)
+
+    def session_ids(self) -> list[int]:
+        return sorted(
+            session_id
+            for shard in self._shards
+            for session_id in shard.session_ids()
+        )
+
+    def session_metrics(self, session_id: int) -> SimulationMetrics:
+        return self._shard(session_id).session_metrics(session_id)
+
+    def update_policy(self, session_id: int, policy: Policy) -> None:
+        self._shard(session_id).update_policy(session_id, policy)
+
+    # ------------------------------------------------------------------
+    # The event protocol
+    # ------------------------------------------------------------------
+
+    def report(
+        self,
+        session_id: int,
+        member_id: int,
+        point: Point,
+        heading: Optional[float] = None,
+        theta: Optional[float] = None,
+    ) -> Optional[Notification]:
+        return self._shard(session_id).report(
+            session_id, member_id, point, heading, theta
+        )
+
+    def update_locations(
+        self, session_id: int, members: Sequence[Member]
+    ) -> Notification:
+        return self._shard(session_id).update_locations(session_id, members)
+
+    def validate_events(self, events: Sequence[ReportEvent]) -> None:
+        """All-or-nothing validation across every involved shard."""
+        for shard_index, shard_events in self._split_events(events):
+            self._shards[shard_index].validate_events(
+                [event for _, event in shard_events]
+            )
+
+    def _split_events(
+        self, events: Sequence[ReportEvent]
+    ) -> list[tuple[int, list[tuple[int, ReportEvent]]]]:
+        """Events per shard, keeping each event's request-order index."""
+        split: dict[int, list[tuple[int, ReportEvent]]] = {}
+        for index, event in enumerate(events):
+            shard_index = self._ring.shard_for(event.session_id)
+            split.setdefault(shard_index, []).append((index, event))
+        return sorted(split.items())
+
+    def report_many(
+        self, events: Sequence[ReportEvent]
+    ) -> list[Optional[Notification]]:
+        """A fleet wave through the shards, answer-identical to one service.
+
+        Every shard validates its sub-batch before any shard executes —
+        a bad event anywhere leaves the whole cluster untouched, the
+        single-service all-or-nothing contract.  Then each shard serves
+        its sub-wave (events in request order, so per-session sequential
+        semantics hold and the PR-3 intra-shard batching applies), and
+        results land back in request order.
+        """
+        events = list(events)
+        split = self._split_events(events)
+        for shard_index, shard_events in split:
+            self._shards[shard_index].validate_events(
+                [event for _, event in shard_events]
+            )
+        out: list[Optional[Notification]] = [None] * len(events)
+        for shard_index, shard_events in split:
+            notifications = self._shards[shard_index]._serve_wave(
+                [event for _, event in shard_events]
+            )
+            for (index, _), notification in zip(shard_events, notifications):
+                out[index] = notification
+        return out
+
+    def recompute_many(
+        self, session_ids: Sequence[int], cause: str = "refresh"
+    ) -> list[Notification]:
+        """Recompute across shards; results in first-occurrence order."""
+        unique: list[int] = []
+        seen: set[int] = set()
+        for session_id in session_ids:
+            if session_id not in seen:
+                seen.add(session_id)
+                unique.append(session_id)
+        split: dict[int, list[int]] = {}
+        for session_id in unique:
+            split.setdefault(self._ring.shard_for(session_id), []).append(
+                session_id
+            )
+        # Validate every id before any shard recomputes (the single
+        # service raises UnknownSessionError before running anything).
+        for session_id in unique:
+            self.session(session_id)
+        by_session: dict[int, Notification] = {}
+        for shard_index, ids in sorted(split.items()):
+            for notification in self._shards[shard_index].recompute_many(
+                ids, cause
+            ):
+                by_session[notification.session_id] = notification
+        return [by_session[sid] for sid in unique if sid in by_session]
+
+    # ------------------------------------------------------------------
+    # Dynamic POI updates
+    # ------------------------------------------------------------------
+
+    def update_pois(
+        self,
+        adds: Sequence[tuple[Point, object]] = (),
+        removes: Sequence[tuple[Point, object]] = (),
+        space: Union[None, str, Space] = None,
+    ) -> list[Notification]:
+        """Fan one churn batch out to every shard's replica.
+
+        Each shard applies the identical batch to its own copy of the
+        named space's index and re-notifies its own Lemma-1-invalidated
+        sessions; the merged notifications come back in ascending
+        session order — the order a single service emits.
+        """
+        _require_space_ref(space)
+        notifications: list[Notification] = []
+        for shard in self._shards:
+            notifications.extend(
+                shard.update_pois(adds=adds, removes=removes, space=space)
+            )
+        notifications.sort(key=lambda n: n.session_id)
+        return notifications
+
+    def add_poi(
+        self, p: Point, payload=None, space=None
+    ) -> list[Notification]:
+        return self.update_pois(adds=[(p, payload)], space=space)
+
+    def remove_poi(
+        self, p: Point, payload=None, space=None
+    ) -> list[Notification]:
+        return self.update_pois(removes=[(p, payload)], space=space)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics(self) -> SimulationMetrics:
+        """Cluster-wide counters: the merge of every shard's aggregate.
+
+        Every message and recomputation is charged on exactly one
+        shard, so this equals the single-service aggregate counter for
+        counter (wall-clock seconds excepted — work runs on different
+        schedules).  Computed fresh per read; mutate shard metrics, not
+        this.
+        """
+        merged = SimulationMetrics()
+        for shard in self._shards:
+            merged.merge(shard.metrics)
+        return merged
+
+    def shard_metrics(self) -> list[SimulationMetrics]:
+        """Each shard's own service-wide aggregate, in shard order."""
+        return [shard.metrics for shard in self._shards]

@@ -1,0 +1,45 @@
+"""A deterministic consistent-hash ring for session routing.
+
+The cluster front door places every shard on a ring at ``replicas``
+pseudo-random points (MD5 of a stable label — *not* Python's salted
+``hash``, so placement is identical across processes and runs) and
+routes a session id to the first shard clockwise of the id's own ring
+point.  Consistency is the point: growing an ``n``-shard ring to
+``n + 1`` shards remaps only ~``1/(n+1)`` of the sessions, instead of
+rehashing the world the way ``sid % n`` would.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Sequence
+
+
+def _ring_hash(key: str) -> int:
+    """64 stable bits of MD5 — deterministic across runs and platforms."""
+    return int.from_bytes(hashlib.md5(key.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Maps integer session ids onto a fixed set of shard ids."""
+
+    def __init__(self, shard_ids: Iterable[int], replicas: int = 64):
+        shard_ids = list(shard_ids)
+        if not shard_ids:
+            raise ValueError("need at least one shard")
+        if replicas < 1:
+            raise ValueError("need at least one ring point per shard")
+        points: list[tuple[int, int]] = []
+        for shard in shard_ids:
+            for replica in range(replicas):
+                points.append((_ring_hash(f"shard:{shard}:{replica}"), shard))
+        points.sort()
+        self._points: Sequence[tuple[int, int]] = points
+        self._keys = [point for point, _ in points]
+
+    def shard_for(self, session_id: int) -> int:
+        """The shard owning ``session_id`` (first ring point clockwise)."""
+        where = _ring_hash(f"session:{session_id}")
+        i = bisect.bisect_right(self._keys, where) % len(self._keys)
+        return self._points[i][1]

@@ -124,6 +124,10 @@ class NetworkIndex:
         """The POI nodes in insertion order (duplicates preserved)."""
         return [node for node, _ in self._items]
 
+    def items(self) -> list[tuple[Hashable, Any]]:
+        """The live ``(node, payload)`` POI items, in insertion order."""
+        return list(self._items)
+
     def pois_at(self, node: Hashable) -> list[Any]:
         """Payloads of the POIs bucketed on ``node``."""
         return [self._items[i][1] for i in self._buckets.get(node, ())]

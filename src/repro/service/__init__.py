@@ -16,6 +16,12 @@ This package is the public API for deploying the paper's protocol:
 * :mod:`repro.service.messages` — the typed envelopes crossing the
   service boundary (``MemberState``, ``ReportEvent``, ``Notification``,
   ``SessionHandle``).
+* :mod:`repro.service.api` — the transport-ready surface: versioned,
+  JSON-safe request/response envelopes (one dataclass per operation),
+  the :class:`~repro.service.api.ServiceBackend` protocol
+  (``dispatch(request) -> Response``) that ``MPNService`` and
+  :class:`repro.cluster.MPNCluster` both implement, and the shared
+  dispatch router.
 
 The old ``MPNServer`` / ``MultiGroupServer`` classes in
 :mod:`repro.simulation` remain as thin deprecated shims over this
@@ -31,9 +37,37 @@ layer.
 import repro.simulation  # noqa: F401  (imported for its side effect)
 
 from repro.service.errors import (
+    EnvelopeError,
+    MalformedEnvelopeError,
+    SchemaVersionError,
     ServiceError,
     UnknownSessionError,
+    UnknownSpaceError,
     UnknownStrategyError,
+)
+from repro.service.api import (
+    SCHEMA_VERSION,
+    CloseSessionRequest,
+    CloseSessionResponse,
+    NotificationPayload,
+    OpenSessionRequest,
+    OpenSessionResponse,
+    ReportManyRequest,
+    ReportManyResponse,
+    ReportRequest,
+    ReportResponse,
+    Request,
+    Response,
+    ServiceBackend,
+    UpdateLocationsRequest,
+    UpdateLocationsResponse,
+    UpdatePoisRequest,
+    UpdatePoisResponse,
+    UpdatePolicyRequest,
+    UpdatePolicyResponse,
+    dispatch_request,
+    request_from_dict,
+    response_from_dict,
 )
 from repro.service.messages import (
     MemberState,
@@ -59,7 +93,33 @@ from repro.service.strategies import (
 __all__ = [
     "ServiceError",
     "UnknownSessionError",
+    "UnknownSpaceError",
     "UnknownStrategyError",
+    "EnvelopeError",
+    "SchemaVersionError",
+    "MalformedEnvelopeError",
+    "SCHEMA_VERSION",
+    "ServiceBackend",
+    "Request",
+    "Response",
+    "OpenSessionRequest",
+    "OpenSessionResponse",
+    "ReportRequest",
+    "ReportResponse",
+    "ReportManyRequest",
+    "ReportManyResponse",
+    "UpdateLocationsRequest",
+    "UpdateLocationsResponse",
+    "UpdatePoisRequest",
+    "UpdatePoisResponse",
+    "UpdatePolicyRequest",
+    "UpdatePolicyResponse",
+    "CloseSessionRequest",
+    "CloseSessionResponse",
+    "NotificationPayload",
+    "dispatch_request",
+    "request_from_dict",
+    "response_from_dict",
     "MemberState",
     "ReportEvent",
     "Notification",

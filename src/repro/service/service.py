@@ -67,7 +67,8 @@ from typing import Optional, Sequence, Union
 
 from repro.geometry.point import Point
 from repro.index.backend import SpatialIndex
-from repro.service.errors import UnknownSessionError
+from repro.service.api import Request, Response, dispatch_request
+from repro.service.errors import UnknownSessionError, UnknownSpaceError
 from repro.service.messages import (
     MemberState,
     Notification,
@@ -113,6 +114,7 @@ class MPNService:
         self.metrics = SimulationMetrics()  # service-wide aggregate
         self._sessions: dict[int, ServiceSession] = {}
         self._next_id = 0
+        self._spaces: dict[str, Space] = {"default": self.space}
 
     @property
     def tree(self):
@@ -120,41 +122,134 @@ class MPNService:
         return self.space.index
 
     # ------------------------------------------------------------------
+    # The space registry and the wire entry point
+    # ------------------------------------------------------------------
+
+    def add_space(self, name: str, space: Space) -> Space:
+        """Register ``space`` under ``name`` for by-name references.
+
+        Wire envelopes (and cluster deployments) cannot carry live
+        :class:`~repro.space.base.Space` objects, so every non-default
+        space a remote session or POI-churn batch targets must be
+        registered first and referenced by name.  ``"default"`` is
+        pre-registered to the constructor's space.
+        """
+        if name in self._spaces:
+            raise ValueError(f"space {name!r} is already registered")
+        self._spaces[name] = space
+        return space
+
+    def get_space(self, name: str = "default") -> Space:
+        try:
+            return self._spaces[name]
+        except KeyError:
+            raise UnknownSpaceError(name, tuple(sorted(self._spaces))) from None
+
+    def space_names(self) -> list[str]:
+        return sorted(self._spaces)
+
+    def _resolve_space(self, space: Union[None, str, Space]) -> Space:
+        """A space argument: ``None`` (default), a registered name, or a
+        live space object (the in-process convenience)."""
+        if space is None:
+            return self.space
+        if isinstance(space, str):
+            return self.get_space(space)
+        return space
+
+    def dispatch(self, request: Request) -> Response:
+        """Serve one request envelope — the transport-ready entry point.
+
+        Every operation of the convenience API (:meth:`open_session`,
+        :meth:`report`, :meth:`report_many`, :meth:`update_locations`,
+        :meth:`update_pois`, :meth:`update_policy`,
+        :meth:`close_session`) is reachable through this single method
+        with a serializable :class:`repro.service.api.Request`, and
+        answers with a serializable response envelope — the contract of
+        :class:`repro.service.api.ServiceBackend`, shared with
+        :class:`repro.cluster.MPNCluster`.
+        """
+        return dispatch_request(self, request)
+
+    # ------------------------------------------------------------------
     # Session lifecycle
     # ------------------------------------------------------------------
 
-    def open_session(
+    def validate_open(
         self,
         members: Sequence[Member],
         policy: Policy,
-        prober: Optional[Prober] = None,
-        space: Optional[Space] = None,
-    ) -> SessionHandle:
-        """Register a group; computes its first result and regions.
+        space: Union[None, str, Space] = None,
+    ):
+        """Raise exactly what :meth:`open_session` would before it
+        registers (or numbers) anything, mutating nothing.
 
-        ``prober`` supplies fresh member states during probe rounds;
-        without one the probe round reuses each member's last reported
-        state.  ``space`` is the metric space the session lives in
-        (``None`` = the service's default space); member positions must
-        be of that space's position type, and the policy's strategy
-        must serve that space kind (e.g. ``net_circle`` sessions need a
-        network space).  The registration charges one location update
-        per member plus the first result notification round.
+        Returns the resolved ``(strategy, space)`` pair.  The cluster
+        front door runs this on the owning shard *before* consuming a
+        global session id, so a rejected open leaves cluster numbering
+        identical to a single service's.
         """
         strategy = get_strategy(policy)
         if strategy.periodic:
             raise ValueError("periodic strategies bypass the session API")
         if not members:
             raise ValueError("need at least one member")
-        space = space if space is not None else self.space
+        space = self._resolve_space(space)
         required_kind = getattr(strategy, "space_kind", None)
         if required_kind is not None and required_kind != space.kind:
             raise ValueError(
                 f"strategy {policy.strategy_name!r} serves {required_kind} "
                 f"spaces, but the session space is {space.kind}"
             )
-        session_id = self._next_id
-        self._next_id += 1
+        return strategy, space
+
+    def open_session(
+        self,
+        members: Sequence[Member],
+        policy: Policy,
+        prober: Optional[Prober] = None,
+        space: Union[None, str, Space] = None,
+        session_id: Optional[int] = None,
+    ) -> SessionHandle:
+        """Register a group; computes its first result and regions.
+
+        ``prober`` supplies fresh member states during probe rounds;
+        without one the probe round reuses each member's last reported
+        state.  ``space`` is the metric space the session lives in —
+        ``None`` for the service's default space, a registered name
+        (see :meth:`add_space`), or a live space object; member
+        positions must be of that space's position type, and the
+        policy's strategy must serve that space kind (e.g.
+        ``net_circle`` sessions need a network space).  ``session_id``
+        lets a front door (the cluster) assign globally-routable ids;
+        plain callers leave it ``None`` and get the next free id.  The
+        registration charges one location update per member plus the
+        first result notification round.
+        """
+        strategy, space = self.validate_open(members, policy, space)
+        return self._open_validated(
+            members, policy, strategy, space, prober, session_id
+        )
+
+    def _open_validated(
+        self,
+        members: Sequence[Member],
+        policy: Policy,
+        strategy,
+        space: Space,
+        prober: Optional[Prober],
+        session_id: Optional[int],
+    ) -> SessionHandle:
+        """:meth:`open_session` after :meth:`validate_open` — the
+        post-validation entry the cluster uses so an open is validated
+        once, on the owning shard, not twice."""
+        if session_id is None:
+            session_id = self._next_id
+            self._next_id += 1
+        else:
+            if session_id in self._sessions:
+                raise ValueError(f"session id {session_id} is already in use")
+            self._next_id = max(self._next_id, session_id + 1)
         session = ServiceSession(
             session_id=session_id,
             policy=policy,
@@ -293,13 +388,19 @@ class MPNService:
         was still covered by the member's region.
         """
         events = list(events)
-        for event in events:
-            session = self.session(event.session_id)
-            if not 0 <= event.member_id < session.size:
-                raise ValueError(
-                    f"member {event.member_id} out of range for session "
-                    f"of {session.size}"
-                )
+        self.validate_events(events)
+        return self._serve_wave(events)
+
+    def _serve_wave(
+        self, events: list[ReportEvent]
+    ) -> list[Optional[Notification]]:
+        """:meth:`report_many` minus the upfront validation.
+
+        Callers must have run :meth:`validate_events` already — the
+        cluster front door validates every shard's sub-batch first and
+        then serves each through this hook, so the hot path pays the
+        session lookups once, not twice.
+        """
         out: list[Optional[Notification]] = [None] * len(events)
         pending = list(range(len(events)))
         while pending:
@@ -336,6 +437,24 @@ class MPNService:
             for idx, notification in zip(escaped, notifications):
                 out[idx] = notification
         return out
+
+    def validate_events(self, events: Sequence[ReportEvent]) -> None:
+        """Raise exactly what :meth:`report_many` would, mutating nothing.
+
+        An unknown session id raises :class:`UnknownSessionError`, an
+        out-of-range member id a ``ValueError`` — with every session's
+        state and metrics untouched.  The cluster front door runs this
+        on every shard *before* any shard executes its sub-batch, so a
+        split wave keeps the single-service all-or-nothing validation
+        semantics.
+        """
+        for event in events:
+            session = self.session(event.session_id)
+            if not 0 <= event.member_id < session.size:
+                raise ValueError(
+                    f"member {event.member_id} out of range for session "
+                    f"of {session.size}"
+                )
 
     def recompute_many(
         self, session_ids: Sequence[int], cause: str = "refresh"
@@ -451,7 +570,7 @@ class MPNService:
         self,
         adds: Sequence[tuple[Point, object]] = (),
         removes: Sequence[tuple[Point, object]] = (),
-        space: Optional[Space] = None,
+        space: Union[None, str, Space] = None,
     ) -> list[Notification]:
         """Apply a batch of POI inserts/deletes, then recompute once.
 
@@ -459,13 +578,14 @@ class MPNService:
         under churn: the flat backend rebuilds its packing per
         mutation, and a batch pays that rebuild once.  The batch
         targets one space's index — ``space`` (default: the service's
-        default space) — and only that space's sessions are checked
-        for invalidation; adds/removes are in that space's position
-        type (points / graph nodes).  Each invalidated session is
-        recomputed a single time even if several updates touch it.
-        Returns one notification per re-notified session.
+        default space; a registered name or a live space otherwise) —
+        and only that space's sessions are checked for invalidation;
+        adds/removes are in that space's position type (points / graph
+        nodes).  Each invalidated session is recomputed a single time
+        even if several updates touch it.  Returns one notification
+        per re-notified session.
         """
-        target = space if space is not None else self.space
+        target = self._resolve_space(space)
         target.bulk_update(adds, removes)
         removed = {p for p, _ in removes}
         # Snapshot before recomputing: strategies may close sessions

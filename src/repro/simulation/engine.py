@@ -28,6 +28,7 @@ from typing import Callable, Mapping, Optional, Sequence, Union
 from repro.geometry.point import Point
 from repro.index.backend import SpatialIndex
 from repro.mobility.trajectory import Trajectory
+from repro.service.api import ServiceBackend
 from repro.service.messages import MemberState, Notification, ReportEvent
 from repro.service.service import MPNService
 from repro.service.strategies import SafeRegionStrategy, get_strategy
@@ -108,10 +109,10 @@ def _client_prober(clients: Sequence[SimClient]) -> Callable[[int], MemberState]
 
 
 def _open_group_session(
-    service: MPNService,
+    service: "ServiceBackend",
     policy: Policy,
     clients: Sequence[SimClient],
-    space: Optional[Space] = None,
+    space: Union[None, str, Space] = None,
 ) -> tuple[int, Notification]:
     handle = service.open_session(
         [MemberState(c.position, c.heading, c.theta) for c in clients],
@@ -145,7 +146,7 @@ def _advance_and_find_trigger(
 
 
 def _play_timestamp(
-    service: MPNService,
+    service: "ServiceBackend",
     session_id: int,
     clients: Sequence[SimClient],
     t: int,
@@ -232,13 +233,15 @@ def run_groups(
 
 # POI churn for one timestamp: an (adds, removes) batch of (position,
 # payload) pairs — optionally (adds, removes, space) to target a
-# non-default space's index — or None for a quiet timestamp.
+# non-default space's index, where space is a live Space or a
+# backend-registered name (a name is the only form a cluster accepts)
+# — or None for a quiet timestamp.
 ChurnBatch = Union[
     tuple[Sequence[tuple[Point, object]], Sequence[tuple[Point, object]]],
     tuple[
         Sequence[tuple[object, object]],
         Sequence[tuple[object, object]],
-        Space,
+        Union[str, Space],
     ],
 ]
 ChurnSchedule = Union[
@@ -254,42 +257,63 @@ def _no_churn(t: int) -> Optional[ChurnBatch]:
 class ServiceRunResult:
     """Outcome of :func:`run_service`."""
 
-    service: MPNService
+    service: ServiceBackend
     session_ids: list[int]
     session_metrics: list[SimulationMetrics]
     churn_notified: list[tuple[int, list[int]]] = field(default_factory=list)
 
     @property
+    def backend(self) -> ServiceBackend:
+        """The backend the fleet ran against (alias of ``service``)."""
+        return self.service
+
+    @property
     def metrics(self) -> SimulationMetrics:
-        """Service-wide traffic across every session."""
+        """Service-wide traffic across every session (cluster backends
+        answer with their merged cluster-wide counters)."""
         return self.service.metrics
 
 
 def run_service(
     groups: Sequence[Sequence[Trajectory]],
     policies: Union[Policy, Sequence[Policy]],
-    tree: Union[SpatialIndex, Space],
+    tree: Union[None, SpatialIndex, Space] = None,
     n_timestamps: Optional[int] = None,
     check_every: int = 0,
     churn: Optional[ChurnSchedule] = None,
-    batched: bool = True,
-    spaces: Optional[Union[Space, Sequence[Optional[Space]]]] = None,
+    batched: Optional[bool] = None,
+    spaces: Optional[
+        Union[str, Space, Sequence[Union[None, str, Space]]]
+    ] = None,
+    backend: Optional[ServiceBackend] = None,
 ) -> ServiceRunResult:
-    """Play many concurrent groups against one shared :class:`MPNService`.
+    """Play many concurrent groups against one shared serving backend.
 
     All groups advance with interleaved timestamps: at each step every
     group moves, and whichever members escaped their regions fire
-    report events against the same service (and the same POI index).
+    report events against the same backend (and the same POI set).
     ``policies`` is either one policy for every group or one per group.
 
-    ``spaces`` makes the fleet *mixed-metric*: one
-    :class:`~repro.space.base.Space` per group (or a single space for
-    all; ``None`` entries mean the service's default space, which is
-    ``tree`` itself).  Euclidean groups replaying planar trajectories
-    and road-network groups replaying
+    ``backend`` is any :class:`~repro.service.api.ServiceBackend` with
+    the in-process convenience surface — a prebuilt
+    :class:`MPNService` or a sharded
+    :class:`repro.cluster.MPNCluster`; the whole fleet runs unchanged
+    against either.  When ``backend`` is ``None`` the function builds
+    a single ``MPNService(tree, batched=batched)`` (``tree`` is
+    required exactly in that case).  A prebuilt backend already chose
+    its fleet path, so combining ``backend=`` with an explicit
+    ``batched=`` raises instead of silently overriding either.
+
+    ``spaces`` makes the fleet *mixed-metric*: one space per group (or
+    a single one for all; ``None`` entries mean the backend's default
+    space).  An entry may be a live :class:`~repro.space.base.Space`
+    (single-service runs) or a name registered on the backend via
+    ``add_space`` — the only form a cluster accepts, since cluster
+    spaces are per-shard replicas.  Euclidean groups replaying planar
+    trajectories and road-network groups replaying
     :class:`~repro.network_ext.monitor.NetworkTrajectory` sequences
     under ``net_circle`` / ``net_tile`` policies then coexist on the
-    one service, each session computing against its own space's index
+    one backend, each session computing against its own space's index
     — and the exactness checks run per group in its own metric.
 
     ``churn`` schedules POI updates: a mapping (or callable) from
@@ -319,7 +343,7 @@ def run_service(
         policies = [policies] * len(groups)
     if len(policies) != len(groups):
         raise ValueError("need one policy per group (or a single policy)")
-    if spaces is None or isinstance(spaces, Space):
+    if spaces is None or isinstance(spaces, (str, Space)):
         spaces = [spaces] * len(groups)
     if len(spaces) != len(groups):
         raise ValueError("need one space per group (or a single space)")
@@ -335,8 +359,29 @@ def run_service(
     else:
         churn_at = _no_churn
 
-    service = MPNService(tree, batched=batched)
-    group_spaces = [s if s is not None else service.space for s in spaces]
+    if backend is None:
+        if tree is None:
+            raise ValueError("need a tree/space (or a prebuilt backend)")
+        service = MPNService(tree, batched=True if batched is None else batched)
+        batched = service.batched
+    else:
+        if tree is not None:
+            raise ValueError("pass either tree or backend, not both")
+        if batched is not None:
+            raise ValueError(
+                "batched is the backend's own setting; construct the "
+                "backend with batched=... instead of passing both"
+            )
+        service = backend
+        batched = getattr(backend, "batched", True)
+    # The space each group's exactness checks measure in: name entries
+    # resolve through the backend's registry (a cluster answers with a
+    # replica — every replica holds the same POI set).
+    check_spaces = [
+        service.get_space(s) if isinstance(s, str)
+        else (s if s is not None else service.space)
+        for s in spaces
+    ]
     # Churn scheduled for t=0 lands before any session registers.
     initial_batch = churn_at(0)
     if initial_batch is not None:
@@ -345,10 +390,10 @@ def run_service(
     session_ids: list[int] = []
     pos: dict[int, Point] = {}  # session id -> cached meeting point
     by_session: dict[int, Sequence[SimClient]] = {}
-    for policy, group, group_space in zip(policies, groups, group_spaces):
+    for policy, group, space_ref in zip(policies, groups, spaces):
         clients = _make_clients(policy, group)
         session_id, registration = _open_group_session(
-            service, policy, clients, group_space
+            service, policy, clients, space_ref
         )
         fleet.append(clients)
         session_ids.append(session_id)
@@ -386,11 +431,11 @@ def run_service(
                 if notification is not None:
                     pos[session_id] = notification.po
         if check_every > 0 and t % check_every == 0:
-            for policy, group_space, session_id, clients in zip(
-                policies, group_spaces, session_ids, fleet
+            for policy, check_space, session_id, clients in zip(
+                policies, check_spaces, session_ids, fleet
             ):
                 _assert_result_valid(
-                    policy, group_space, clients, pos[session_id]
+                    policy, check_space, clients, pos[session_id]
                 )
 
     session_metrics = []

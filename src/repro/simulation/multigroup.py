@@ -23,6 +23,7 @@ The POI-churn reasoning lives with the session state in
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 from repro.geometry.point import Point
@@ -51,6 +52,13 @@ class MultiGroupServer:
     """
 
     def __init__(self, tree: SpatialIndex):
+        warnings.warn(
+            "MultiGroupServer is deprecated; talk to repro.service."
+            "MPNService directly (open_session/report/update_pois, or the "
+            "dispatch() envelope API) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._service = MPNService(tree)
 
     @property

@@ -15,6 +15,7 @@ module.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -41,6 +42,12 @@ class MPNServer:
     """Holds the POI R-tree and computes safe regions per the policy."""
 
     def __init__(self, tree: SpatialIndex, policy: Policy):
+        warnings.warn(
+            "MPNServer is deprecated; open sessions on repro.service."
+            "MPNService (or serve envelopes through its dispatch()) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         strategy = get_strategy(policy)
         if strategy.periodic:
             raise ValueError("the periodic baseline bypasses the server API")

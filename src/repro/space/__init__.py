@@ -19,4 +19,24 @@ def as_space(tree_or_space: object) -> Space:
     return EuclideanSpace(tree_or_space)
 
 
-__all__ = ["Space", "EuclideanSpace", "as_space"]
+def replicate_space(space: Space) -> Space:
+    """An independent copy of ``space`` holding the same POI set.
+
+    The cluster front door (:class:`repro.cluster.MPNCluster`) gives
+    every shard its own index replica — transport-honest state
+    ownership, with POI churn fanned out to every copy.  Spaces opt in
+    by implementing ``replicate()`` (:class:`EuclideanSpace` rebuilds
+    its index from the live entries;
+    :class:`repro.space.network.NetworkPOISpace` re-buckets its POIs
+    over the shared immutable road graph).
+    """
+    replicate = getattr(space, "replicate", None)
+    if replicate is None:
+        raise TypeError(
+            f"space {type(space).__name__} does not support replication; "
+            "construct the cluster with a space_factory instead"
+        )
+    return replicate()
+
+
+__all__ = ["Space", "EuclideanSpace", "as_space", "replicate_space"]

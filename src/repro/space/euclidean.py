@@ -59,3 +59,19 @@ class EuclideanSpace:
 
     def poi_count(self) -> int:
         return len(self._tree)
+
+    def replicate(self) -> "EuclideanSpace":
+        """An independent copy over a freshly packed index.
+
+        The replica uses the same backend class and node capacity, so
+        queries traverse identically-shaped trees and answers stay
+        bit-identical to the original (ties between coincident points
+        may reorder payloads, never distances or meeting points).
+        """
+        entries = list(self._tree.entries())
+        clone = type(self._tree).bulk_load(
+            [e.point for e in entries],
+            payloads=[e.payload for e in entries],
+            max_entries=self._tree.max_entries,
+        )
+        return EuclideanSpace(clone)

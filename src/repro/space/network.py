@@ -91,3 +91,21 @@ class NetworkPOISpace:
 
     def poi_count(self) -> int:
         return len(self._index)
+
+    def replicate(self) -> "NetworkPOISpace":
+        """An independent POI replica over the shared road graph.
+
+        The graph (and its Dijkstra/CSR distance machinery) is
+        immutable and POI-independent, so replicas share the
+        :class:`NetworkSpace` while each owning its POI buckets — POI
+        churn against one replica never leaks into another.  Each
+        construction re-points the space's distance provider at the
+        newest replica's CSR rows; all replicas pack the same graph,
+        so the provided distances are identical whichever serves.
+        """
+        items = self._index.items()
+        return NetworkPOISpace(
+            self.space,
+            pois=[node for node, _ in items],
+            payloads=[payload for _, payload in items],
+        )

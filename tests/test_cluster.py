@@ -1,0 +1,343 @@
+"""Unit tests for the cluster front door: ring, routing, replicas.
+
+The answer-preservation proofs live in
+``tests/test_cluster_equivalence.py``; this file pins the mechanics —
+deterministic consistent hashing, session routing, per-shard space
+replication, cross-shard all-or-nothing validation, and the error
+surface.
+"""
+
+import pytest
+
+from repro.cluster import HashRing, MPNCluster
+from repro.geometry.point import Point
+from repro.service import (
+    MemberState,
+    MPNService,
+    ReportEvent,
+    ReportRequest,
+    UnknownSessionError,
+    UnknownSpaceError,
+)
+from repro.simulation.policies import circle_policy
+from repro.space import as_space, replicate_space
+from repro.workloads.poi import build_poi_tree, uniform_pois
+from tests.conftest import SMALL_WORLD, random_users
+
+
+def make_cluster(n_shards=3, n_pois=200, seed=6, batched=True):
+    pois = uniform_pois(n_pois, SMALL_WORLD, seed=seed)
+    return MPNCluster(
+        n_shards, lambda: as_space(build_poi_tree(pois)), batched=batched
+    )
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        a = HashRing(range(4))
+        b = HashRing(range(4))
+        assert [a.shard_for(i) for i in range(500)] == [
+            b.shard_for(i) for i in range(500)
+        ]
+
+    def test_every_shard_gets_work(self):
+        ring = HashRing(range(4))
+        owners = {ring.shard_for(i) for i in range(500)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_growth_moves_keys_only_to_the_new_shard(self):
+        """The consistent-hash property: adding a shard steals ring
+        ranges; a key either keeps its owner or moves to the newcomer."""
+        before = HashRing(range(4))
+        after = HashRing(range(5))
+        moved = 0
+        for i in range(2000):
+            old, new = before.shard_for(i), after.shard_for(i)
+            if old != new:
+                assert new == 4, f"key {i} moved {old}->{new}, not to shard 4"
+                moved += 1
+        assert 0 < moved < 2000 * 0.5  # a minority moves, none rehash wildly
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(range(2), replicas=0)
+
+
+class TestClusterConstruction:
+    def test_needs_exactly_one_source(self):
+        pois = uniform_pois(50, SMALL_WORLD, seed=1)
+        tree = build_poi_tree(pois)
+        with pytest.raises(ValueError, match="exactly one"):
+            MPNCluster(2)
+        with pytest.raises(ValueError, match="exactly one"):
+            MPNCluster(2, lambda: as_space(tree), tree=tree)
+        with pytest.raises(ValueError):
+            MPNCluster(0, lambda: as_space(tree))
+
+    def test_factory_must_not_share_an_index(self):
+        space = as_space(build_poi_tree(uniform_pois(50, SMALL_WORLD, seed=1)))
+        with pytest.raises(ValueError, match="fresh space"):
+            MPNCluster(2, lambda: space)
+
+    def test_tree_source_replicates_per_shard(self):
+        tree = build_poi_tree(uniform_pois(80, SMALL_WORLD, seed=2))
+        cluster = MPNCluster(3, tree=tree)
+        spaces = [shard.space for shard in cluster.shards]
+        assert len({id(s.index) for s in spaces}) == 3
+        assert all(s.poi_count() == 80 for s in spaces)
+        # ... and none of them is the caller's tree.
+        assert all(s.index is not tree for s in spaces)
+
+
+class TestReplication:
+    def test_euclidean_replica_is_independent(self):
+        space = as_space(build_poi_tree(uniform_pois(60, SMALL_WORLD, seed=3)))
+        replica = replicate_space(space)
+        replica.bulk_update(adds=[(Point(1.0, 2.0), None)])
+        assert replica.poi_count() == 61
+        assert space.poi_count() == 60
+
+    def test_unsupported_space_raises(self):
+        class Opaque:
+            kind = "opaque"
+
+        with pytest.raises(TypeError, match="space_factory"):
+            replicate_space(Opaque())
+
+
+class TestRouting:
+    def test_sessions_land_on_their_hashed_shard(self, rng):
+        cluster = make_cluster()
+        for _ in range(12):
+            handle = cluster.open_session(random_users(rng, 2), circle_policy())
+            shard = cluster.shards[cluster.shard_for(handle.session_id)]
+            assert handle.session_id in shard.session_ids()
+        assert cluster.session_ids() == list(range(12))
+
+    def test_single_service_numbering(self, rng):
+        """Cluster ids are 0,1,2,... exactly like one MPNService."""
+        cluster = make_cluster()
+        ids = [
+            cluster.open_session(random_users(rng, 2), circle_policy()).session_id
+            for _ in range(6)
+        ]
+        assert ids == list(range(6))
+        cluster.close_session(3)
+        assert cluster.session_ids() == [0, 1, 2, 4, 5]
+        assert cluster.open_session(
+            random_users(rng, 2), circle_policy()
+        ).session_id == 6
+
+    def test_rejected_opens_consume_no_ids(self, rng):
+        """Numbering parity with a single service survives failed opens."""
+        from repro.simulation.policies import net_circle_policy, periodic_policy
+
+        cluster = make_cluster()
+        with pytest.raises(ValueError, match="at least one member"):
+            cluster.open_session([], circle_policy())
+        with pytest.raises(ValueError, match="periodic"):
+            cluster.open_session(random_users(rng, 2), periodic_policy())
+        with pytest.raises(UnknownSpaceError):
+            cluster.open_session(random_users(rng, 2), circle_policy(), space="nope")
+        with pytest.raises(ValueError, match="spaces"):
+            # net_circle on a euclidean default space: kind mismatch.
+            cluster.open_session(random_users(rng, 2), net_circle_policy())
+        # None of the rejections burned an id: the first successful
+        # open is session 0, exactly as on a fresh MPNService.
+        handle = cluster.open_session(random_users(rng, 2), circle_policy())
+        assert handle.session_id == 0
+        # An explicit-id collision doesn't burn the *next* id either.
+        with pytest.raises(ValueError, match="already in use"):
+            cluster.open_session(random_users(rng, 2), circle_policy(), session_id=0)
+        assert cluster.open_session(
+            random_users(rng, 2), circle_policy()
+        ).session_id == 1
+
+    def test_unknown_session_surfaces_from_the_owning_shard(self):
+        cluster = make_cluster()
+        with pytest.raises(UnknownSessionError):
+            cluster.report(99, 0, Point(1, 1))
+        with pytest.raises(UnknownSessionError):
+            cluster.close_session(99)
+        with pytest.raises(UnknownSessionError):
+            cluster.session_metrics(99)
+
+    def test_dispatch_routes_by_session(self, rng):
+        cluster = make_cluster()
+        handle = cluster.open_session(random_users(rng, 2), circle_policy())
+        response = cluster.dispatch(
+            ReportRequest(
+                handle.session_id, 0, MemberState(SMALL_WORLD.sample(rng))
+            )
+        )
+        assert response.session_id == handle.session_id
+        assert response.notification is not None
+
+
+class TestClusterValidation:
+    def test_report_many_is_all_or_nothing_across_shards(self, rng):
+        """A bad event on one shard leaves every other shard untouched."""
+        cluster = make_cluster(n_shards=3)
+        ids = [
+            cluster.open_session(random_users(rng, 2), circle_policy()).session_id
+            for _ in range(6)
+        ]
+        before_counters = [
+            cluster.session_metrics(sid).messages_total for sid in ids
+        ]
+        before_pos = [cluster.session(sid).po for sid in ids]
+        events = [
+            ReportEvent(sid, 0, MemberState(SMALL_WORLD.sample(rng)))
+            for sid in ids
+        ] + [ReportEvent(404, 0, MemberState(SMALL_WORLD.sample(rng)))]
+        with pytest.raises(UnknownSessionError):
+            cluster.report_many(events)
+        assert [
+            cluster.session_metrics(sid).messages_total for sid in ids
+        ] == before_counters
+        assert [cluster.session(sid).po for sid in ids] == before_pos
+
+    def test_live_spaces_are_rejected(self, rng):
+        cluster = make_cluster()
+        live = as_space(build_poi_tree(uniform_pois(30, SMALL_WORLD, seed=5)))
+        with pytest.raises(ValueError, match="per-shard replicas"):
+            cluster.open_session(random_users(rng, 2), circle_policy(), space=live)
+        with pytest.raises(ValueError, match="per-shard replicas"):
+            cluster.update_pois(adds=[(Point(1, 1), None)], space=live)
+
+
+class TestClusterSpaces:
+    def test_add_space_replicates_per_shard(self):
+        cluster = make_cluster(n_shards=3)
+        extra = as_space(build_poi_tree(uniform_pois(40, SMALL_WORLD, seed=7)))
+        cluster.add_space("venues", extra)
+        replicas = [shard.get_space("venues") for shard in cluster.shards]
+        assert len({id(r.index) for r in replicas}) == 3
+        assert all(r.index is not extra.index for r in replicas)
+        assert cluster.get_space("venues").poi_count() == 40
+        assert cluster.space_names() == ["default", "venues"]
+
+    def test_add_space_via_factory(self):
+        cluster = make_cluster(n_shards=2)
+        pois = uniform_pois(25, SMALL_WORLD, seed=8)
+        cluster.add_space("pods", lambda: as_space(build_poi_tree(pois)))
+        assert cluster.get_space("pods").poi_count() == 25
+
+    def test_add_space_factory_must_not_share(self):
+        cluster = make_cluster(n_shards=2)
+        shared = as_space(build_poi_tree(uniform_pois(25, SMALL_WORLD, seed=8)))
+        with pytest.raises(ValueError, match="fresh space"):
+            cluster.add_space("pods", lambda: shared)
+
+    def test_unknown_space_name(self):
+        cluster = make_cluster()
+        with pytest.raises(UnknownSpaceError):
+            cluster.get_space("nowhere")
+        with pytest.raises(UnknownSpaceError):
+            cluster.update_pois(adds=[(Point(1, 1), None)], space="nowhere")
+
+
+class TestServiceSpaceRegistry:
+    """The single-service half of the registry the cluster leans on."""
+
+    def test_duplicate_name_rejected(self):
+        service = MPNService(build_poi_tree(uniform_pois(30, SMALL_WORLD, seed=2)))
+        extra = as_space(build_poi_tree(uniform_pois(10, SMALL_WORLD, seed=3)))
+        service.add_space("venues", extra)
+        with pytest.raises(ValueError, match="already registered"):
+            service.add_space("venues", extra)
+        with pytest.raises(ValueError, match="already registered"):
+            service.add_space("default", extra)
+
+    def test_open_session_resolves_names(self, rng):
+        service = MPNService(build_poi_tree(uniform_pois(30, SMALL_WORLD, seed=2)))
+        extra = as_space(build_poi_tree(uniform_pois(50, SMALL_WORLD, seed=4)))
+        service.add_space("venues", extra)
+        handle = service.open_session(
+            random_users(rng, 2), circle_policy(), space="venues"
+        )
+        assert service.session(handle.session_id).space is extra
+        with pytest.raises(UnknownSpaceError):
+            service.open_session(
+                random_users(rng, 2), circle_policy(), space="nowhere"
+            )
+
+    def test_explicit_session_id(self, rng):
+        service = MPNService(build_poi_tree(uniform_pois(30, SMALL_WORLD, seed=2)))
+        handle = service.open_session(
+            random_users(rng, 2), circle_policy(), session_id=7
+        )
+        assert handle.session_id == 7
+        with pytest.raises(ValueError, match="already in use"):
+            service.open_session(random_users(rng, 2), circle_policy(), session_id=7)
+        # The counter jumps past explicit ids: no silent collisions later.
+        assert service.open_session(
+            random_users(rng, 2), circle_policy()
+        ).session_id == 8
+
+
+class TestRecomputeAndPerItemChurn:
+    def test_recompute_many_coalesces_across_shards(self, rng):
+        cluster = make_cluster(n_shards=3)
+        ids = [
+            cluster.open_session(random_users(rng, 2), circle_policy()).session_id
+            for _ in range(8)
+        ]
+        order = [ids[5], ids[1], ids[5], ids[7], ids[1]]
+        notifications = cluster.recompute_many(order, cause="refresh")
+        # Duplicates coalesce; results come back in first-occurrence order.
+        assert [n.session_id for n in notifications] == [ids[5], ids[1], ids[7]]
+        assert all(n.cause == "refresh" for n in notifications)
+        with pytest.raises(UnknownSessionError):
+            cluster.recompute_many([ids[0], 404])
+
+    def test_per_item_poi_updates(self, rng):
+        cluster = make_cluster(n_shards=2)
+        sid = cluster.open_session(random_users(rng, 2), circle_policy()).session_id
+        victim = cluster.session(sid).po
+        notified = cluster.remove_poi(victim)
+        assert [n.session_id for n in notified] == [sid]
+        fresh = cluster.session(sid).po
+        counts = {shard.space.poi_count() for shard in cluster.shards}
+        cluster.add_poi(Point(fresh.x + 0.5, fresh.y + 0.5))
+        assert {shard.space.poi_count() for shard in cluster.shards} == {
+            c + 1 for c in counts
+        }
+
+
+class TestClusterMetrics:
+    def test_merge_equals_sum_of_shards(self, rng):
+        cluster = make_cluster(n_shards=3)
+        ids = [
+            cluster.open_session(random_users(rng, 2), circle_policy()).session_id
+            for _ in range(9)
+        ]
+        cluster.report_many(
+            [
+                ReportEvent(sid, 0, MemberState(SMALL_WORLD.sample(rng)))
+                for sid in ids
+            ]
+        )
+        merged = cluster.metrics
+        assert merged.messages_total == sum(
+            m.messages_total for m in cluster.shard_metrics()
+        )
+        assert merged.update_events == sum(
+            m.update_events for m in cluster.shard_metrics()
+        )
+        assert merged.messages_total > 0
+
+    def test_update_pois_notifications_ascend(self, rng):
+        cluster = make_cluster(n_shards=4)
+        ids = [
+            cluster.open_session(random_users(rng, 3), circle_policy()).session_id
+            for _ in range(10)
+        ]
+        adds = [(cluster.session(sid).po, None) for sid in ids[:5]]
+        notifications = cluster.update_pois(
+            adds=[(Point(p.x + 1.0, p.y + 1.0), None) for p, _ in adds]
+        )
+        got = [n.session_id for n in notifications]
+        assert got == sorted(got)

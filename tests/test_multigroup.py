@@ -10,6 +10,10 @@ from repro.simulation.policies import circle_policy, tile_policy
 from repro.workloads.poi import build_poi_tree, uniform_pois
 from tests.conftest import SMALL_WORLD, random_users
 
+# The shim's DeprecationWarning is under test in
+# tests/test_shim_deprecation.py; here it is just noise.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 @pytest.fixture
 def server():

@@ -256,6 +256,7 @@ class TestPolicyUpdate:
             service.update_policy(handle.session_id, periodic_policy())
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestShims:
     def test_mpnserver_resolves_strategy_once(self, service):
         server = MPNServer(service.tree, circle_policy())

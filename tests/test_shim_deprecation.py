@@ -1,0 +1,46 @@
+"""The deprecated serving shims must say so out loud.
+
+``run_network_simulation`` has warned since the Space PR
+(``tests/test_network_shim_equivalence.py`` pins that); this file
+brings ``MPNServer`` and ``MultiGroupServer`` to parity — constructing
+either emits a ``DeprecationWarning`` pointing at
+:class:`repro.service.MPNService`, while the shims keep working.
+"""
+
+import pytest
+
+from repro.simulation import MPNServer, MultiGroupServer, circle_policy
+from repro.workloads.poi import build_poi_tree, uniform_pois
+from tests.conftest import SMALL_WORLD, random_users
+
+
+@pytest.fixture
+def tree():
+    return build_poi_tree(uniform_pois(120, SMALL_WORLD, seed=4))
+
+
+class TestShimDeprecation:
+    def test_mpnserver_warns_and_still_serves(self, tree, rng):
+        with pytest.warns(DeprecationWarning, match="MPNServer is deprecated"):
+            server = MPNServer(tree, circle_policy())
+        response = server.compute(random_users(rng, 2))
+        assert len(response.regions) == 2
+
+    def test_multigroup_server_warns_and_still_serves(self, tree, rng):
+        with pytest.warns(
+            DeprecationWarning, match="MultiGroupServer is deprecated"
+        ):
+            server = MultiGroupServer(tree)
+        gid = server.register_group(random_users(rng, 2), circle_policy())
+        assert gid in server.group_ids()
+
+    def test_mpnservice_does_not_warn(self, tree, rng):
+        """The replacement itself must stay warning-clean."""
+        import warnings
+
+        from repro.service import MPNService
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            service = MPNService(tree)
+            service.open_session(random_users(rng, 2), circle_policy())

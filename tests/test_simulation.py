@@ -61,6 +61,7 @@ class TestSimClient:
         assert client.theta is None
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestServer:
     def test_periodic_policy_rejected(self, small_dataset):
         with pytest.raises(ValueError):
