@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Record the gated churn benchmarks into ``BENCH_churn.json``.
+
+Runs ``benchmarks/test_micro_churn.py`` in full (multi-sample) mode,
+collects the self-measured timings the gate test consumes, and appends
+one perf-trajectory entry to ``BENCH_churn.json`` at the repo root.
+The file is a JSON list, newest entry last, so the delta-maintenance
+speedup can be tracked commit over commit.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/record_bench.py
+
+The run aborts — and records nothing — if any benchmark test fails,
+including the >= 3x Euclidean churn gate.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = Path(__file__).resolve().parent / "test_micro_churn.py"
+OUT_FILE = REPO_ROOT / "BENCH_churn.json"
+GATE_MIN_SPEEDUP = 3.0
+
+
+class _Collector:
+    """Grabs the benchmark module's RECORDED dict after the run."""
+
+    def __init__(self) -> None:
+        self.recorded: dict = {}
+        self.scale: dict = {}
+
+    def pytest_sessionfinish(self, session, exitstatus) -> None:
+        module = sys.modules.get("test_micro_churn")
+        if module is None:
+            return
+        self.recorded = module.RECORDED
+        self.scale = {
+            "n_pois": module.N_POIS,
+            "n_batches": module.N_BATCHES,
+            "batch": module.BATCH,
+            "net_grid": module.NET_GRID,
+            "net_pois": module.NET_POIS,
+        }
+
+
+def _git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def main() -> int:
+    collector = _Collector()
+    code = pytest.main(["-q", str(BENCH_FILE)], plugins=[collector])
+    if code != 0:
+        print("benchmark run failed; nothing recorded", file=sys.stderr)
+        return int(code)
+    recorded = collector.recorded
+    if not {"churn_euclidean", "churn_network"} <= set(recorded):
+        print("benchmark timings missing; nothing recorded", file=sys.stderr)
+        return 1
+
+    results = {}
+    for op in ("churn_euclidean", "churn_network"):
+        delta_s, samples = recorded[op]["delta"]
+        rebuild_s, _ = recorded[op]["rebuild"]
+        results[op] = {
+            "delta_seconds": delta_s,
+            "rebuild_seconds": rebuild_s,
+            "speedup": rebuild_s / delta_s,
+            "samples": samples,
+        }
+    cluster = recorded.get("cluster_churn", {}).get("epoch_over_rebuilds")
+    if cluster:
+        ratio, samples = cluster
+        results["cluster_churn"] = {
+            "epoch_over_rebuilds": ratio,
+            "speedup": 1.0 / ratio,
+            "samples": samples,
+        }
+
+    entry = {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "commit": _git_commit(),
+        "scale": collector.scale,
+        "results": results,
+        "gate": {
+            "churn_euclidean_min_speedup": GATE_MIN_SPEEDUP,
+            "passed": results["churn_euclidean"]["speedup"] >= GATE_MIN_SPEEDUP,
+        },
+    }
+
+    history = []
+    if OUT_FILE.exists():
+        history = json.loads(OUT_FILE.read_text())
+    history.append(entry)
+    OUT_FILE.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"recorded entry {len(history)} -> {OUT_FILE}")
+    for op, row in results.items():
+        print(f"  {op:<18} {row['speedup']:7.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

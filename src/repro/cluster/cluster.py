@@ -2,10 +2,10 @@
 
 :class:`MPNCluster` scales the serving API horizontally while keeping
 the paper's guarantees bit-exact.  It owns ``num_shards`` independent
-:class:`~repro.service.MPNService` workers, each with its **own
-replica** of every space's POI index (transport-honest state
-ownership: a shard could be lifted into its own process without
-changing a single answer), and implements the same API surface as a
+:class:`~repro.service.MPNService` workers which all serve the **same
+copy-on-write published space** (:class:`repro.space.SharedSpace`):
+the POI index is built once and epoch-shared, sessions and their
+metrics stay per-shard, and implements the same API surface as a
 single service:
 
 * the wire face — :meth:`dispatch` serves every
@@ -30,11 +30,15 @@ Routing and exactness
   intra-shard order preserved — each shard's sub-wave still flows
   through the PR-3 batched ``build_regions_batch`` kernels — and the
   per-event results are reassembled into request order.
-* **POI churn** (:meth:`update_pois`) fans every batch out to every
-  shard's replica of the targeted space; each shard runs its own
-  Lemma-1 invalidation over its own sessions, and the merged
+* **POI churn** (:meth:`update_pois`) applies every batch **once** at
+  the front door: the shared space's index absorbs it through its
+  delta layer (all-or-nothing — a bad removal raises before any shard
+  observes anything) and publishes a new epoch; each shard then runs
+  only its own Lemma-1 invalidation over its own sessions
+  (:meth:`~repro.service.MPNService.renotify_pois`), and the merged
   re-notifications come back in ascending session order — the same
   order a single service (whose session table is id-ordered) emits.
+  One batch costs one index update, not ``num_shards`` rebuilds.
 * **Metrics**: every counter is charged on exactly one shard, so the
   cluster-wide aggregate (:attr:`metrics`) is the plain merge of the
   shard aggregates and equals the single-service counters bit for bit
@@ -64,58 +68,59 @@ from repro.service.service import Member, MPNService
 from repro.service.session import Prober, ServiceSession
 from repro.simulation.metrics import SimulationMetrics
 from repro.simulation.policies import Policy
-from repro.space import Space, as_space, replicate_space
+from repro.space import (
+    Space,
+    SharedSpace,
+    as_space,
+    replicate_space,
+    share_space,
+)
 
 SpaceFactory = Callable[[], Space]
 
 
-def _build_replicas(
-    space: Union[Space, SpaceFactory], num_shards: int
-) -> list[Space]:
-    """One independent space per shard, from a factory or a live space.
+def _build_shared(space: Union[Space, SpaceFactory]) -> SharedSpace:
+    """One epoch-published space for every shard to serve.
 
-    A factory is called once per shard and must build a *fresh* space
-    each time; a live space is copied through
-    :func:`repro.space.replicate_space`.  Either way no two shards may
-    share an index — shared state is exactly what per-shard ownership
-    forbids.
+    A factory is called exactly once (the cluster no longer needs one
+    build per shard); a live space is copied once through
+    :func:`repro.space.replicate_space` so the caller's object stays
+    the caller's — churn routed around the front door can never
+    corrupt the serving state.  The result is wrapped in a
+    :class:`repro.space.SharedSpace` so every shard reads the same
+    published index epoch.
     """
     if callable(space) and not isinstance(space, Space):
-        replicas = [space() for _ in range(num_shards)]
-        if len({id(replica) for replica in replicas}) != num_shards:
-            raise ValueError(
-                "space factory must build a fresh space per call; "
-                "shards cannot share one index"
-            )
-        return replicas
-    return [replicate_space(space) for _ in range(num_shards)]
+        return share_space(space())
+    return share_space(replicate_space(space))
 
 
 def _require_space_ref(space: Union[None, str, Space]) -> Optional[str]:
     """Cluster space arguments must be ``None`` or a registered name.
 
-    A live space object would name *one* shard's replica (or none),
-    which is exactly the ambiguity the per-shard ownership model
-    forbids.
+    A live space object is not a cluster-wide reference — the shards
+    serve epoch-published copies owned by the cluster, and wire
+    envelopes cannot carry live objects either.
     """
     if space is None or isinstance(space, str):
         return space
     raise ValueError(
-        "cluster spaces are per-shard replicas; register the space by name "
-        "(add_space) and reference it by that name"
+        "cluster spaces are epoch-shared publications; register the space "
+        "by name (add_space) and reference it by that name"
     )
 
 
 class MPNCluster:
     """A sharded, answer-preserving ``ServiceBackend``.
 
-    ``space_factory`` builds one independent default space per shard
-    (call it ``num_shards`` times and the copies must be identical —
+    ``space_factory`` builds the default space (called exactly once —
     e.g. ``lambda: as_space(build_poi_tree(points))``).  Alternatively
-    pass ``tree=`` (a space or bare index) and the cluster replicates
-    it per shard via :func:`repro.space.replicate_space`.  ``batched``
-    selects each shard's fleet execution path, exactly as on
-    :class:`~repro.service.MPNService`.
+    pass ``tree=`` (a space or bare index) and the cluster takes one
+    defensive copy via :func:`repro.space.replicate_space`.  Either
+    way the result is published to every shard as one epoch-shared
+    :class:`repro.space.SharedSpace` — the index is built once, not
+    per shard.  ``batched`` selects each shard's fleet execution path,
+    exactly as on :class:`~repro.service.MPNService`.
     """
 
     def __init__(
@@ -132,12 +137,11 @@ class MPNCluster:
         if (space_factory is None) == (tree is None):
             raise ValueError("pass exactly one of space_factory / tree")
         self.batched = batched
-        spaces = _build_replicas(
-            space_factory if space_factory is not None else as_space(tree),
-            num_shards,
+        shared = _build_shared(
+            space_factory if space_factory is not None else as_space(tree)
         )
         self._shards = tuple(
-            MPNService(space, batched=batched) for space in spaces
+            MPNService(shared, batched=batched) for _ in range(num_shards)
         )
         self._ring = HashRing(range(num_shards), replicas=ring_replicas)
         self._next_id = 0
@@ -163,36 +167,35 @@ class MPNCluster:
         return self._shards[self._ring.shard_for(session_id)]
 
     # ------------------------------------------------------------------
-    # Spaces (per-shard replicas, referenced by name)
+    # Spaces (epoch-shared publications, referenced by name)
     # ------------------------------------------------------------------
 
     @property
     def space(self) -> Space:
-        """Shard 0's default-space replica — a read view for checks.
+        """The cluster's epoch-shared default space.
 
-        All replicas hold the same POI set (churn fans out to every
-        one), so any shard's copy answers exactness queries for the
-        whole cluster.
+        Every shard serves this same published space, so it answers
+        exactness queries for the whole cluster.
         """
         return self._shards[0].space
 
     def add_space(
         self, name: str, space: Union[Space, SpaceFactory]
     ) -> None:
-        """Register a named space on every shard, one replica each.
+        """Register a named space, epoch-shared across every shard.
 
-        ``space`` is either a factory (called once per shard) or a
-        replicable live space (:func:`repro.space.replicate_space` is
-        applied per shard; the original object stays the caller's and
-        is never mutated by the cluster).
+        ``space`` is either a factory (called exactly once) or a
+        replicable live space (:func:`repro.space.replicate_space`
+        copies it once; the original object stays the caller's and is
+        never mutated by the cluster).  All shards register the same
+        :class:`repro.space.SharedSpace` publication.
         """
-        for shard, replica in zip(
-            self._shards, _build_replicas(space, self.num_shards)
-        ):
-            shard.add_space(name, replica)
+        shared = _build_shared(space)
+        for shard in self._shards:
+            shard.add_space(name, shared)
 
     def get_space(self, name: str = "default") -> Space:
-        """Shard 0's replica of the named space (a read view)."""
+        """The cluster's epoch-shared publication of the named space."""
         if name == "default":
             return self.space
         return self._shards[0].get_space(name)
@@ -368,18 +371,24 @@ class MPNCluster:
         removes: Sequence[tuple[Point, object]] = (),
         space: Union[None, str, Space] = None,
     ) -> list[Notification]:
-        """Fan one churn batch out to every shard's replica.
+        """Apply one churn batch once, then re-notify every shard.
 
-        Each shard applies the identical batch to its own copy of the
-        named space's index and re-notifies its own Lemma-1-invalidated
-        sessions; the merged notifications come back in ascending
-        session order — the order a single service emits.
+        The batch hits the epoch-shared space's index exactly once at
+        the front door — the index's delta layer validates the whole
+        batch before mutating, so a bad removal raises here and no
+        shard ever observes a partial batch — and publishes one new
+        epoch.  Each shard then runs only its own Lemma-1 invalidation
+        sweep (:meth:`~repro.service.MPNService.renotify_pois`); the
+        merged notifications come back in ascending session order —
+        the order a single service emits.
         """
         _require_space_ref(space)
+        target = self._shards[0]._resolve_space(space)
+        target.bulk_update(adds, removes)
         notifications: list[Notification] = []
         for shard in self._shards:
             notifications.extend(
-                shard.update_pois(adds=adds, removes=removes, space=space)
+                shard.renotify_pois(adds=adds, removes=removes, space=space)
             )
         notifications.sort(key=lambda n: n.session_id)
         return notifications

@@ -14,13 +14,40 @@ same STR-packed tree in contiguous NumPy arrays instead:
   level's arrays.
 
 Every query — knn, range, circle range, aggregate GNN, candidate
-pruning — runs through the two shared kernels of
+pruning — runs through the shared kernels of
 :mod:`repro.index.kernels`, which score or mask whole sibling sets per
-NumPy call.  The tree is static-optimized: :meth:`insert` and
-:meth:`delete` are supported for API parity with the object backend
-but rebuild the packing (O(n log n)); workloads with heavy churn
-should prefer ``backend="object"`` via the factory in
-:mod:`repro.index.backend`.
+NumPy call.
+
+Delta maintenance
+-----------------
+
+The packing is static, but the POI set is not: production churn is
+small batches at high frequency, and repacking 50k points per batch is
+the wrong cost model.  Mutations therefore flow through a **delta
+layer** over the packed epoch:
+
+* deletions set a bit in a **tombstone mask** over the packed point
+  array (the packing, its MBRs and its entry cache stay untouched —
+  MBRs over a superset remain valid lower bounds);
+* insertions land in a **buffered side arena** of unpacked points,
+  scored brute-force by every kernel (the arena is small by
+  construction, see below);
+* every query answers over ``packed ∪ buffer − tombstones`` — the
+  kernels take the live view from :meth:`delta_view`;
+* when the delta debt (tombstones + arena entries) exceeds
+  ``delta_fraction`` of the live size, :meth:`repack` folds the deltas
+  into a fresh STR packing — so the arena stays a bounded fraction of
+  the data and the O(n log n) rebuild is paid at amortized O(log n)
+  per mutation, not per batch.
+
+Per-item :meth:`insert` / :meth:`delete` route through the same deltas
+(they are one-element batches), so nothing rebuilds O(n) for a single
+point.  ``delta_fraction=0.0`` forces a repack after every batch —
+the rebuild-per-batch behavior this layer replaces, kept reachable as
+the baseline for the churn benchmarks.  Removal batches resolve
+against an incrementally-maintained point -> live-ids map (the shared
+:func:`repro.index.rtree.resolve_removals_indexed` contract), so a
+small batch costs O(batch), not O(n).
 """
 
 from __future__ import annotations
@@ -34,9 +61,15 @@ import numpy as np
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.index import kernels
-from repro.index.rtree import Entry, resolve_removals
+from repro.index.rtree import Entry, resolve_removals_indexed
 
 DEFAULT_FLAT_MAX_ENTRIES = 64
+
+# Repack once deltas exceed this fraction of the live set.  1/4 keeps
+# the brute-force arena small relative to the packed epoch (queries
+# stay tree-shaped) while amortizing each O(n log n) repack over
+# ~n/4 mutations.
+DEFAULT_DELTA_FRACTION = 0.25
 
 
 class _Level:
@@ -91,19 +124,53 @@ def _str_partition(
 
 
 class FlatRTree:
-    """STR-packed R-tree over points with implicit array-backed nodes."""
+    """STR-packed R-tree over points with a tombstone/arena delta layer.
+
+    Point ids are positions in the packed array (``0 .. n_packed-1``,
+    tombstoned ids never surface from a query) followed by arena slots
+    (``n_packed ..``).  ``delta_fraction`` tunes the repack policy —
+    smaller folds deltas sooner (0.0 = repack every batch, the
+    rebuild-per-batch baseline), larger lets the arena grow.
+    """
 
     backend_name = "flat"
 
-    def __init__(self, max_entries: int = DEFAULT_FLAT_MAX_ENTRIES):
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_FLAT_MAX_ENTRIES,
+        delta_fraction: float = DEFAULT_DELTA_FRACTION,
+    ):
         if max_entries < 4:
             raise ValueError("max_entries must be >= 4")
+        if delta_fraction < 0.0:
+            raise ValueError("delta_fraction must be >= 0")
         self.max_entries = max_entries
+        self.delta_fraction = delta_fraction
+        # Maintenance counters: full STR packings (builds) vs delta
+        # batches absorbed without one.  The churn benchmarks and the
+        # cluster's one-publish-per-batch gate read these.
+        self.build_count = 0
+        self.delta_batches = 0
         self._pts = np.empty((0, 2), dtype=np.float64)
         self._payloads: list[Any] = []
         self._levels: list[_Level] = []
+        self._reset_deltas()
         self._entry_cache: Optional[list[Entry]] = None
         self._pt_cols: Optional[tuple[np.ndarray, np.ndarray]] = None
+
+    def _reset_deltas(self) -> None:
+        self._tomb = np.zeros(len(self._pts), dtype=bool)
+        self._n_dead = 0
+        self._buf_xy: list[tuple[float, float]] = []
+        self._buf_payloads: list[Any] = []
+        self._buf_alive: list[bool] = []
+        self._n_buf_dead = 0
+        # Point -> live ids (packed then arena, insertion order); built
+        # lazily on the first removal, maintained incrementally after.
+        self._live_map: Optional[dict[Point, list[int]]] = None
+        self._delta_cache: Optional[
+            tuple[Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray]]
+        ] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -115,8 +182,9 @@ class FlatRTree:
         points: Sequence[Point],
         payloads: Optional[Sequence[Any]] = None,
         max_entries: int = DEFAULT_FLAT_MAX_ENTRIES,
+        delta_fraction: float = DEFAULT_DELTA_FRACTION,
     ) -> "FlatRTree":
-        tree = cls(max_entries=max_entries)
+        tree = cls(max_entries=max_entries, delta_fraction=delta_fraction)
         if payloads is None:
             payloads = list(range(len(points)))
         elif len(payloads) != len(points):
@@ -129,11 +197,13 @@ class FlatRTree:
     def _rebuild(self, pts: np.ndarray, payloads: list[Any]) -> None:
         self._entry_cache = None
         self._pt_cols = None
+        self.build_count += 1
         n = len(pts)
         if n == 0:
             self._pts = np.empty((0, 2), dtype=np.float64)
             self._payloads = []
             self._levels = []
+            self._reset_deltas()
             return
         cap = self.max_entries
         order, bnd = _str_partition(pts[:, 0], pts[:, 1], cap)
@@ -166,87 +236,212 @@ class FlatRTree:
             pb[:, 2] = np.maximum.reduceat(low.bounds[:, 2], starts)
             pb[:, 3] = np.maximum.reduceat(low.bounds[:, 3], starts)
             self._levels.append(_Level(pb, starts, counts))
+        self._reset_deltas()
 
     # ------------------------------------------------------------------
-    # Dynamic maintenance (rebuild-based)
+    # Dynamic maintenance (delta-based)
     # ------------------------------------------------------------------
 
     def insert(self, point: Point, payload: Any = None) -> None:
-        pts = np.vstack([self._pts, [[point.x, point.y]]])
-        self._rebuild(pts, self._payloads + [payload])
+        """Buffer one insertion (a one-element delta batch)."""
+        self.bulk_update(adds=[(point, payload)])
 
     def delete(self, point: Point, payload: Any = None) -> bool:
-        """Remove one entry matching ``point`` (and ``payload`` if given)."""
-        victim = self._find(point, payload)
-        if victim is None:
+        """Tombstone one entry matching ``point`` (and ``payload``)."""
+        try:
+            self.bulk_update(removes=[(point, payload)])
+        except KeyError:
             return False
-        pts = np.delete(self._pts, victim, axis=0)
-        payloads = self._payloads[:victim] + self._payloads[victim + 1 :]
-        self._rebuild(pts, payloads)
         return True
-
-    def _find(self, point: Point, payload: Any) -> Optional[int]:
-        hits = np.flatnonzero(
-            (self._pts[:, 0] == point.x) & (self._pts[:, 1] == point.y)
-        )
-        for i in hits.tolist():
-            if payload is None or self._payloads[i] == payload:
-                return i
-        return None
 
     def bulk_update(
         self,
         adds: Sequence[tuple[Point, Any]] = (),
         removes: Sequence[tuple[Point, Any]] = (),
     ) -> None:
-        """Apply many inserts and deletes with ONE repacking rebuild.
+        """Apply a batch of inserts and deletes through the delta layer.
 
-        This is the churn-friendly path for this backend: per-item
-        :meth:`insert` / :meth:`delete` each rebuild the whole packing,
-        a batch pays that cost once.  ``removes`` pairs a point with a
-        payload (None matches any); all removals are resolved (shared
-        :func:`repro.index.rtree.resolve_removals` contract) before
-        anything mutates, so a ``KeyError`` for a missing entry leaves
-        the tree untouched.
+        Removals tombstone packed (or arena) slots and insertions land
+        in the arena; the packed epoch is untouched until the delta
+        debt crosses the :meth:`repack` threshold.  All removals are
+        resolved (shared :func:`repro.index.rtree.resolve_removals_indexed`
+        contract) before anything mutates, so a ``KeyError`` for a
+        missing entry leaves the index untouched.
         """
-        snapshot = [(e.point, e.payload) for e in self._materialized()]
-        dead = set(resolve_removals(snapshot, removes))
-        keep = [i for i in range(len(self._pts)) if i not in dead]
-        new_pts = [self._pts[keep]] if keep else []
-        new_payloads = [self._payloads[i] for i in keep]
-        if adds:
-            new_pts.append(
-                np.asarray([[p.x, p.y] for p, _ in adds], dtype=np.float64)
-            )
-            new_payloads.extend(pl for _, pl in adds)
-        pts = (
-            np.vstack(new_pts) if new_pts else np.empty((0, 2), dtype=np.float64)
+        victims = self._resolve_live_removals(removes)
+        n_packed = len(self._pts)
+        for i in victims:
+            if i < n_packed:
+                self._tomb[i] = True
+                self._n_dead += 1
+            else:
+                self._buf_alive[i - n_packed] = False
+                self._n_buf_dead += 1
+            self._drop_from_live_map(i)
+        for point, payload in adds:
+            slot = n_packed + len(self._buf_xy)
+            self._buf_xy.append((point.x, point.y))
+            self._buf_payloads.append(payload)
+            self._buf_alive.append(True)
+            if self._live_map is not None:
+                self._live_map.setdefault(point, []).append(slot)
+            if self._entry_cache is not None:
+                self._entry_cache.append(Entry(point, payload))
+        self._delta_cache = None
+        self.delta_batches += 1
+        self._maybe_repack()
+
+    def repack(self) -> None:
+        """Fold all deltas into a fresh STR packing (O(n log n))."""
+        keep = ~self._tomb
+        parts = [self._pts[keep]]
+        payloads = [
+            pl for pl, alive in zip(self._payloads, keep.tolist()) if alive
+        ]
+        live_buf = [
+            xy for xy, alive in zip(self._buf_xy, self._buf_alive) if alive
+        ]
+        if live_buf:
+            parts.append(np.asarray(live_buf, dtype=np.float64))
+        payloads.extend(
+            pl for pl, alive in zip(self._buf_payloads, self._buf_alive) if alive
         )
-        self._rebuild(pts, new_payloads)
+        self._rebuild(np.vstack(parts), payloads)
+
+    def _maybe_repack(self) -> None:
+        deltas = self._n_dead + len(self._buf_xy)
+        if deltas and deltas > self.delta_fraction * max(len(self), 1):
+            self.repack()
+
+    def delta_view(
+        self,
+    ) -> tuple[Optional[np.ndarray], Optional[np.ndarray], Optional[np.ndarray]]:
+        """The kernels' live view: ``(alive_mask, arena_pts, arena_ids)``.
+
+        ``alive_mask`` is a bool array over the packed points, or
+        ``None`` when nothing is tombstoned (the fast path skips the
+        gather); ``arena_pts`` / ``arena_ids`` are the live buffered
+        points and their absolute ids, or ``None`` when the arena is
+        empty.  Cached until the next delta batch.
+        """
+        if self._delta_cache is None:
+            alive = None if self._n_dead == 0 else ~self._tomb
+            buf_pts = buf_ids = None
+            if len(self._buf_xy) > self._n_buf_dead:
+                n_packed = len(self._pts)
+                ids = [
+                    n_packed + j
+                    for j, ok in enumerate(self._buf_alive)
+                    if ok
+                ]
+                buf_ids = np.asarray(ids, dtype=np.int64)
+                buf_pts = np.asarray(
+                    [self._buf_xy[i - n_packed] for i in ids], dtype=np.float64
+                )
+            self._delta_cache = (alive, buf_pts, buf_ids)
+        return self._delta_cache
+
+    def delta_debt(self) -> int:
+        """Tombstones + arena slots — what the next repack would fold."""
+        return self._n_dead + len(self._buf_xy)
+
+    def _payload_of(self, i: int) -> Any:
+        n_packed = len(self._pts)
+        if i < n_packed:
+            return self._payloads[i]
+        return self._buf_payloads[i - n_packed]
+
+    def _ensure_live_map(self) -> dict[Point, list[int]]:
+        if self._live_map is None:
+            cache = self._materialized()
+            live_map: dict[Point, list[int]] = {}
+            for i in self._live_ids():
+                live_map.setdefault(cache[i].point, []).append(i)
+            self._live_map = live_map
+        return self._live_map
+
+    def _drop_from_live_map(self, i: int) -> None:
+        if self._live_map is None:
+            return
+        entry = self._materialized()[i]
+        ids = self._live_map.get(entry.point)
+        if ids is not None:
+            ids.remove(i)
+            if not ids:
+                del self._live_map[entry.point]
+
+    def _resolve_live_removals(
+        self, removes: Sequence[tuple[Point, Any]]
+    ) -> list[int]:
+        if not removes:
+            return []
+        live = self._ensure_live_map()
+        return resolve_removals_indexed(
+            lambda p: list(live.get(p, ())), self._payload_of, removes
+        )
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._pts)
+        return (
+            len(self._pts)
+            - self._n_dead
+            + len(self._buf_xy)
+            - self._n_buf_dead
+        )
 
     def _materialized(self) -> list[Entry]:
-        """Entry objects for every packed point, built once per packing.
+        """Entry objects for every id slot (packed + arena, dead included).
 
         Queries return a handful of entries out of tens of thousands of
-        points; materializing the whole set lazily (and only once) keeps
-        the per-query cost at list indexing instead of object churn.
+        points; materializing the whole set lazily (and only once per
+        packing) keeps the per-query cost at list indexing instead of
+        object churn.  The cache is id-aligned and *incremental*:
+        tombstones leave it untouched and arena appends extend it, so
+        churn batches never invalidate it — only a repack does.
         """
         if self._entry_cache is None:
             self._entry_cache = [
                 Entry(Point(x, y), pl)
                 for (x, y), pl in zip(self._pts.tolist(), self._payloads)
             ]
+            self._entry_cache.extend(
+                Entry(Point(x, y), pl)
+                for (x, y), pl in zip(self._buf_xy, self._buf_payloads)
+            )
         return self._entry_cache
 
     def _entry(self, i: int) -> Entry:
         return self._materialized()[i]
+
+    def _live_ids(self) -> list[int]:
+        """Live id slots, packed (tree) order then arena order."""
+        n_packed = len(self._pts)
+        ids: list[int] = (
+            np.flatnonzero(~self._tomb).tolist()
+            if self._n_dead
+            else list(range(n_packed))
+        )
+        ids.extend(
+            n_packed + j for j, ok in enumerate(self._buf_alive) if ok
+        )
+        return ids
+
+    def _coords(self, idx: np.ndarray) -> np.ndarray:
+        """``(len(idx), 2)`` coordinates for mixed packed/arena ids."""
+        n_packed = len(self._pts)
+        if not len(self._buf_xy) or (idx < n_packed).all():
+            return self._pts[idx]
+        out = np.empty((len(idx), 2), dtype=np.float64)
+        packed = idx < n_packed
+        out[packed] = self._pts[idx[packed]]
+        out[~packed] = np.asarray(
+            [self._buf_xy[i - n_packed] for i in idx[~packed].tolist()],
+            dtype=np.float64,
+        )
+        return out
 
     def point_columns(self) -> tuple[np.ndarray, np.ndarray]:
         """``(xs, ys)`` of the packed points as contiguous 1-D arrays."""
@@ -258,21 +453,21 @@ class FlatRTree:
         return self._pt_cols
 
     def entries(self) -> Iterator[Entry]:
-        """All leaf entries, in packed (tree) order."""
-        return iter(self._materialized())
+        """All live leaf entries, packed (tree) order then arena order."""
+        cache = self._materialized()
+        return (cache[i] for i in self._live_ids())
 
     def points(self) -> list[Point]:
-        return [e.point for e in self._materialized()]
+        return [e.point for e in self.entries()]
 
     def height(self) -> int:
         return max(1, len(self._levels))
 
     def validate(self) -> None:
-        """Check packing invariants; raises AssertionError on breach."""
+        """Check packing + delta invariants; raises AssertionError on breach."""
         if not self._levels:
             if len(self._pts) != 0:
                 raise AssertionError("points without levels")
-            return
         for li, lvl in enumerate(self._levels):
             below_n = len(self._pts) if li == 0 else len(self._levels[li - 1])
             covered = 0
@@ -295,17 +490,31 @@ class FlatRTree:
                     raise AssertionError(f"child escapes MBR at level {li}")
             if covered != below_n:
                 raise AssertionError(f"level {li} does not cover the level below")
-        if len(self._levels[-1]) != 1:
+        if self._levels and len(self._levels[-1]) != 1:
             raise AssertionError("top level must hold exactly the root")
         if len(self._payloads) != len(self._pts):
             raise AssertionError("payloads out of sync with points")
+        if len(self._tomb) != len(self._pts):
+            raise AssertionError("tombstone mask out of sync with points")
+        if self._n_dead != int(self._tomb.sum()):
+            raise AssertionError("tombstone count out of sync with mask")
+        if not (
+            len(self._buf_xy) == len(self._buf_payloads) == len(self._buf_alive)
+        ):
+            raise AssertionError("arena arrays out of sync")
+        if self._n_buf_dead != self._buf_alive.count(False):
+            raise AssertionError("arena tombstone count out of sync")
+        if self._live_map is not None:
+            mapped = sorted(i for ids in self._live_map.values() for i in ids)
+            if mapped != sorted(self._live_ids()):
+                raise AssertionError("live map out of sync with live ids")
 
     # ------------------------------------------------------------------
     # Nearest-neighbor and range primitives
     # ------------------------------------------------------------------
 
     def incremental_nearest(self, query: Point) -> Iterator[Entry]:
-        """Leaf entries in increasing distance from ``query``.
+        """Live leaf entries in increasing distance from ``query``.
 
         Scored in squared-distance space — the ordering is identical
         and no square root is ever taken.
@@ -356,7 +565,7 @@ class FlatRTree:
         ]
 
     def range_query(self, window: Rect) -> list[Entry]:
-        """All entries whose point lies inside ``window``."""
+        """All live entries whose point lies inside ``window``."""
         idx = kernels.pruned_scan(
             self,
             lambda b: ~(
@@ -376,7 +585,7 @@ class FlatRTree:
         return [cache[i] for i in idx.tolist()]
 
     def circle_range_query(self, center: Point, radius: float) -> list[Entry]:
-        """All entries within ``radius`` of ``center``."""
+        """All live entries within ``radius`` of ``center``."""
         cx, cy = center.x, center.y
         idx = kernels.pruned_scan(
             self,
@@ -495,14 +704,14 @@ class FlatRTree:
         return self._points_excluding(idx, exclude)
 
     def scan(self, exclude: Optional[Point] = None, stats=None) -> list[Point]:
-        """All points (minus ``exclude``) via a full counted traversal."""
+        """All live points (minus ``exclude``) via a counted traversal."""
         ones = lambda a: np.ones(len(a), dtype=bool)
         idx = kernels.pruned_scan(self, ones, ones, stats)
         return self._points_excluding(idx, exclude)
 
     def _points_excluding(self, idx: np.ndarray, exclude: Optional[Point]) -> list[Point]:
         if exclude is not None and idx.size:
-            rows = self._pts[idx]
+            rows = self._coords(idx)
             keep = ~((rows[:, 0] == exclude.x) & (rows[:, 1] == exclude.y))
             idx = idx[keep]
         cache = self._materialized()

@@ -14,6 +14,16 @@ The node layout these kernels consume is documented in
 ``[x_lo, y_lo, x_hi, y_hi]`` and each node's children occupy the
 contiguous range ``start[i] : start[i] + count[i]`` of the level below
 (leaf nodes range over the packed point array instead).
+
+Every kernel answers over the tree's **live view** — packed points
+minus tombstones, plus the buffered-insert arena — taken from
+``tree.delta_view()``.  Tombstoned points are filtered at the moment
+leaf ids materialize (node MBRs over a superset stay valid lower
+bounds, so the traversal itself needs no change); arena points are
+scored brute-force alongside, with the exact same float operations as
+their packed counterparts so delta-state answers are bit-identical to
+a fresh-rebuilt index.  When the view reports no deltas the kernels
+run their original slice-based fast paths untouched.
 """
 
 from __future__ import annotations
@@ -134,16 +144,37 @@ def best_first(tree, node_bound: BoundFn, point_score: ScoreFn) -> Iterator[tupl
     items therefore costs one scoring call and one push, plus one
     push/pop per item the search actually reaches, not w pushes up
     front.
+
+    Deltas: the arena enters the queue as one more pre-scored cursor
+    (so buffered points interleave with packed ones in exact score
+    order), and tombstoned ids are dropped when a leaf's points are
+    scored — dead points are never scored, so a full enumeration ends
+    after exactly the live points.
     """
     levels = tree._levels
-    if not levels:
-        return
-    top = len(levels) - 1
+    alive, buf_pts, buf_ids = tree.delta_view()
     counter = itertools.count()  # tie-breaker: heap never compares cursors
-    root_bound = float(node_bound(levels[top].bounds[0:1])[0])
     # Heap items: (score, seq, cursor_level, scores, ids, pos) where
     # ids[pos:] are unconsumed nodes of that level (_POINTS: points).
-    heap: list = [(root_bound, next(counter), top, [root_bound], [0], 0)]
+    heap: list = []
+    if levels:
+        top = len(levels) - 1
+        root_bound = float(node_bound(levels[top].bounds[0:1])[0])
+        heap.append((root_bound, next(counter), top, [root_bound], [0], 0))
+    if buf_pts is not None:
+        sc = point_score(buf_pts)
+        order = np.argsort(sc, kind="stable")
+        heap.append(
+            (
+                float(sc[order[0]]),
+                next(counter),
+                _POINTS,
+                sc[order].tolist(),
+                buf_ids[order].tolist(),
+                0,
+            )
+        )
+    heapq.heapify(heap)
     while heap:
         score, _, clevel, scores, ids, pos = heapq.heappop(heap)
         if pos + 1 < len(ids):  # re-arm the cursor for its next item
@@ -158,12 +189,24 @@ def best_first(tree, node_bound: BoundFn, point_score: ScoreFn) -> Iterator[tupl
         start = int(lvl.start[idx])
         stop = start + int(lvl.count[idx])
         if clevel == 0:
-            sc = point_score(tree._pts[start:stop])
+            if alive is not None:
+                pts_ids = np.arange(start, stop, dtype=np.int64)
+                pts_ids = pts_ids[alive[start:stop]]
+                if pts_ids.size == 0:
+                    continue  # fully tombstoned leaf: nothing to push
+                sc = point_score(tree._pts[pts_ids])
+            else:
+                pts_ids = None
+                sc = point_score(tree._pts[start:stop])
             child_level = _POINTS
         else:
+            pts_ids = None
             sc = node_bound(levels[clevel - 1].bounds[start:stop])
             child_level = clevel - 1
         order = np.argsort(sc, kind="stable")
+        child_ids = (
+            (start + order).tolist() if pts_ids is None else pts_ids[order].tolist()
+        )
         heapq.heappush(
             heap,
             (
@@ -171,25 +214,27 @@ def best_first(tree, node_bound: BoundFn, point_score: ScoreFn) -> Iterator[tupl
                 next(counter),
                 child_level,
                 sc[order].tolist(),
-                (start + order).tolist(),
+                child_ids,
                 0,
             ),
         )
 
 
 def _scorers(tree, U: np.ndarray, agg: str):
-    """Build the four scoring closures ``gnn_batch`` traverses with.
+    """Build the five scoring closures ``gnn_batch`` traverses with.
 
     ``block_*`` score a per-group gathered block of node ids / point
     ids shaped ``(g, cap)``; ``pair_*`` score flat (group, node/point)
-    pair arrays, where ``gidx`` maps each row to its group.  All four
-    gather from the level/point *column* arrays (contiguous 1-D), which
-    beats row gathers of the packed 2-D layouts.  Single-user MAX
-    groups (plain k-NN) skip the per-user axis and its reductions
-    entirely and score in squared space; returns ``(block_bounds,
-    block_points, pair_bounds, pair_points, out_sqrt)`` with
-    ``out_sqrt`` telling the caller whether final scores still need the
-    square root.
+    pair arrays, where ``gidx`` maps each row to its group;
+    ``buffer_points`` scores the arena's ``(nb, 2)`` point array
+    against every group at once, shape ``(g, nb)``.  The packed
+    closures gather from the level/point *column* arrays (contiguous
+    1-D), which beats row gathers of the packed 2-D layouts.
+    Single-user MAX groups (plain k-NN) skip the per-user axis and its
+    reductions entirely and score in squared space; returns
+    ``(block_bounds, block_points, pair_bounds, pair_points,
+    buffer_points, out_sqrt)`` with ``out_sqrt`` telling the caller
+    whether final scores still need the square root.
 
     Rounding parity: SUM scores use ``np.hypot`` exactly like the
     scalar traversal's ``min_dists_multi`` / ``point_dists_multi``, so
@@ -197,7 +242,9 @@ def _scorers(tree, U: np.ndarray, agg: str):
     equivalent (the batched-service equivalence suite relies on this);
     MAX scores stay in squared space on both paths and take one
     correctly-rounded square root at the end, which is likewise
-    bit-identical.
+    bit-identical.  ``buffer_points`` repeats the packed point float
+    ops verbatim, so arena and packed copies of the same point always
+    score identically.
     """
     g, m, _ = U.shape
     squared = agg == "max"  # max is monotone under squaring; sum is not
@@ -232,7 +279,12 @@ def _scorers(tree, U: np.ndarray, agg: str):
             dy = ys[nid] - qy[gidx]
             return dx * dx + dy * dy
 
-        return block_bounds, block_points, pair_bounds, pair_points, True
+        def buffer_points(bpts: np.ndarray) -> np.ndarray:
+            dx = bpts[:, 0][None, :] - qx[:, None]
+            dy = bpts[:, 1][None, :] - qy[:, None]
+            return dx * dx + dy * dy
+
+        return block_bounds, block_points, pair_bounds, pair_points, buffer_points, True
 
     qxm = np.ascontiguousarray(U[:, :, 0])  # (g, m)
     qym = np.ascontiguousarray(U[:, :, 1])
@@ -283,7 +335,15 @@ def _scorers(tree, U: np.ndarray, agg: str):
             return d.max(axis=1)
         return np.hypot(dx, dy).sum(axis=1)
 
-    return block_bounds, block_points, pair_bounds, pair_points, squared
+    def buffer_points(bpts: np.ndarray) -> np.ndarray:
+        dx = bpts[:, 0][None, None, :] - ux3  # (g, m, nb)
+        dy = bpts[:, 1][None, None, :] - uy3
+        if squared:
+            d = dx * dx + dy * dy
+            return d.max(axis=1)
+        return np.hypot(dx, dy).sum(axis=1)
+
+    return block_bounds, block_points, pair_bounds, pair_points, buffer_points, squared
 
 
 def gnn_batch(
@@ -295,24 +355,32 @@ def gnn_batch(
     k-NN is the ``m = 1`` case).  Strategy: (1) greedy batched descent
     from the root, each group following its minimum-lower-bound child,
     lands every group on its most promising *seed leaf*; (2) the k-th
-    best aggregate distance among the seed leaf's points upper-bounds
-    the true k-th best; (3) a frontier of (group, node) pairs descends
-    from the root again, dropping every pair whose lower bound exceeds
-    the group's bound, and the surviving leaves' points are scored and
-    segment-selected to the top k per group.  All three phases cost a
-    constant number of NumPy calls per tree level, independent of g.
-    Returns ``(scores, ids)`` of shape ``(g, k)``, or None when a
-    precondition fails (k exceeds a seed leaf; caller falls back to
-    the incremental search).
+    best aggregate distance over the seed leaf's live points plus the
+    whole arena upper-bounds the true k-th best; (3) a frontier of
+    (group, node) pairs descends from the root again, dropping every
+    pair whose lower bound exceeds the group's bound, and the
+    surviving leaves' live points — joined by the arena points under
+    the bound — are scored and segment-selected to the top k per
+    group.  All three phases cost a constant number of NumPy calls per
+    tree level, independent of g.  Returns ``(scores, ids)`` of shape
+    ``(g, k)``, or None when a precondition fails (no packed tree, or
+    some group's candidate pool is thinner than k); the caller falls
+    back to the incremental search, which handles every delta state.
     """
     levels = tree._levels
-    if not levels or k <= 0 or k > len(tree._pts):
+    if not levels or k <= 0 or k > len(tree):
         return None
+    alive, buf_pts, buf_ids = tree.delta_view()
     leaf = levels[0]
     g = U.shape[0]
-    block_bounds, block_points, pair_bounds, pair_points, out_sqrt = _scorers(
-        tree, U, agg
-    )
+    (
+        block_bounds,
+        block_points,
+        pair_bounds,
+        pair_points,
+        buffer_points,
+        out_sqrt,
+    ) = _scorers(tree, U, agg)
 
     # (1) greedy descent: per group, repeatedly step into the child
     # with the smallest aggregate lower bound.  Each level scores one
@@ -331,20 +399,34 @@ def gnn_batch(
         sc = np.where(valid, sc, np.inf)
         seed = cidx[np.arange(g), sc.argmin(axis=1)]
 
-    # (2) k-th best aggregate distance inside each group's seed leaf.
+    # (2) k-th best aggregate distance over each group's candidate
+    # pool: the seed leaf's live points plus the whole arena (arena
+    # points are never pruned, so they always belong in the pool).
     seed_count = leaf.count[seed]
-    if (seed_count < k).any():
-        return None
     cap = int(seed_count.max())
     col = np.arange(cap)
     pidx = leaf.start[seed][:, None] + col[None, :]
     valid = col[None, :] < seed_count[:, None]
-    pa = np.where(valid, block_points(np.where(valid, pidx, 0)), np.inf)
-    bound = np.partition(pa, k - 1, axis=1)[:, k - 1]  # (g,)
+    safe = np.where(valid, pidx, 0)
+    pa = np.where(valid, block_points(safe), np.inf)
+    if alive is not None:
+        pa = np.where(valid & alive[safe], pa, np.inf)
+    bsc = None
+    if buf_pts is not None:
+        bsc = buffer_points(buf_pts)  # (g, nb)
+        pool = np.concatenate([pa, bsc], axis=1)
+    else:
+        pool = pa
+    if pool.shape[1] < k or (np.isfinite(pool).sum(axis=1) < k).any():
+        return None
+    bound = np.partition(pool, k - 1, axis=1)[:, k - 1]  # (g,)
 
     # (3) bounded frontier descent: (group, node) pairs, pruned per
     # level.  The seed path always survives (ancestor bounds only
-    # shrink down the path), so every group keeps >= k candidates.
+    # shrink down the path), so every group keeps >= k candidates:
+    # each pool point under the bound is either an arena point (never
+    # pruned) or a live packed point whose ancestors' bounds are <=
+    # its own score <= the bound.
     gid = np.arange(g, dtype=np.int64)
     nid = np.zeros(g, dtype=np.int64)
     for level in range(len(levels) - 1, -1, -1):
@@ -357,11 +439,21 @@ def gnn_batch(
         gid = np.repeat(gid, counts)
         nid = expand_ranges(lvl.start[nid], counts)
 
+    if alive is not None and nid.size:
+        keep = alive[nid]
+        gid = gid[keep]
+        nid = nid[keep]
     sc = pair_points(nid, gid)
     sel = sc <= bound[gid]  # drop losers before the sort
     gid = gid[sel]
     nid = nid[sel]
     sc = sc[sel]
+    if bsc is not None:
+        inb = bsc <= bound[:, None]  # (g, nb)
+        gb, jb = np.nonzero(inb)
+        gid = np.concatenate([gid, gb.astype(np.int64)])
+        nid = np.concatenate([nid, buf_ids[jb]])
+        sc = np.concatenate([sc, bsc[inb]])
 
     # Segment-select the k best per group.
     order = np.lexsort((nid, sc, gid))
@@ -387,44 +479,70 @@ def range_batch(tree, W: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     frontier is a flat array of (window, node) pairs; each level prunes
     and expands ALL pairs in a constant number of NumPy calls, so the
     per-level cost is independent of how many windows are in flight.
-    Returns ``(window_ids, point_ids)`` of the surviving points, sorted
-    by window then packed point order.
+    Arena points are window-tested as one broadcast containment mask.
+    Returns ``(window_ids, point_ids)`` of the surviving live points,
+    sorted by window then point id (packed ids precede arena ids).
     """
-    levels = tree._levels
-    if not levels or len(W) == 0:
+    if len(W) == 0:
         return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    alive, buf_pts, buf_ids = tree.delta_view()
+    levels = tree._levels
     wlx = np.ascontiguousarray(W[:, 0])
     wly = np.ascontiguousarray(W[:, 1])
     whx = np.ascontiguousarray(W[:, 2])
     why = np.ascontiguousarray(W[:, 3])
-    qid = np.arange(len(W), dtype=np.int64)
-    nid = np.zeros(len(W), dtype=np.int64)
-    for level in range(len(levels) - 1, -1, -1):
-        lvl = levels[level]
-        lo_x, lo_y, hi_x, hi_y = lvl.columns()
-        keep = (
-            (hi_x[nid] >= wlx[qid])
-            & (lo_x[nid] <= whx[qid])
-            & (hi_y[nid] >= wly[qid])
-            & (lo_y[nid] <= why[qid])
-        )
-        qid = qid[keep]
-        nid = nid[keep]
-        if nid.size == 0:
-            return qid, nid
-        counts = lvl.count[nid]
-        qid = np.repeat(qid, counts)
-        nid = expand_ranges(lvl.start[nid], counts)
-    xs, ys = tree.point_columns()
-    px = xs[nid]
-    py = ys[nid]
-    mask = (
-        (px >= wlx[qid])
-        & (px <= whx[qid])
-        & (py >= wly[qid])
-        & (py <= why[qid])
+    qid_p = np.empty(0, dtype=np.int64)
+    pid_p = np.empty(0, dtype=np.int64)
+    if levels:
+        qid = np.arange(len(W), dtype=np.int64)
+        nid = np.zeros(len(W), dtype=np.int64)
+        for level in range(len(levels) - 1, -1, -1):
+            lvl = levels[level]
+            lo_x, lo_y, hi_x, hi_y = lvl.columns()
+            keep = (
+                (hi_x[nid] >= wlx[qid])
+                & (lo_x[nid] <= whx[qid])
+                & (hi_y[nid] >= wly[qid])
+                & (lo_y[nid] <= why[qid])
+            )
+            qid = qid[keep]
+            nid = nid[keep]
+            if nid.size == 0:
+                break
+            counts = lvl.count[nid]
+            qid = np.repeat(qid, counts)
+            nid = expand_ranges(lvl.start[nid], counts)
+        else:
+            if alive is not None:
+                keep = alive[nid]
+                qid = qid[keep]
+                nid = nid[keep]
+            xs, ys = tree.point_columns()
+            px = xs[nid]
+            py = ys[nid]
+            mask = (
+                (px >= wlx[qid])
+                & (px <= whx[qid])
+                & (py >= wly[qid])
+                & (py <= why[qid])
+            )
+            qid_p = qid[mask]
+            pid_p = nid[mask]
+    if buf_pts is None:
+        return qid_p, pid_p
+    bx = buf_pts[:, 0]
+    by = buf_pts[:, 1]
+    inside = (
+        (bx[None, :] >= wlx[:, None])
+        & (bx[None, :] <= whx[:, None])
+        & (by[None, :] >= wly[:, None])
+        & (by[None, :] <= why[:, None])
     )
-    return qid[mask], nid[mask]
+    qb, jb = np.nonzero(inside)
+    qid_all = np.concatenate([qid_p, qb.astype(np.int64)])
+    pid_all = np.concatenate([pid_p, buf_ids[jb]])
+    order = np.lexsort((pid_all, qid_all))
+    return qid_all[order], pid_all[order]
 
 
 def pruned_scan(
@@ -433,25 +551,38 @@ def pruned_scan(
     point_mask: MaskFn,
     stats: Optional[Any] = None,
 ) -> np.ndarray:
-    """Indices of points surviving a node-pruned scan.
+    """Indices of live points surviving a node-pruned scan.
 
     Level-wise frontier traversal: at each level the surviving nodes'
     children are gathered in one shot and masked in one vectorized
     call.  Node accesses are counted exactly as the object backend
-    does — every node whose MBR is examined is one access.
+    does — every node whose MBR is examined is one access (arena
+    points are not nodes and count nothing).  Tombstoned ids are
+    dropped before the final point mask; arena survivors are appended
+    after the packed ones.
     """
+    alive, buf_pts, buf_ids = tree.delta_view()
     levels = tree._levels
-    if not levels:
-        return np.empty(0, dtype=np.int64)
-    idx = np.zeros(1, dtype=np.int64)
-    for level in range(len(levels) - 1, -1, -1):
-        lvl = levels[level]
-        if stats is not None:
-            stats.index_node_accesses += int(idx.size)
-        keep = node_mask(lvl.bounds[idx])
-        idx = idx[keep]
-        if idx.size == 0:
-            return np.empty(0, dtype=np.int64)
-        idx = expand_ranges(lvl.start[idx], lvl.count[idx])
-    mask = point_mask(tree._pts[idx])
-    return idx[mask]
+    packed = np.empty(0, dtype=np.int64)
+    if levels:
+        idx = np.zeros(1, dtype=np.int64)
+        for level in range(len(levels) - 1, -1, -1):
+            lvl = levels[level]
+            if stats is not None:
+                stats.index_node_accesses += int(idx.size)
+            keep = node_mask(lvl.bounds[idx])
+            idx = idx[keep]
+            if idx.size == 0:
+                break
+            idx = expand_ranges(lvl.start[idx], lvl.count[idx])
+        else:
+            if alive is not None:
+                idx = idx[alive[idx]]
+            if idx.size:
+                packed = idx[point_mask(tree._pts[idx])]
+    if buf_pts is None:
+        return packed
+    bsel = buf_ids[point_mask(buf_pts)]
+    if packed.size == 0:
+        return bsel
+    return np.concatenate([packed, bsel])

@@ -33,7 +33,8 @@ from typing import Any, Hashable, Optional, Sequence
 
 import numpy as np
 
-from repro.index.rtree import resolve_removals
+from repro.index.flat import DEFAULT_DELTA_FRACTION
+from repro.index.rtree import resolve_removals_indexed
 
 try:  # SciPy is optional; the fallback kernel needs only NumPy.
     from scipy.sparse import csr_matrix as _csr_matrix
@@ -58,8 +59,16 @@ class NetworkIndex:
         space,
         pois: Sequence[Hashable] = (),
         payloads: Optional[Sequence[Any]] = None,
+        delta_fraction: float = DEFAULT_DELTA_FRACTION,
     ):
+        if delta_fraction < 0.0:
+            raise ValueError("delta_fraction must be >= 0")
         self.space = space
+        self.delta_fraction = delta_fraction
+        # Maintenance counters, mirroring FlatRTree: full bucket/array
+        # repacks vs delta batches absorbed without one.
+        self.build_count = 0
+        self.delta_batches = 0
         graph = space.graph
         self._nodes: list[Hashable] = list(graph.nodes)
         self._node_id: dict[Hashable, int] = {
@@ -100,6 +109,7 @@ class NetworkIndex:
     # ------------------------------------------------------------------
 
     def _install(self, items: list[tuple[Hashable, Any]]) -> None:
+        """Repack the POI store from scratch and reset the delta state."""
         for node, _ in items:
             if node not in self._node_id:
                 raise ValueError(f"POI node {node!r} is not on the road graph")
@@ -110,9 +120,39 @@ class NetworkIndex:
         self._poi_ids = np.asarray(
             [self._node_id[node] for node, _ in items], dtype=np.int64
         )
+        self._tomb = np.zeros(len(items), dtype=bool)
+        self._n_dead = 0
+        self._buf_items: list[tuple[Hashable, Any]] = []
+        self._buf_alive: list[bool] = []
+        self._n_buf_dead = 0
+        self._slot_cache: Optional[
+            tuple[np.ndarray, Optional[np.ndarray]]
+        ] = None
+        self.build_count += 1
+
+    def _item(self, i: int) -> tuple[Hashable, Any]:
+        n_packed = len(self._items)
+        if i < n_packed:
+            return self._items[i]
+        return self._buf_items[i - n_packed]
+
+    def _live_ids(self) -> list[int]:
+        n_packed = len(self._items)
+        ids: list[int] = (
+            np.flatnonzero(~self._tomb).tolist()
+            if self._n_dead
+            else list(range(n_packed))
+        )
+        ids.extend(n_packed + j for j, ok in enumerate(self._buf_alive) if ok)
+        return ids
 
     def __len__(self) -> int:
-        return len(self._items)
+        return (
+            len(self._items)
+            - self._n_dead
+            + len(self._buf_items)
+            - self._n_buf_dead
+        )
 
     def node_count(self) -> int:
         return len(self._nodes)
@@ -121,16 +161,16 @@ class NetworkIndex:
         return len(self.indices) // 2
 
     def poi_nodes(self) -> list[Hashable]:
-        """The POI nodes in insertion order (duplicates preserved)."""
-        return [node for node, _ in self._items]
+        """The live POI nodes in insertion order (duplicates preserved)."""
+        return [self._item(i)[0] for i in self._live_ids()]
 
     def items(self) -> list[tuple[Hashable, Any]]:
         """The live ``(node, payload)`` POI items, in insertion order."""
-        return list(self._items)
+        return [self._item(i) for i in self._live_ids()]
 
     def pois_at(self, node: Hashable) -> list[Any]:
-        """Payloads of the POIs bucketed on ``node``."""
-        return [self._items[i][1] for i in self._buckets.get(node, ())]
+        """Payloads of the live POIs bucketed on ``node``."""
+        return [self._item(i)[1] for i in self._buckets.get(node, ())]
 
     def insert(self, node: Hashable, payload: Any = None) -> None:
         self.bulk_update(adds=[(node, payload)])
@@ -148,18 +188,99 @@ class NetworkIndex:
         adds: Sequence[tuple[Hashable, Any]] = (),
         removes: Sequence[tuple[Hashable, Any]] = (),
     ) -> None:
-        """Apply a batch of POI inserts/deletes in one repacking.
+        """Apply a batch of POI inserts/deletes through the delta layer.
 
-        Same all-or-nothing contract as the Euclidean backends
-        (:func:`repro.index.rtree.resolve_removals`): every removal is
-        matched before anything mutates, and a ``KeyError`` for a
-        missing entry leaves the index untouched.  Distance rows are
-        unaffected — the road graph itself is immutable.
+        Removals tombstone their slot and insertions land in the
+        buffered arena; the packed store is rebuilt only when the delta
+        debt crosses the ``delta_fraction`` threshold (0.0 = repack
+        every batch).  Same all-or-nothing contract as the Euclidean
+        backends (:func:`repro.index.rtree.resolve_removals_indexed`):
+        add nodes are validated against the graph and every removal is
+        matched before anything mutates, so an error for a bad entry
+        leaves the index untouched.  Distance rows are unaffected —
+        the road graph itself is immutable.
         """
-        dead = set(resolve_removals(self._items, removes))
-        kept = [item for i, item in enumerate(self._items) if i not in dead]
-        kept.extend((node, payload) for node, payload in adds)
-        self._install(kept)
+        for node, _ in adds:
+            if node not in self._node_id:
+                raise ValueError(f"POI node {node!r} is not on the road graph")
+        victims: list[int] = []
+        if removes:
+            # Bucket lists hold exactly the live ids for a node, in
+            # insertion order — resolution costs O(batch), not O(n).
+            victims = resolve_removals_indexed(
+                lambda n: list(self._buckets.get(n, ())),
+                lambda i: self._item(i)[1],
+                removes,
+            )
+        n_packed = len(self._items)
+        for i in victims:
+            if i < n_packed:
+                self._tomb[i] = True
+                self._n_dead += 1
+            else:
+                self._buf_alive[i - n_packed] = False
+                self._n_buf_dead += 1
+            node = self._item(i)[0]
+            bucket = self._buckets[node]
+            bucket.remove(i)
+            if not bucket:
+                del self._buckets[node]
+        for node, payload in adds:
+            slot = n_packed + len(self._buf_items)
+            self._buf_items.append((node, payload))
+            self._buf_alive.append(True)
+            self._buckets.setdefault(node, []).append(slot)
+        self._slot_cache = None
+        self.delta_batches += 1
+        self._maybe_repack()
+
+    def repack(self) -> None:
+        """Fold all deltas into a freshly packed POI store."""
+        live = [
+            item
+            for item, dead in zip(self._items, self._tomb.tolist())
+            if not dead
+        ]
+        live.extend(
+            item for item, ok in zip(self._buf_items, self._buf_alive) if ok
+        )
+        self._install(live)
+
+    def _maybe_repack(self) -> None:
+        deltas = self._n_dead + len(self._buf_items)
+        if deltas and deltas > self.delta_fraction * max(len(self), 1):
+            self.repack()
+
+    def delta_debt(self) -> int:
+        """Tombstones + arena slots — what the next repack would fold."""
+        return self._n_dead + len(self._buf_items)
+
+    def _poi_slots(self) -> tuple[np.ndarray, Optional[np.ndarray]]:
+        """``(node_ids, live_mask)`` over every POI slot, packed + arena.
+
+        ``live_mask`` is ``None`` when no slot is tombstoned.  Cached
+        until the next delta batch; the gnn kernel gathers distance
+        columns for all slots and masks the dead ones to ``inf``.
+        """
+        if self._slot_cache is None:
+            ids = self._poi_ids
+            mask = None if self._n_dead == 0 else ~self._tomb
+            if self._buf_items:
+                ids = np.concatenate(
+                    [
+                        ids,
+                        np.asarray(
+                            [self._node_id[n] for n, _ in self._buf_items],
+                            dtype=np.int64,
+                        ),
+                    ]
+                )
+                if self._n_dead or self._n_buf_dead:
+                    mask = np.concatenate(
+                        [~self._tomb, np.asarray(self._buf_alive, dtype=bool)]
+                    )
+            self._slot_cache = (ids, mask)
+        return self._slot_cache
 
     # ------------------------------------------------------------------
     # Bulk shortest-path distance kernels
@@ -265,11 +386,13 @@ class NetworkIndex:
             raise ValueError(f"unknown aggregate: {agg!r}")
         if not users:
             raise ValueError("user group must be non-empty")
-        if not self._items:
+        n_live = len(self)
+        if not n_live:
             raise ValueError("POI set must be non-empty")
         if k <= 0:
             return []
-        per_user = self.user_node_distances(users)[:, self._poi_ids]
+        slot_ids, live_mask = self._poi_slots()
+        per_user = self.user_node_distances(users)[:, slot_ids]
         scores = per_user[0].copy()
         if agg_name == "max":
             for i in range(1, len(users)):
@@ -279,14 +402,25 @@ class NetworkIndex:
             # reference's ``total += d`` accumulation.
             for i in range(1, len(users)):
                 scores += per_user[i]
-        kk = min(k, len(scores))
-        if kk < len(scores):
+        # Each live slot's score is elementwise-identical to what a
+        # freshly repacked index would compute for the same POI, so
+        # masking dead slots to inf keeps the answer bit-identical.
+        if live_mask is not None:
+            scores = np.where(live_mask, scores, np.inf)
+        kk = min(k, n_live)
+        if kk < n_live:
             part = np.argpartition(scores, kk - 1)[:kk]
             candidates = np.flatnonzero(scores <= scores[part].max())
         else:
-            candidates = np.arange(len(scores))
+            candidates = (
+                np.arange(len(scores))
+                if live_mask is None
+                else np.flatnonzero(live_mask)
+            )
+        if live_mask is not None:
+            candidates = candidates[live_mask[candidates]]
         scored = sorted(
-            ((float(scores[i]), self._items[i][0]) for i in candidates),
+            ((float(scores[i]), self._item(i)[0]) for i in candidates),
             key=lambda t: (t[0], str(t[1])),
         )
         return scored[:k]

@@ -488,35 +488,57 @@ class RTree:
         return [e.point for e in entries]
 
 
+def resolve_removals_indexed(
+    candidates_for: Callable[[Any], Sequence[int]],
+    payload_of: Callable[[int], Any],
+    removes: Sequence[tuple[Any, Any]],
+) -> list[int]:
+    """Match each removal to a distinct live id through a lookup map.
+
+    The one definition of the bulk-removal contract, shared by every
+    backend: payload-specific removals are matched first so wildcards
+    (payload None) can't starve them, each removal consumes a distinct
+    entry, and a ``KeyError`` for any unmatched removal is raised
+    before the caller mutates anything (all-or-nothing batches).
+
+    ``candidates_for(key)`` yields candidate ids in live (insertion)
+    order and ``payload_of(id)`` resolves an id's payload — so a
+    backend that already maintains a key -> ids map (the delta-layer
+    live map, the network index's node buckets) resolves a batch in
+    O(batch) instead of materializing all n live items per call.
+    """
+    victims: list[int] = []
+    consumed: set[int] = set()
+    ordered = sorted(removes, key=lambda r: r[1] is None)
+    for key, payload in ordered:
+        for i in candidates_for(key):
+            if i not in consumed and (
+                payload is None or payload_of(i) == payload
+            ):
+                consumed.add(i)
+                victims.append(i)
+                break
+        else:
+            raise KeyError(f"no entry for {key} (payload={payload!r})")
+    return victims
+
+
 def resolve_removals(
     items: Sequence[tuple[Point, Any]],
     removes: Sequence[tuple[Point, Any]],
 ) -> list[int]:
     """Match each removal to a distinct index into ``items``.
 
-    The one definition of the bulk-removal contract, shared by both
-    backends: payload-specific removals are matched first so wildcards
-    (payload None) can't starve them, each removal consumes a distinct
-    entry, and a ``KeyError`` for any unmatched removal is raised
-    before the caller mutates anything (all-or-nothing batches).
+    The materialized-list face of :func:`resolve_removals_indexed`,
+    for backends that hold their live items as one list (the object
+    R-tree; anything without an incremental live map).
     """
     by_point: dict[Point, list[int]] = {}
     for i, (p, _) in enumerate(items):
         by_point.setdefault(p, []).append(i)
-    victims: list[int] = []
-    consumed: set[int] = set()
-    ordered = sorted(removes, key=lambda r: r[1] is None)
-    for point, payload in ordered:
-        for i in by_point.get(point, ()):
-            if i not in consumed and (
-                payload is None or items[i][1] == payload
-            ):
-                consumed.add(i)
-                victims.append(i)
-                break
-        else:
-            raise KeyError(f"no entry for {point} (payload={payload!r})")
-    return victims
+    return resolve_removals_indexed(
+        lambda p: by_point.get(p, ()), lambda i: items[i][1], removes
+    )
 
 
 # ----------------------------------------------------------------------

@@ -575,11 +575,12 @@ class MPNService:
         """Apply a batch of POI inserts/deletes, then recompute once.
 
         Prefer this over per-item :meth:`add_poi` / :meth:`remove_poi`
-        under churn: the flat backend rebuilds its packing per
-        mutation, and a batch pays that rebuild once.  The batch
-        targets one space's index — ``space`` (default: the service's
-        default space; a registered name or a live space otherwise) —
-        and only that space's sessions are checked for invalidation;
+        under churn: a batch is absorbed by the index's delta layer
+        (and amortizes the eventual repack) where per-item calls pay
+        the delta bookkeeping per mutation.  The batch targets one
+        space's index — ``space`` (default: the service's default
+        space; a registered name or a live space otherwise) — and only
+        that space's sessions are checked for invalidation;
         adds/removes are in that space's position type (points / graph
         nodes).  Each invalidated session is recomputed a single time
         even if several updates touch it.  Returns one notification
@@ -587,6 +588,26 @@ class MPNService:
         """
         target = self._resolve_space(space)
         target.bulk_update(adds, removes)
+        return self.renotify_pois(adds, removes, space=target)
+
+    def renotify_pois(
+        self,
+        adds: Sequence[tuple[Point, object]] = (),
+        removes: Sequence[tuple[Point, object]] = (),
+        space: Union[None, str, Space] = None,
+    ) -> list[Notification]:
+        """Recompute the sessions a POI batch invalidates (Lemma 1).
+
+        The re-notification half of :meth:`update_pois`, for callers
+        that applied the index mutation themselves — the cluster front
+        door applies one churn batch to its epoch-shared space and
+        then sweeps each shard's sessions through this.  Invalidation
+        is pure geometry (the removed meeting point, or an added POI
+        inside a session's safe region), so it reads the post-update
+        index state only through the recomputation of the sessions it
+        selects.
+        """
+        target = self._resolve_space(space)
         removed = {p for p, _ in removes}
         # Snapshot before recomputing: strategies may close sessions
         # reentrantly, and the recomputation wave must neither blow up

@@ -41,9 +41,13 @@ class NetworkPOISpace:
         space: NetworkSpace,
         pois: Sequence[Hashable] = (),
         payloads: Optional[Sequence[Any]] = None,
+        delta_fraction: Optional[float] = None,
     ):
         self.space = space
-        self._index = NetworkIndex(space, pois, payloads)
+        index_kwargs = {} if delta_fraction is None else {
+            "delta_fraction": delta_fraction
+        }
+        self._index = NetworkIndex(space, pois, payloads, **index_kwargs)
         # One SSSP per anchor, not two: region construction and tile
         # verification read their distance maps from the same CSR rows
         # the GNN kernel computes.
@@ -108,4 +112,5 @@ class NetworkPOISpace:
             self.space,
             pois=[node for node, _ in items],
             payloads=[payload for _, payload in items],
+            delta_fraction=self._index.delta_fraction,
         )

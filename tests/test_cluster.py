@@ -1,10 +1,10 @@
-"""Unit tests for the cluster front door: ring, routing, replicas.
+"""Unit tests for the cluster front door: ring, routing, shared epochs.
 
 The answer-preservation proofs live in
 ``tests/test_cluster_equivalence.py``; this file pins the mechanics —
-deterministic consistent hashing, session routing, per-shard space
-replication, cross-shard all-or-nothing validation, and the error
-surface.
+deterministic consistent hashing, session routing, the epoch-shared
+space publication model, cross-shard all-or-nothing validation, and
+the error surface.
 """
 
 import pytest
@@ -76,18 +76,25 @@ class TestClusterConstruction:
         with pytest.raises(ValueError):
             MPNCluster(0, lambda: as_space(tree))
 
-    def test_factory_must_not_share_an_index(self):
-        space = as_space(build_poi_tree(uniform_pois(50, SMALL_WORLD, seed=1)))
-        with pytest.raises(ValueError, match="fresh space"):
-            MPNCluster(2, lambda: space)
+    def test_factory_called_exactly_once(self):
+        calls = []
 
-    def test_tree_source_replicates_per_shard(self):
+        def factory():
+            calls.append(1)
+            return as_space(build_poi_tree(uniform_pois(50, SMALL_WORLD, seed=1)))
+
+        cluster = MPNCluster(4, factory)
+        assert len(calls) == 1
+        # Every shard serves the one published space.
+        assert len({id(shard.space) for shard in cluster.shards}) == 1
+
+    def test_tree_source_copied_once_and_shared(self):
         tree = build_poi_tree(uniform_pois(80, SMALL_WORLD, seed=2))
         cluster = MPNCluster(3, tree=tree)
         spaces = [shard.space for shard in cluster.shards]
-        assert len({id(s.index) for s in spaces}) == 3
+        assert len({id(s.index) for s in spaces}) == 1
         assert all(s.poi_count() == 80 for s in spaces)
-        # ... and none of them is the caller's tree.
+        # ... and the shared copy is not the caller's tree.
         assert all(s.index is not tree for s in spaces)
 
 
@@ -202,34 +209,78 @@ class TestClusterValidation:
     def test_live_spaces_are_rejected(self, rng):
         cluster = make_cluster()
         live = as_space(build_poi_tree(uniform_pois(30, SMALL_WORLD, seed=5)))
-        with pytest.raises(ValueError, match="per-shard replicas"):
+        with pytest.raises(ValueError, match="epoch-shared"):
             cluster.open_session(random_users(rng, 2), circle_policy(), space=live)
-        with pytest.raises(ValueError, match="per-shard replicas"):
+        with pytest.raises(ValueError, match="epoch-shared"):
             cluster.update_pois(adds=[(Point(1, 1), None)], space=live)
+
+    def test_bad_removal_raises_before_any_shard_mutates(self, rng):
+        """Cross-shard churn atomicity: the front door validates once.
+
+        A batch containing an unmatched removal must raise before the
+        index, the published epoch, or any shard's sessions change —
+        under the old fan-out model the first shards could have
+        applied the batch before a later shard's resolution failed.
+        """
+        cluster = make_cluster(n_shards=3)
+        ids = [
+            cluster.open_session(random_users(rng, 2), circle_policy()).session_id
+            for _ in range(6)
+        ]
+        before_pos = [cluster.session(sid).po for sid in ids]
+        before_count = cluster.space.poi_count()
+        before_epoch = cluster.space.epoch
+        before_messages = cluster.metrics.messages_total
+        with pytest.raises(KeyError):
+            cluster.update_pois(
+                adds=[(Point(1.0, 1.0), "new")],
+                removes=[(Point(-999.0, -999.0), "missing")],
+            )
+        assert cluster.space.poi_count() == before_count
+        assert cluster.space.epoch == before_epoch
+        assert [cluster.session(sid).po for sid in ids] == before_pos
+        assert cluster.metrics.messages_total == before_messages
+
+    def test_churn_batch_is_one_build_one_publish(self, rng):
+        """One batch -> one index update and one epoch, whatever the
+        shard count (the copy-on-write replacement for N rebuilds)."""
+        for n_shards in (1, 4):
+            cluster = make_cluster(n_shards=n_shards)
+            index = cluster.space.index
+            builds_before = index.build_count
+            batches_before = index.delta_batches
+            epoch_before = cluster.space.epoch
+            cluster.update_pois(adds=[(Point(2.0, 3.0), None)])
+            assert index.delta_batches == batches_before + 1
+            assert index.build_count == builds_before  # absorbed, no repack
+            assert cluster.space.epoch == epoch_before + 1
 
 
 class TestClusterSpaces:
-    def test_add_space_replicates_per_shard(self):
+    def test_add_space_publishes_one_shared_copy(self):
         cluster = make_cluster(n_shards=3)
         extra = as_space(build_poi_tree(uniform_pois(40, SMALL_WORLD, seed=7)))
         cluster.add_space("venues", extra)
-        replicas = [shard.get_space("venues") for shard in cluster.shards]
-        assert len({id(r.index) for r in replicas}) == 3
-        assert all(r.index is not extra.index for r in replicas)
+        views = [shard.get_space("venues") for shard in cluster.shards]
+        assert len({id(v) for v in views}) == 1
+        assert len({id(v.index) for v in views}) == 1
+        # ... and the shared copy is defensive, not the caller's space.
+        assert all(v.index is not extra.index for v in views)
         assert cluster.get_space("venues").poi_count() == 40
         assert cluster.space_names() == ["default", "venues"]
 
     def test_add_space_via_factory(self):
         cluster = make_cluster(n_shards=2)
         pois = uniform_pois(25, SMALL_WORLD, seed=8)
-        cluster.add_space("pods", lambda: as_space(build_poi_tree(pois)))
-        assert cluster.get_space("pods").poi_count() == 25
+        calls = []
 
-    def test_add_space_factory_must_not_share(self):
-        cluster = make_cluster(n_shards=2)
-        shared = as_space(build_poi_tree(uniform_pois(25, SMALL_WORLD, seed=8)))
-        with pytest.raises(ValueError, match="fresh space"):
-            cluster.add_space("pods", lambda: shared)
+        def factory():
+            calls.append(1)
+            return as_space(build_poi_tree(pois))
+
+        cluster.add_space("pods", factory)
+        assert len(calls) == 1
+        assert cluster.get_space("pods").poi_count() == 25
 
     def test_unknown_space_name(self):
         cluster = make_cluster()
