@@ -1,22 +1,31 @@
 #!/usr/bin/env python
-"""Record the gated churn benchmarks into ``BENCH_churn.json``.
+"""Record the gated benchmark suites into ``BENCH_*.json`` files.
 
-Runs ``benchmarks/test_micro_churn.py`` in full (multi-sample) mode,
-collects the self-measured timings the gate test consumes, and appends
-one perf-trajectory entry to ``BENCH_churn.json`` at the repo root.
-The file is a JSON list, newest entry last, so the delta-maintenance
-speedup can be tracked commit over commit.
+Two suites:
+
+* ``--suite churn`` (default) — runs ``benchmarks/test_micro_churn.py``
+  in full (multi-sample) mode and appends one perf-trajectory entry to
+  ``BENCH_churn.json``, including the >= 3x Euclidean churn gate.
+* ``--suite wire`` — runs ``benchmarks/test_micro_wire.py`` (the TCP
+  serving stack: sequential round-trip latency plus >= 8 concurrent
+  pipelining clients with the backpressure brake engaged) and appends
+  p50/p99 latency and throughput to ``BENCH_wire.json``.
+
+Each file is a JSON list, newest entry last, so the trajectory can be
+tracked commit over commit.
 
 Usage (from the repo root)::
 
-    PYTHONPATH=src python benchmarks/record_bench.py
+    PYTHONPATH=src python benchmarks/record_bench.py [--suite churn|wire]
 
-The run aborts — and records nothing — if any benchmark test fails,
-including the >= 3x Euclidean churn gate.
+A run aborts — and records nothing — if any benchmark test fails,
+including the suites' structural gates (churn speedup, backpressure
+engagement).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import subprocess
 import sys
@@ -26,29 +35,26 @@ from pathlib import Path
 import pytest
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-BENCH_FILE = Path(__file__).resolve().parent / "test_micro_churn.py"
-OUT_FILE = REPO_ROOT / "BENCH_churn.json"
+BENCH_DIR = Path(__file__).resolve().parent
 GATE_MIN_SPEEDUP = 3.0
 
 
 class _Collector:
-    """Grabs the benchmark module's RECORDED dict after the run."""
+    """Grabs a benchmark module's RECORDED dict after the run."""
 
-    def __init__(self) -> None:
+    def __init__(self, module_name: str, scale_names: tuple[str, ...]) -> None:
+        self.module_name = module_name
+        self.scale_names = scale_names
         self.recorded: dict = {}
         self.scale: dict = {}
 
     def pytest_sessionfinish(self, session, exitstatus) -> None:
-        module = sys.modules.get("test_micro_churn")
+        module = sys.modules.get(self.module_name)
         if module is None:
             return
         self.recorded = module.RECORDED
         self.scale = {
-            "n_pois": module.N_POIS,
-            "n_batches": module.N_BATCHES,
-            "batch": module.BATCH,
-            "net_grid": module.NET_GRID,
-            "net_pois": module.NET_POIS,
+            name.lower(): getattr(module, name) for name in self.scale_names
         }
 
 
@@ -66,12 +72,28 @@ def _git_commit() -> str:
         return "unknown"
 
 
-def main() -> int:
-    collector = _Collector()
-    code = pytest.main(["-q", str(BENCH_FILE)], plugins=[collector])
+def _append(out_file: Path, entry: dict) -> None:
+    history = []
+    if out_file.exists():
+        history = json.loads(out_file.read_text())
+    history.append(entry)
+    out_file.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"recorded entry {len(history)} -> {out_file}")
+
+
+def _run(collector: _Collector, bench_file: Path) -> int:
+    return int(pytest.main(["-q", str(bench_file)], plugins=[collector]))
+
+
+def record_churn() -> int:
+    collector = _Collector(
+        "test_micro_churn",
+        ("N_POIS", "N_BATCHES", "BATCH", "NET_GRID", "NET_POIS"),
+    )
+    code = _run(collector, BENCH_DIR / "test_micro_churn.py")
     if code != 0:
         print("benchmark run failed; nothing recorded", file=sys.stderr)
-        return int(code)
+        return code
     recorded = collector.recorded
     if not {"churn_euclidean", "churn_network"} <= set(recorded):
         print("benchmark timings missing; nothing recorded", file=sys.stderr)
@@ -106,16 +128,63 @@ def main() -> int:
             "passed": results["churn_euclidean"]["speedup"] >= GATE_MIN_SPEEDUP,
         },
     }
-
-    history = []
-    if OUT_FILE.exists():
-        history = json.loads(OUT_FILE.read_text())
-    history.append(entry)
-    OUT_FILE.write_text(json.dumps(history, indent=2) + "\n")
-    print(f"recorded entry {len(history)} -> {OUT_FILE}")
+    _append(REPO_ROOT / "BENCH_churn.json", entry)
     for op, row in results.items():
         print(f"  {op:<18} {row['speedup']:7.2f}x")
     return 0
+
+
+def record_wire() -> int:
+    collector = _Collector(
+        "test_micro_wire",
+        ("N_POIS", "N_CLIENTS", "REQUESTS_PER_CLIENT", "MAX_INFLIGHT"),
+    )
+    code = _run(collector, BENCH_DIR / "test_micro_wire.py")
+    if code != 0:
+        print("benchmark run failed; nothing recorded", file=sys.stderr)
+        return code
+    recorded = collector.recorded
+    if not {"wire_sequential", "wire_concurrent"} <= set(recorded):
+        print("benchmark timings missing; nothing recorded", file=sys.stderr)
+        return 1
+
+    concurrent = recorded["wire_concurrent"]
+    entry = {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "commit": _git_commit(),
+        "scale": collector.scale,
+        "results": {
+            "wire_sequential": dict(recorded["wire_sequential"]),
+            "wire_concurrent": dict(concurrent),
+        },
+        "gate": {
+            "backpressure_engaged": concurrent["backpressure_waits"] > 0,
+            "min_concurrent_clients": collector.scale["n_clients"],
+        },
+    }
+    _append(REPO_ROOT / "BENCH_wire.json", entry)
+    print(
+        f"  sequential  p50 {recorded['wire_sequential']['p50_ms']:.3f} ms  "
+        f"p99 {recorded['wire_sequential']['p99_ms']:.3f} ms"
+    )
+    print(
+        f"  concurrent  {concurrent['throughput_rps']:.0f} req/s  "
+        f"p50 {concurrent['p50_ms']:.3f} ms  p99 {concurrent['p99_ms']:.3f} ms  "
+        f"({concurrent['backpressure_waits']} backpressure waits)"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite",
+        choices=("churn", "wire"),
+        default="churn",
+        help="which benchmark suite to run and record",
+    )
+    args = parser.parse_args(argv)
+    return record_churn() if args.suite == "churn" else record_wire()
 
 
 if __name__ == "__main__":

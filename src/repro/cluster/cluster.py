@@ -60,6 +60,7 @@ from repro.cluster.hashring import HashRing
 from repro.service.api import Request, Response, dispatch_request
 from repro.service.errors import UnknownSessionError
 from repro.service.messages import (
+    MemberState,
     Notification,
     ReportEvent,
     SessionHandle,
@@ -280,9 +281,10 @@ class MPNCluster:
         point: Point,
         heading: Optional[float] = None,
         theta: Optional[float] = None,
+        probes: Optional[Sequence[tuple[int, MemberState]]] = None,
     ) -> Optional[Notification]:
         return self._shard(session_id).report(
-            session_id, member_id, point, heading, theta
+            session_id, member_id, point, heading, theta, probes=probes
         )
 
     def update_locations(

@@ -46,9 +46,11 @@ from repro.service.errors import (
     UnknownStrategyError,
 )
 from repro.service.api import (
+    ERROR_CODES,
     SCHEMA_VERSION,
     CloseSessionRequest,
     CloseSessionResponse,
+    ErrorResponse,
     NotificationPayload,
     OpenSessionRequest,
     OpenSessionResponse,
@@ -66,9 +68,12 @@ from repro.service.api import (
     UpdatePolicyRequest,
     UpdatePolicyResponse,
     dispatch_request,
+    error_response_for,
+    raise_error_response,
     request_from_dict,
     response_from_dict,
 )
+from repro.service.regions import decode_region, encode_region
 from repro.service.messages import (
     MemberState,
     Notification,
@@ -117,6 +122,12 @@ __all__ = [
     "CloseSessionRequest",
     "CloseSessionResponse",
     "NotificationPayload",
+    "ErrorResponse",
+    "ERROR_CODES",
+    "error_response_for",
+    "raise_error_response",
+    "encode_region",
+    "decode_region",
     "dispatch_request",
     "request_from_dict",
     "response_from_dict",

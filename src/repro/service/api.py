@@ -22,28 +22,49 @@ This module defines that wire surface:
   (``open_session`` / ``report`` / ``report_many`` / …), which remain
   the in-process face of the same seven operations.
 
-Wire scope (schema version 1)
+Wire scope (schema version 2)
 -----------------------------
 
 Envelopes carry everything a remote client sends or needs back —
 positions, member states, policies (by value, including tile
-configurations), meeting points, region wire sizes, causes and work
-counters.  Two things deliberately do **not** cross the wire:
+configurations), meeting points, safe-region geometry, causes and work
+counters.  Version 2 extends version 1 with exactly the fields a
+*remote* deployment needs (which is why the version bumped: a v1 peer
+would silently drop them):
 
-* **Live objects.**  A prober callable and an unregistered live
-  :class:`~repro.space.base.Space` are in-process conveniences;
-  ``to_dict`` refuses to serialize an envelope holding one
-  (:class:`~repro.service.errors.EnvelopeError`).  Remote sessions
-  name their space by its registered name (see
-  ``MPNService.add_space``) and live without probers.
-* **Region geometry.**  :class:`NotificationPayload` ships the new
-  meeting point plus each region's wire size in doubles
-  (``region_values`` — exactly the payload the paper's message model
-  accounts) and the work counters; the geometric region objects stay
-  session state on the server.  Shipping geometry is a future schema
-  version, which is why every envelope carries ``v`` and decoding
-  rejects versions it does not speak
-  (:class:`~repro.service.errors.SchemaVersionError`).
+* **Region geometry.**  :class:`NotificationPayload` ships each safe
+  region by value (:mod:`repro.service.regions`) alongside the wire
+  sizes in doubles (``region_values`` — the payload the paper's
+  message model accounts).  A remote client rebuilds her region
+  locally and decides offline whether her next position escapes it —
+  the client-side half of Fig. 3.
+* **Front-door session ids.**  :class:`OpenSessionRequest` carries an
+  optional ``session_id`` so a sharded front door
+  (:class:`repro.transport.ProcessCluster`) can register sessions on
+  remote workers under globally-routed ids, exactly like the
+  in-process cluster does.
+* **Client-gathered probe states.**  :class:`ReportRequest` and each
+  :class:`~repro.service.messages.ReportEvent` carry optional
+  ``probes`` — fresh member states the *client side* gathered at
+  report time.  A prober callable cannot cross the wire, but the probe
+  round it models is client↔server traffic anyway; the server applies
+  supplied states exactly like prober answers and charges the same
+  messages, so a remote fleet stays bit-identical to a local one.
+* **Errors.**  :class:`ErrorResponse` serializes a failed dispatch —
+  code, message and JSON-safe details — so validation failures cross
+  the wire as envelopes instead of killing connections;
+  :func:`error_response_for` maps exceptions to codes and
+  :func:`raise_error_response` reconstructs the typed exception
+  client-side.
+
+One thing still does **not** cross the wire: **live objects**.  A
+prober callable and an unregistered live
+:class:`~repro.space.base.Space` are in-process conveniences;
+``to_dict`` refuses to serialize an envelope holding one
+(:class:`~repro.service.errors.EnvelopeError`).  Remote sessions name
+their space by its registered name (see ``MPNService.add_space``);
+every envelope carries ``v`` and decoding rejects versions it does not
+speak (:class:`~repro.service.errors.SchemaVersionError`).
 
 Positions are polymorphic: a Euclidean
 :class:`~repro.geometry.point.Point`, a road-network
@@ -66,6 +87,10 @@ from repro.service.errors import (
     EnvelopeError,
     MalformedEnvelopeError,
     SchemaVersionError,
+    ServiceError,
+    UnknownSessionError,
+    UnknownSpaceError,
+    UnknownStrategyError,
 )
 from repro.service.messages import (
     MemberState,
@@ -76,7 +101,7 @@ from repro.service.messages import (
 from repro.simulation.policies import Policy, PolicyKind
 from repro.space import Space
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 # Probers supply fresh member states during probe rounds; the type is
 # re-declared here (rather than imported from repro.service.session) to
@@ -182,6 +207,24 @@ def decode_member(data: object) -> MemberState:
         point=decode_position(data["point"]),
         heading=None if heading is None else float(heading),
         theta=None if theta is None else float(theta),
+    )
+
+
+Probes = Optional[tuple[tuple[int, MemberState], ...]]
+
+
+def _encode_probes(probes: Probes) -> Optional[list]:
+    """Client-gathered probe states as ``[[member_id, state], ...]``."""
+    if probes is None:
+        return None
+    return [[member_id, encode_member(state)] for member_id, state in probes]
+
+
+def _decode_probes(data: object) -> Probes:
+    if data is None:
+        return None
+    return tuple(
+        (int(member_id), decode_member(state)) for member_id, state in data
     )
 
 
@@ -350,6 +393,9 @@ class OpenSessionRequest:
     ``space`` names a backend-registered space (``None`` = default).
     ``prober`` and live ``space`` objects are in-process extras:
     ``dispatch`` honors them, ``to_dict`` refuses to serialize them.
+    ``session_id`` pins the id the session registers under (schema v2;
+    ``None`` = let the backend number it) — the hook a sharded front
+    door uses to keep globally-routed numbering on remote workers.
     """
 
     op: ClassVar[str] = "open_session"
@@ -358,6 +404,7 @@ class OpenSessionRequest:
     policy: Policy
     space: Union[None, str, Space] = None
     prober: Optional[Prober] = field(default=None, compare=False)
+    session_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "members", tuple(self.members))
@@ -372,6 +419,7 @@ class OpenSessionRequest:
             members=[encode_member(m) for m in self.members],
             policy=encode_policy(self.policy),
             space=_encode_space_ref(self.space),
+            session_id=self.session_id,
         )
 
     from_dict = _decoding(
@@ -380,19 +428,34 @@ class OpenSessionRequest:
             members=tuple(decode_member(m) for m in data["members"]),
             policy=decode_policy(data["policy"]),
             space=data.get("space"),
+            session_id=None
+            if data.get("session_id") is None
+            else int(data["session_id"]),
         ),
     )
 
 
 @dataclass(frozen=True)
 class ReportRequest:
-    """Step 1 of Fig. 3 over the wire: one member escaped and reports."""
+    """Step 1 of Fig. 3 over the wire: one member escaped and reports.
+
+    ``probes`` (schema v2) carries fresh states the client side gathered
+    for the *other* members at report time — the remote stand-in for an
+    in-process prober callable.  The server applies them exactly like
+    prober answers and charges the same probe messages, so remote
+    fleets account identically to local ones.
+    """
 
     op: ClassVar[str] = "report"
 
     session_id: int
     member_id: int
     state: MemberState
+    probes: Probes = None
+
+    def __post_init__(self) -> None:
+        if self.probes is not None:
+            object.__setattr__(self, "probes", tuple(self.probes))
 
     def to_dict(self) -> dict:
         return _envelope(
@@ -400,6 +463,7 @@ class ReportRequest:
             session_id=self.session_id,
             member_id=self.member_id,
             state=encode_member(self.state),
+            probes=_encode_probes(self.probes),
         )
 
     from_dict = _decoding(
@@ -408,6 +472,7 @@ class ReportRequest:
             session_id=int(data["session_id"]),
             member_id=int(data["member_id"]),
             state=decode_member(data["state"]),
+            probes=_decode_probes(data.get("probes")),
         ),
     )
 
@@ -431,6 +496,7 @@ class ReportManyRequest:
                     "session_id": e.session_id,
                     "member_id": e.member_id,
                     "state": encode_member(e.state),
+                    "probes": _encode_probes(e.probes),
                 }
                 for e in self.events
             ],
@@ -444,6 +510,7 @@ class ReportManyRequest:
                     session_id=int(e["session_id"]),
                     member_id=int(e["member_id"]),
                     state=decode_member(e["state"]),
+                    probes=_decode_probes(e.get("probes")),
                 )
                 for e in data["events"]
             ),
@@ -606,10 +673,13 @@ def _decode_stats(data: object) -> SafeRegionStats:
 class NotificationPayload:
     """The wire form of a :class:`~repro.service.messages.Notification`.
 
-    Carries the new meeting point, each member's region wire size in
-    doubles (the payload the paper's message model accounts), the work
-    counters and the cause; region *geometry* stays server-side session
-    state in schema version 1 (see the module docstring).
+    Carries the new meeting point, each member's safe region — both its
+    wire size in doubles (the payload the paper's message model
+    accounts) and, since schema version 2, its *geometry* by value
+    (:mod:`repro.service.regions`) — plus the work counters and the
+    cause.  ``regions`` holds the wire-encoded dicts, aligned with
+    ``region_values``; :meth:`live_regions` rebuilds the live objects
+    (network regions need the session's space).
     """
 
     session_id: int
@@ -618,12 +688,17 @@ class NotificationPayload:
     cause: str
     cpu_seconds: float
     stats: SafeRegionStats
+    regions: tuple[dict, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "region_values", tuple(self.region_values))
+        object.__setattr__(self, "regions", tuple(self.regions))
 
     @classmethod
     def from_notification(cls, notification: Notification) -> "NotificationPayload":
+        from repro.service.regions import encode_region
+
+        regions = getattr(notification, "regions", ())
         return cls(
             session_id=notification.session_id,
             po=notification.po,
@@ -631,7 +706,20 @@ class NotificationPayload:
             cause=notification.cause,
             cpu_seconds=notification.cpu_seconds,
             stats=dataclasses.replace(notification.stats),
+            regions=tuple(
+                r if isinstance(r, dict) else encode_region(r) for r in regions
+            ),
         )
+
+    def live_regions(self, space: Optional[object] = None) -> tuple:
+        """The safe regions as live objects (``contains_point`` works).
+
+        ``space`` is required when the session lives on a road network
+        (see :func:`repro.service.regions.decode_region`).
+        """
+        from repro.service.regions import decode_region
+
+        return tuple(decode_region(r, space=space) for r in self.regions)
 
     def to_dict(self) -> dict:
         return {
@@ -641,6 +729,7 @@ class NotificationPayload:
             "cause": self.cause,
             "cpu_seconds": self.cpu_seconds,
             "stats": _encode_stats(self.stats),
+            "regions": list(self.regions),
         }
 
     @classmethod
@@ -657,6 +746,7 @@ class NotificationPayload:
                 cause=data["cause"],
                 cpu_seconds=float(data["cpu_seconds"]),
                 stats=_decode_stats(data["stats"]),
+                regions=tuple(data.get("regions", ())),
             )
         except EnvelopeError:
             raise
@@ -838,6 +928,142 @@ class CloseSessionResponse:
     )
 
 
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A failed dispatch as a wire envelope (schema v2).
+
+    In-process backends raise; a wire server cannot.  The transport
+    layer catches what ``dispatch`` raises, narrows it with
+    :func:`error_response_for`, and sends this envelope instead of
+    killing the connection.  ``code`` is a stable machine-readable
+    string (see :data:`ERROR_CODES`), ``details`` a JSON-safe dict of
+    whatever the exception carried (e.g. the offending ``session_id``);
+    the client side rebuilds the typed exception with
+    :func:`raise_error_response`.
+    """
+
+    op: ClassVar[str] = "error"
+
+    code: str
+    message: str
+    details: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return _envelope(
+            self.op,
+            code=self.code,
+            message=self.message,
+            details=dict(self.details),
+        )
+
+    from_dict = _decoding(
+        "error",
+        lambda cls, data: cls(
+            code=str(data["code"]),
+            message=str(data["message"]),
+            details=dict(data.get("details") or {}),
+        ),
+    )
+
+
+#: Stable error codes an :class:`ErrorResponse` may carry.  ``timeout``,
+#: ``frame_too_large`` and ``shutting_down`` are minted by the transport
+#: layer itself (the backend never raises them); everything else maps an
+#: exception class.
+ERROR_CODES = (
+    "schema_version",
+    "malformed_envelope",
+    "envelope",
+    "unknown_session",
+    "unknown_strategy",
+    "unknown_space",
+    "invalid_request",
+    "not_found",
+    "timeout",
+    "frame_too_large",
+    "shutting_down",
+    "internal",
+)
+
+
+def _json_safe(value: object) -> object:
+    """`value` if JSON already round-trips it, else its ``repr``."""
+    if value is None or isinstance(value, _JSON_SCALARS):
+        return value
+    return repr(value)
+
+
+def error_response_for(exc: BaseException) -> ErrorResponse:
+    """Narrow an exception raised by ``dispatch`` to its wire envelope."""
+    details: dict = {}
+    if isinstance(exc, SchemaVersionError):
+        code = "schema_version"
+        details["version"] = _json_safe(exc.version)
+        details["supported"] = exc.supported
+    elif isinstance(exc, MalformedEnvelopeError):
+        code = "malformed_envelope"
+    elif isinstance(exc, EnvelopeError):
+        code = "envelope"
+    elif isinstance(exc, UnknownSessionError):
+        code = "unknown_session"
+        details["session_id"] = _json_safe(exc.session_id)
+    elif isinstance(exc, UnknownStrategyError):
+        code = "unknown_strategy"
+        details["name"] = _json_safe(exc.name)
+        details["available"] = list(exc.available)
+    elif isinstance(exc, UnknownSpaceError):
+        code = "unknown_space"
+        details["name"] = _json_safe(exc.name)
+        details["available"] = list(exc.available)
+    elif isinstance(exc, (ValueError, ServiceError)):
+        code = "invalid_request"
+    elif isinstance(exc, KeyError):
+        code = "not_found"
+    elif isinstance(exc, TimeoutError):
+        code = "timeout"
+    else:
+        code = "internal"
+    message = str(exc) or type(exc).__name__
+    if type(exc) is KeyError and exc.args:
+        # str(KeyError(3)) is "'3'" with quotes; prefer the bare arg.
+        message = str(exc.args[0])
+    return ErrorResponse(code=code, message=message, details=details)
+
+
+def raise_error_response(error: ErrorResponse) -> None:
+    """Re-raise an :class:`ErrorResponse` as its typed exception.
+
+    The remote backend calls this so a TCP fleet driver sees the same
+    exception types an in-process one does (``UnknownSessionError`` and
+    friends), not a generic transport error.
+    """
+    details = error.details
+    if error.code == "schema_version":
+        raise SchemaVersionError(
+            details.get("version"), details.get("supported", SCHEMA_VERSION)
+        )
+    if error.code == "unknown_session":
+        raise UnknownSessionError(details.get("session_id"))
+    if error.code == "unknown_strategy":
+        raise UnknownStrategyError(
+            details.get("name"), tuple(details.get("available", ()))
+        )
+    if error.code == "unknown_space":
+        raise UnknownSpaceError(
+            details.get("name"), tuple(details.get("available", ()))
+        )
+    make = {
+        "malformed_envelope": MalformedEnvelopeError,
+        "envelope": EnvelopeError,
+        "invalid_request": ValueError,
+        "not_found": KeyError,
+        "timeout": TimeoutError,
+        "frame_too_large": ConnectionError,
+        "shutting_down": ConnectionError,
+    }.get(error.code, RuntimeError)
+    raise make(error.message)
+
+
 Request = Union[
     OpenSessionRequest,
     ReportRequest,
@@ -856,6 +1082,7 @@ Response = Union[
     UpdatePoisResponse,
     UpdatePolicyResponse,
     CloseSessionResponse,
+    ErrorResponse,
 ]
 
 REQUEST_TYPES: dict[str, type] = {
@@ -881,6 +1108,7 @@ RESPONSE_TYPES: dict[str, type] = {
         UpdatePoisResponse,
         UpdatePolicyResponse,
         CloseSessionResponse,
+        ErrorResponse,
     )
 }
 
@@ -949,6 +1177,7 @@ def dispatch_request(backend, request: Request) -> Response:
             request.policy,
             prober=request.prober,
             space=request.space,
+            session_id=request.session_id,
         )
         return OpenSessionResponse(
             session_id=handle.session_id,
@@ -966,6 +1195,7 @@ def dispatch_request(backend, request: Request) -> Response:
             request.state.point,
             request.state.heading,
             request.state.theta,
+            probes=request.probes,
         )
         return ReportResponse(
             session_id=request.session_id,

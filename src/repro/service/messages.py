@@ -31,11 +31,18 @@ class MemberState:
 
 @dataclass(frozen=True, slots=True)
 class ReportEvent:
-    """Step 1 of Fig. 3: a member escaped her region and reports."""
+    """Step 1 of Fig. 3: a member escaped her region and reports.
+
+    ``probes`` optionally carries fresh states for the session's *other*
+    members, gathered client-side at report time — the wire stand-in
+    for a prober callable (schema v2).  The service applies them exactly
+    like prober answers and charges the same probe messages.
+    """
 
     session_id: int
     member_id: int
     state: MemberState
+    probes: Optional[tuple[tuple[int, MemberState], ...]] = None
 
     def message(self) -> Message:
         return location_update()

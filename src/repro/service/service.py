@@ -318,6 +318,7 @@ class MPNService:
         point: Point,
         heading: Optional[float] = None,
         theta: Optional[float] = None,
+        probes: Optional[Sequence[tuple[int, MemberState]]] = None,
     ) -> Optional[Notification]:
         """A member reports her location (step 1 of Fig. 3).
 
@@ -327,20 +328,42 @@ class MPNService:
         Otherwise the full round runs: the trigger's location update is
         charged, every other member is probed (step 2), the strategy
         recomputes, and everyone is re-notified (step 3).
+
+        ``probes`` optionally supplies fresh ``(member_id, state)``
+        pairs gathered client-side — the wire stand-in for a prober
+        callable.  The probe round prefers a supplied state over the
+        session's prober and charges the identical probe traffic, so a
+        remote fleet accounts exactly like a local one.  Probes are
+        ignored (like a prober) when the report is still in-region.
         """
         session = self.session(session_id)
         if not 0 <= member_id < session.size:
             raise ValueError(
                 f"member {member_id} out of range for session of {session.size}"
             )
+        self._validate_probes(session, probes)
         state = MemberState(point=point, heading=heading, theta=theta)
         session.members[member_id] = state
         if session.regions and session.regions[member_id].contains_point(point):
             return None
         event = ReportEvent(session_id, member_id, state)
         self._charge_message(session, event.message())
-        self._probe(session, exclude=member_id)
+        self._probe(session, exclude=member_id, supplied=probes)
         return self._recompute(session, cause="report")
+
+    @staticmethod
+    def _validate_probes(
+        session: ServiceSession,
+        probes: Optional[Sequence[tuple[int, MemberState]]],
+    ) -> None:
+        if probes is None:
+            return
+        for probe_id, _ in probes:
+            if not 0 <= probe_id < session.size:
+                raise ValueError(
+                    f"probe member {probe_id} out of range for session "
+                    f"of {session.size}"
+                )
 
     def update_locations(
         self,
@@ -428,7 +451,9 @@ class MPNService:
                 ].contains_point(event.state.point):
                     continue  # in-region report: state refreshed, no traffic
                 self._charge_message(session, event.message())
-                self._probe(session, exclude=event.member_id)
+                self._probe(
+                    session, exclude=event.member_id, supplied=event.probes
+                )
                 escaped.append(idx)
                 escaped_sessions.append(session)
             notifications = self._recompute_sessions(
@@ -455,6 +480,7 @@ class MPNService:
                     f"member {event.member_id} out of range for session "
                     f"of {session.size}"
                 )
+            self._validate_probes(session, event.probes)
 
     def recompute_many(
         self, session_ids: Sequence[int], cause: str = "refresh"
@@ -552,12 +578,27 @@ class MPNService:
             return None
         return (type(strategy), token, session.size, id(session.space))
 
-    def _probe(self, session: ServiceSession, exclude: int) -> None:
-        """Step 2: fetch every other member's state, charging the round."""
+    def _probe(
+        self,
+        session: ServiceSession,
+        exclude: int,
+        supplied: Optional[Sequence[tuple[int, MemberState]]] = None,
+    ) -> None:
+        """Step 2: fetch every other member's state, charging the round.
+
+        ``supplied`` holds client-gathered states (schema v2 probes); a
+        supplied state wins over the session's prober, and either way
+        the probed member is charged the same probe-request +
+        location-update pair — the probe round's wire traffic does not
+        depend on which side gathered the state.
+        """
+        states = dict(supplied) if supplied else {}
         for i in range(session.size):
             if i == exclude:
                 continue
-            if session.prober is not None:
+            if i in states:
+                session.members[i] = states[i]
+            elif session.prober is not None:
                 session.members[i] = session.prober(i)
             self._charge_message(session, probe_request())
             self._charge_message(session, location_update())

@@ -1,0 +1,548 @@
+"""Wire clients: the blocking driver-side backend and an async caller.
+
+:class:`RemoteBackend` is the headline piece — a drop-in
+:class:`~repro.service.api.ServiceBackend` whose methods speak TCP
+instead of calling into a local service.  It implements the same
+convenience surface :func:`repro.simulation.run_service` drives
+(``open_session`` / ``report`` / ``report_many`` / ``update_pois`` /
+``session_metrics`` / ``metrics`` / ``get_space``), so an existing
+fleet driver runs unchanged against a remote server::
+
+    backend = RemoteBackend(host, port, space=local_mirror_space)
+    run_service(groups, policies, backend=backend, check_every=5)
+
+Three in-process conveniences need a client-side stand-in:
+
+* **Probers.**  A prober callable cannot cross the wire; the backend
+  keeps it locally and, at report time, gathers the other members'
+  states and ships them as the request's ``probes`` (schema v2).  The
+  server applies them exactly like prober answers and charges the same
+  probe traffic, so metrics stay bit-identical.
+* **Live regions.**  Responses carry region geometry by value; the
+  backend decodes it (:func:`repro.service.regions.decode_region`)
+  into live objects, so ``notification.regions[i].contains_point``
+  works client-side — the paper's actual client role.
+* **Spaces.**  A live space cannot cross the wire, but the driver's
+  exactness checks (and network-region decoding) need one.  The
+  backend holds local *mirror* spaces — built the same way the
+  server's were — and applies every ``update_pois`` batch to the
+  mirror too, so ``backend.get_space(...)`` always answers with the
+  server's current POI set.
+
+Server-side failures arrive as
+:class:`~repro.service.api.ErrorResponse` envelopes and are re-raised
+as their original exception types
+(:func:`~repro.service.api.raise_error_response`), so
+``UnknownSessionError`` et al. behave exactly as in-process.
+
+:class:`AsyncWireClient` is the thin coroutine-side counterpart used
+by concurrent benchmark drivers; it shares the frame protocol but none
+of the backend conveniences.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.service.api import (
+    CloseSessionRequest,
+    ErrorResponse,
+    NotificationPayload,
+    OpenSessionRequest,
+    ReportManyRequest,
+    ReportRequest,
+    Request,
+    Response,
+    UpdateLocationsRequest,
+    UpdatePoisRequest,
+    UpdatePolicyRequest,
+    raise_error_response,
+    response_from_dict,
+)
+from repro.service.messages import (
+    MemberState,
+    Notification,
+    ReportEvent,
+    SessionHandle,
+)
+from repro.service.session import Prober
+from repro.simulation.metrics import SimulationMetrics
+from repro.simulation.policies import Policy
+from repro.space import Space
+from repro.transport.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ConnectionClosed,
+    SyncFrameStream,
+    connect_stream,
+    read_frame,
+    write_frame,
+)
+
+
+class ControlError(RuntimeError):
+    """A control call failed without a typed error envelope."""
+
+
+def _raise_if_error(response: Response) -> Response:
+    if isinstance(response, ErrorResponse):
+        raise_error_response(response)
+    return response
+
+
+class WireClient:
+    """One blocking connection speaking the frame protocol.
+
+    Sequential request/response (ids are checked, not multiplexed):
+    the simplest correct client for straight-line fleet drivers.  Use
+    :class:`AsyncWireClient` to pipeline.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        timeout: Optional[float] = None,
+    ):
+        self.host = host
+        self.port = port
+        self._stream: SyncFrameStream = connect_stream(
+            host, port, max_frame_bytes, timeout
+        )
+        self._ids = itertools.count()
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "WireClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _roundtrip(self, frame: dict) -> dict:
+        self._stream.send(frame)
+        while True:
+            reply = self._stream.recv()
+            if not isinstance(reply, dict):
+                raise ControlError(f"malformed server frame: {reply!r}")
+            if reply.get("id") is None and "response" in reply:
+                # A connection-level error frame (oversized/junk input
+                # attributed to no request): surface it on whoever is
+                # waiting.
+                raise_error_response(ErrorResponse.from_dict(reply["response"]))
+            if reply.get("id") != frame["id"]:
+                raise ControlError(
+                    f"out-of-order reply {reply.get('id')!r} "
+                    f"(expected {frame['id']})"
+                )
+            return reply
+
+    def dispatch(self, request: Request) -> Response:
+        """One envelope over the wire; returns the response envelope
+        (which may be an :class:`ErrorResponse` — use :meth:`call` to
+        raise instead)."""
+        frame = {"id": next(self._ids), "request": request.to_dict()}
+        reply = self._roundtrip(frame)
+        if "response" not in reply:
+            raise ControlError(f"reply carries no response: {reply!r}")
+        return response_from_dict(reply["response"])
+
+    def call(self, request: Request) -> Response:
+        """Like :meth:`dispatch` but re-raises error envelopes."""
+        return _raise_if_error(self.dispatch(request))
+
+    def control(self, op: str, **params: object) -> object:
+        frame = {"id": next(self._ids), "control": {"op": op, **params}}
+        reply = self._roundtrip(frame)
+        if "response" in reply:  # control failures come back as errors
+            raise_error_response(ErrorResponse.from_dict(reply["response"]))
+        if "result" not in reply:
+            raise ControlError(f"reply carries no result: {reply!r}")
+        return reply["result"]
+
+
+@dataclass
+class _RemoteSession:
+    """Client-side per-session state a wire backend must keep."""
+
+    size: int
+    prober: Optional[Prober]
+    space: Optional[Space]  # local mirror, for network-region decoding
+
+
+class RemoteBackend:
+    """A ``ServiceBackend`` whose backend lives across a TCP connection.
+
+    See the module docstring.  ``space`` is the local mirror of the
+    server's default space (required for ``run_service`` exactness
+    checks and for decoding network regions; optional otherwise);
+    ``spaces`` maps registered names to their mirrors.  Mirrors receive
+    every ``update_pois`` batch this backend sends, so they track the
+    server's POI set exactly.
+    """
+
+    batched = True  # report_many crosses the wire as one envelope
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        space: Optional[Space] = None,
+        spaces: Optional[dict[str, Space]] = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        timeout: Optional[float] = None,
+        mirror_updates: bool = True,
+    ):
+        self.client = WireClient(
+            host, port, max_frame_bytes=max_frame_bytes, timeout=timeout
+        )
+        self._spaces = dict(spaces or {})
+        if space is not None:
+            self._spaces.setdefault("default", space)
+        self._space = self._spaces.get("default")
+        # A ProcessCluster front door shares one mirror set across many
+        # shard backends and applies each churn batch to it exactly
+        # once itself; mirror_updates=False opts this backend out.
+        self._mirror_updates = mirror_updates
+        self._sessions: dict[int, _RemoteSession] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle + plumbing
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self.client.close()
+
+    def __enter__(self) -> "RemoteBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def ping(self) -> bool:
+        return bool(self.client.control("ping").get("ok"))
+
+    def server_stats(self) -> dict:
+        return dict(self.client.control("stats"))
+
+    def shutdown_server(self) -> None:
+        """Ask the server to drain and stop (the graceful path)."""
+        self.client.control("shutdown")
+
+    def dispatch(self, request: Request) -> Response:
+        return self.client.dispatch(request)
+
+    # ------------------------------------------------------------------
+    # Local mirror spaces
+    # ------------------------------------------------------------------
+
+    @property
+    def space(self) -> Space:
+        if self._space is None:
+            raise ValueError(
+                "this RemoteBackend was built without a local mirror of the "
+                "server's default space; pass space=... to the constructor"
+            )
+        return self._space
+
+    def get_space(self, name: str = "default") -> Space:
+        if name == "default":
+            return self.space
+        try:
+            return self._spaces[name]
+        except KeyError:
+            raise ValueError(
+                f"no local mirror for space {name!r}; pass spaces={{...}} "
+                "to the constructor"
+            ) from None
+
+    def space_names(self) -> list[str]:
+        return list(self.client.control("space_names"))
+
+    def space_epoch(self, name: str = "default") -> object:
+        """The *server-side* epoch of the named (shared) space."""
+        return self.client.control("space_epoch", space=name)["epoch"]
+
+    def _mirror_for_ref(self, space: Union[None, str, Space]) -> Optional[Space]:
+        if isinstance(space, Space):
+            raise ValueError(
+                "a live space cannot cross the wire; register it on the "
+                "server and reference it by name"
+            )
+        if space is None:
+            return self._spaces.get("default")
+        return self._spaces.get(space)
+
+    # ------------------------------------------------------------------
+    # Decoding responses into live objects
+    # ------------------------------------------------------------------
+
+    def _notification(
+        self, payload: Optional[NotificationPayload], session_id: int
+    ) -> Optional[Notification]:
+        if payload is None:
+            return None
+        session = self._sessions.get(session_id)
+        space = session.space if session is not None else self._space
+        return Notification(
+            session_id=payload.session_id,
+            po=payload.po,
+            regions=payload.live_regions(space=space),
+            region_values=payload.region_values,
+            cpu_seconds=payload.cpu_seconds,
+            stats=payload.stats,
+            cause=payload.cause,
+        )
+
+    def _gather_probes(
+        self, session_id: int, exclude: int
+    ) -> Optional[tuple[tuple[int, MemberState], ...]]:
+        session = self._sessions.get(session_id)
+        if session is None or session.prober is None:
+            return None
+        return tuple(
+            (i, session.prober(i))
+            for i in range(session.size)
+            if i != exclude
+        )
+
+    # ------------------------------------------------------------------
+    # The convenience surface (what run_service drives)
+    # ------------------------------------------------------------------
+
+    def open_session(
+        self,
+        members: Sequence[Union[MemberState, object]],
+        policy: Policy,
+        prober: Optional[Prober] = None,
+        space: Union[None, str, Space] = None,
+        session_id: Optional[int] = None,
+    ) -> SessionHandle:
+        mirror = self._mirror_for_ref(space)
+        states = [
+            m if isinstance(m, MemberState) else MemberState(point=m)
+            for m in members
+        ]
+        response = self.client.call(
+            OpenSessionRequest(
+                members=tuple(states),
+                policy=policy,
+                space=space,
+                session_id=session_id,
+            )
+        )
+        self._sessions[response.session_id] = _RemoteSession(
+            size=response.size, prober=prober, space=mirror
+        )
+        return SessionHandle(
+            session_id=response.session_id,
+            size=response.size,
+            policy=response.policy,
+            strategy_name=response.strategy_name,
+            notification=self._notification(
+                response.notification, response.session_id
+            ),
+        )
+
+    def close_session(self, session_id: int) -> None:
+        self.client.call(CloseSessionRequest(session_id=session_id))
+        self._sessions.pop(session_id, None)
+
+    def session_ids(self) -> list[int]:
+        return [int(s) for s in self.client.control("session_ids")]
+
+    def session_metrics(self, session_id: int) -> SimulationMetrics:
+        data = self.client.control("session_metrics", session_id=session_id)
+        return SimulationMetrics(**data)
+
+    @property
+    def metrics(self) -> SimulationMetrics:
+        return SimulationMetrics(**self.client.control("metrics"))
+
+    def update_policy(self, session_id: int, policy: Policy) -> None:
+        self.client.call(
+            UpdatePolicyRequest(session_id=session_id, policy=policy)
+        )
+
+    def report(
+        self,
+        session_id: int,
+        member_id: int,
+        point,
+        heading: Optional[float] = None,
+        theta: Optional[float] = None,
+        probes: Optional[Sequence[tuple[int, MemberState]]] = None,
+    ) -> Optional[Notification]:
+        if probes is None:
+            probes = self._gather_probes(session_id, member_id)
+        response = self.client.call(
+            ReportRequest(
+                session_id=session_id,
+                member_id=member_id,
+                state=MemberState(point=point, heading=heading, theta=theta),
+                probes=None if probes is None else tuple(probes),
+            )
+        )
+        return self._notification(response.notification, session_id)
+
+    def attach_probes(
+        self, events: Sequence[ReportEvent]
+    ) -> list[ReportEvent]:
+        """Fill each event's ``probes`` from its session's local prober.
+
+        Events that already carry probes (or whose session has no
+        prober) pass through unchanged.
+        """
+        return [
+            event
+            if event.probes is not None
+            else dataclasses.replace(
+                event,
+                probes=self._gather_probes(
+                    event.session_id, event.member_id
+                ),
+            )
+            for event in events
+        ]
+
+    def validate_events(self, events: Sequence[ReportEvent]) -> None:
+        """Server-side all-or-nothing validation; mutates nothing."""
+        self.client.control(
+            "validate_events",
+            request=ReportManyRequest(events=tuple(events)).to_dict(),
+        )
+
+    def report_many(
+        self, events: Sequence[ReportEvent]
+    ) -> list[Optional[Notification]]:
+        events = self.attach_probes(events)
+        response = self.client.call(ReportManyRequest(events=tuple(events)))
+        return [
+            self._notification(payload, event.session_id)
+            for payload, event in zip(response.notifications, events)
+        ]
+
+    def update_locations(
+        self, session_id: int, members: Sequence[Union[MemberState, object]]
+    ) -> Notification:
+        states = [
+            m if isinstance(m, MemberState) else MemberState(point=m)
+            for m in members
+        ]
+        response = self.client.call(
+            UpdateLocationsRequest(
+                session_id=session_id, members=tuple(states)
+            )
+        )
+        return self._notification(response.notification, session_id)
+
+    def update_pois(
+        self,
+        adds: Sequence[tuple[object, object]] = (),
+        removes: Sequence[tuple[object, object]] = (),
+        space: Union[None, str, Space] = None,
+    ) -> list[Notification]:
+        mirror = self._mirror_for_ref(space)
+        response = self.client.call(
+            UpdatePoisRequest(
+                adds=tuple(adds), removes=tuple(removes), space=space
+            )
+        )
+        # The server accepted the whole batch; keep the local mirror in
+        # lock-step so exactness checks measure the same POI set.
+        if mirror is not None and self._mirror_updates:
+            mirror.bulk_update(adds, removes)
+        return [
+            self._notification(payload, payload.session_id)
+            for payload in response.notifications
+        ]
+
+    def add_poi(self, p, payload=None, space=None) -> list[Notification]:
+        return self.update_pois(adds=[(p, payload)], space=space)
+
+    def remove_poi(self, p, payload=None, space=None) -> list[Notification]:
+        return self.update_pois(removes=[(p, payload)], space=space)
+
+
+class AsyncWireClient:
+    """The coroutine-side caller: pipelined requests over one connection.
+
+    Unlike :class:`WireClient` this one multiplexes — many coroutines
+    may await :meth:`dispatch` concurrently; replies are matched by
+    frame id.  Used by the concurrency benchmarks to drive the server's
+    backpressure brake from a single process.
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
+        self.max_frame_bytes = max_frame_bytes
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._ids = itertools.count()
+        self._pending: dict[int, asyncio.Future] = {}
+        self._pump: Optional[asyncio.Task] = None
+
+    async def connect(self, host: str, port: int) -> "AsyncWireClient":
+        self._reader, self._writer = await asyncio.open_connection(host, port)
+        self._pump = asyncio.ensure_future(self._pump_replies())
+        return self
+
+    async def close(self) -> None:
+        if self._pump is not None:
+            self._pump.cancel()
+            try:
+                await self._pump
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._pump = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+
+    async def _pump_replies(self) -> None:
+        try:
+            while True:
+                reply = await read_frame(self._reader, self.max_frame_bytes)
+                if not isinstance(reply, dict):
+                    continue
+                future = self._pending.pop(reply.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(reply)
+        except (ConnectionClosed, ConnectionError, OSError, asyncio.CancelledError) as exc:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionClosed(f"connection lost: {exc!r}")
+                    )
+            self._pending.clear()
+
+    async def _roundtrip(self, frame: dict) -> dict:
+        future = asyncio.get_running_loop().create_future()
+        self._pending[frame["id"]] = future
+        await write_frame(self._writer, frame, self.max_frame_bytes)
+        return await future
+
+    async def dispatch(self, request: Request) -> Response:
+        frame = {"id": next(self._ids), "request": request.to_dict()}
+        reply = await self._roundtrip(frame)
+        return response_from_dict(reply["response"])
+
+    async def call(self, request: Request) -> Response:
+        return _raise_if_error(await self.dispatch(request))
+
+    async def control(self, op: str, **params: object) -> object:
+        frame = {"id": next(self._ids), "control": {"op": op, **params}}
+        reply = await self._roundtrip(frame)
+        if "response" in reply:
+            raise_error_response(ErrorResponse.from_dict(reply["response"]))
+        return reply["result"]

@@ -1,0 +1,166 @@
+"""Length-prefixed JSON framing — the bottom of the wire stack.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  Both directions speak the same framing; what the
+JSON *means* is the next layer up (:mod:`repro.transport.server` /
+:mod:`repro.transport.client`):
+
+* client -> server: ``{"id": n, "request": <request envelope>}`` or
+  ``{"id": n, "control": {"op": ..., ...}}``;
+* server -> client: ``{"id": n, "response": <response envelope>}``
+  (``op == "error"`` envelopes included) or ``{"id": n, "result":
+  <JSON>}`` for control answers.  ``"id": null`` marks a
+  protocol-level error no request id can be attributed to (a frame
+  whose body was not valid JSON, or one over the size limit).
+
+Failure taxonomy — decided here, acted on above:
+
+* a frame whose *length* exceeds the limit is unrecoverable: the
+  receiver cannot skip bytes it refused to read, so the connection
+  must close (:class:`FrameTooLargeError`);
+* a frame whose *body* is not valid JSON is recoverable: the framing
+  itself stayed intact, so the receiver reports the error and keeps
+  reading (:class:`FrameDecodeError`);
+* a partial frame (peer died mid-write) is end-of-stream
+  (:class:`ConnectionClosed`).
+
+The async side serves :class:`repro.transport.server.WireServer`; the
+sync side (:class:`SyncFrameStream`) is what the blocking client uses
+— a fleet driver is straight-line code, and a blocking socket keeps it
+that way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Optional
+
+HEADER = struct.Struct(">I")
+
+#: Default per-frame byte limit (either direction).  Generous — a
+#: 500-session churn response fits with room to spare — but finite, so
+#: one malicious or buggy peer cannot balloon server memory.
+DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+class TransportError(ConnectionError):
+    """Base class for wire-level failures."""
+
+
+class ConnectionClosed(TransportError):
+    """The peer closed (or died) mid-conversation."""
+
+
+class FrameTooLargeError(TransportError):
+    """A frame exceeded the size limit; the connection cannot recover."""
+
+    def __init__(self, size: int, limit: int):
+        super().__init__(f"frame of {size} bytes exceeds the {limit}-byte limit")
+        self.size = size
+        self.limit = limit
+
+
+class FrameDecodeError(TransportError):
+    """A complete frame's body was not valid JSON (framing stays intact)."""
+
+
+def encode_frame(obj: object, max_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
+    """``obj`` as one wire frame (header + compact JSON body)."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > max_bytes:
+        raise FrameTooLargeError(len(body), max_bytes)
+    return HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> object:
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise FrameDecodeError(f"frame body is not valid JSON: {exc}") from exc
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    max_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> object:
+    """Read one frame; raises :class:`ConnectionClosed` at end-of-stream."""
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionClosed("peer closed the connection") from exc
+    (size,) = HEADER.unpack(header)
+    if size > max_bytes:
+        raise FrameTooLargeError(size, max_bytes)
+    try:
+        body = await reader.readexactly(size)
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionClosed("peer died mid-frame") from exc
+    return decode_body(body)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter,
+    obj: object,
+    max_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> None:
+    writer.write(encode_frame(obj, max_bytes))
+    await writer.drain()
+
+
+class SyncFrameStream:
+    """Blocking frame I/O over a connected socket (the client side)."""
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ):
+        self._sock = sock
+        self.max_frame_bytes = max_frame_bytes
+
+    def send(self, obj: object) -> None:
+        self._sock.sendall(encode_frame(obj, self.max_frame_bytes))
+
+    def _read_exactly(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ConnectionClosed("server closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def recv(self) -> object:
+        header = self._read_exactly(HEADER.size)
+        (size,) = HEADER.unpack(header)
+        if size > self.max_frame_bytes:
+            raise FrameTooLargeError(size, self.max_frame_bytes)
+        return decode_body(self._read_exactly(size))
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close never fails on Linux
+            pass
+
+
+def connect_stream(
+    host: str,
+    port: int,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    timeout: Optional[float] = None,
+) -> SyncFrameStream:
+    """Dial the server and wrap the socket in a :class:`SyncFrameStream`.
+
+    ``timeout`` bounds every blocking socket operation (connect
+    included); ``None`` waits forever — the right default for a fleet
+    driver that would rather block than spuriously fail mid-run.
+    """
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return SyncFrameStream(sock, max_frame_bytes)

@@ -1,0 +1,508 @@
+"""Multi-process shard workers and the :class:`ProcessCluster` front door.
+
+:class:`repro.cluster.MPNCluster` shards sessions across services *in
+one process*; this module puts each shard in its **own OS process**
+behind the wire server — the deployment shape the in-process cluster
+was rehearsing for.  Each worker process builds its shard's space from
+a picklable zero-argument factory, wraps it in an epoch-published
+:class:`repro.space.SharedSpace`, and serves a
+:class:`~repro.service.MPNService` through a
+:class:`~repro.transport.server.WireServer` on an OS-assigned port.
+
+:class:`ProcessCluster` is the front door: it mirrors
+:class:`~repro.cluster.MPNCluster`'s routing exactly — the same
+consistent-hash ring over the same cluster-assigned session ids — but
+every hop is a wire round-trip through a per-shard
+:class:`~repro.transport.client.RemoteBackend`.  Fan-out semantics
+match the in-process cluster:
+
+* **Waves** (:meth:`report_many`) are validated on every involved
+  worker first (the ``validate_events`` control op mutates nothing),
+  then each worker serves its sub-batch in request order — a bad event
+  anywhere leaves every worker untouched, the single-service
+  all-or-nothing contract.
+* **POI churn** (:meth:`update_pois`) validates the whole batch
+  against the front door's local mirror first (the index's delta layer
+  raises on a bad removal before any worker hears anything), then fans
+  the batch to *every* worker; each applies it to its own replica —
+  one ``bulk_update``, hence exactly one new
+  :class:`~repro.space.SharedSpace` epoch per worker per batch — and
+  runs its own Lemma-1 re-notification sweep.  Merged notifications
+  come back in ascending session order, as a single service emits
+  them.
+* **Metrics** merge across workers exactly as shard metrics merge
+  in-process.
+
+Workers are **replicas by construction**: every process calls the same
+factory, so the factories must be deterministic (build from literal
+data or a seeded generator).  That is what makes mirror-side batch
+validation sound and keeps cluster answers bit-identical to a single
+service — proven over the wire by ``tests/test_wire_equivalence.py``.
+
+One numbering caveat against the in-process cluster: ``MPNCluster``
+burns a session id when a strategy fails *during* registration (after
+validation); this front door only advances its counter on success.
+The difference is observable only after a mid-registration strategy
+crash — never in a healthy run.
+
+Shutdown (:meth:`ProcessCluster.close`) is drain-and-stop: each worker
+acknowledges the ``shutdown`` control op, finishes its in-flight
+requests, closes its listener, and exits 0; the front door then joins
+the processes (terminating only those that outlive the timeout).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Union
+
+from repro.cluster.hashring import HashRing
+from repro.service.api import Request, Response, dispatch_request
+from repro.service.messages import (
+    MemberState,
+    Notification,
+    ReportEvent,
+    SessionHandle,
+)
+from repro.service.session import Prober
+from repro.simulation.metrics import SimulationMetrics
+from repro.simulation.policies import Policy
+from repro.space import Space, share_space
+from repro.transport.client import RemoteBackend
+from repro.transport.framing import DEFAULT_MAX_FRAME_BYTES
+from repro.transport.server import DEFAULT_MAX_INFLIGHT
+
+SpaceFactory = Callable[[], Space]
+
+
+@dataclass(frozen=True)
+class UniformPoiSpaceFactory:
+    """A picklable, deterministic space factory: seeded uniform POIs.
+
+    Worker processes are spawned, so their space factories must pickle
+    — a lambda closing over a POI list does not.  This one carries only
+    literals; every call (each worker, the front door's mirror, an
+    in-process twin in an equivalence test) rebuilds the identical
+    tree, which is exactly the replicas-by-construction contract.
+    """
+
+    n_pois: int = 300
+    seed: int = 7
+    world: tuple[float, float, float, float] = (0.0, 0.0, 1000.0, 1000.0)
+
+    def __call__(self) -> Space:
+        from repro.geometry.rect import Rect
+        from repro.space import as_space
+        from repro.workloads.poi import build_poi_tree, uniform_pois
+
+        x0, y0, x1, y1 = self.world
+        pois = uniform_pois(self.n_pois, Rect(x0, y0, x1, y1), seed=self.seed)
+        return as_space(build_poi_tree(pois))
+
+
+@dataclass(frozen=True)
+class GridNetworkSpaceFactory:
+    """Picklable road-network replica: perturbed grid + seeded POI nodes."""
+
+    grid_size: int = 5
+    seed: int = 33
+    n_pois: int = 10
+    poi_seed: int = 1
+
+    def __call__(self) -> Space:
+        import random
+
+        from repro.network_ext.space import NetworkSpace
+        from repro.space.network import NetworkPOISpace
+
+        net = NetworkSpace.from_grid(grid_size=self.grid_size, seed=self.seed)
+        rng = random.Random(self.poi_seed)
+        pois = rng.sample(list(net.graph.nodes), self.n_pois)
+        return NetworkPOISpace(net, pois)
+
+
+def _worker_main(
+    shard_index: int,
+    factory: SpaceFactory,
+    extra_factories: dict[str, SpaceFactory],
+    batched: bool,
+    host: str,
+    ready_queue,
+    max_frame_bytes: int,
+    max_inflight: int,
+    request_timeout: Optional[float],
+) -> None:  # pragma: no cover - runs in a child process
+    """One shard: build the replica space, serve it, drain on shutdown."""
+    import asyncio
+
+    from repro.service.service import MPNService
+    from repro.transport.server import WireServer
+
+    try:
+        service = MPNService(share_space(factory()), batched=batched)
+        for name, extra in extra_factories.items():
+            service.add_space(name, share_space(extra()))
+        server = WireServer(
+            service,
+            host=host,
+            port=0,
+            max_frame_bytes=max_frame_bytes,
+            max_inflight=max_inflight,
+            request_timeout=request_timeout,
+        )
+
+        async def main() -> None:
+            address = await server.start()
+            ready_queue.put((shard_index, address))
+            await server.serve_forever()
+
+        asyncio.run(main())
+    except Exception as exc:
+        ready_queue.put((shard_index, exc))
+        raise
+
+
+def _require_space_ref(space: Union[None, str, Space]) -> Optional[str]:
+    if space is None or isinstance(space, str):
+        return space
+    raise ValueError(
+        "cluster spaces are per-worker replicas; register the space by "
+        "name (extra_spaces=...) and reference it by that name"
+    )
+
+
+class ProcessCluster:
+    """A sharded ``ServiceBackend`` over worker *processes* on the wire.
+
+    ``space_factory`` (and each ``extra_spaces`` value) must be a
+    picklable zero-argument callable building the shard's space — a
+    module-level function or :func:`functools.partial`, not a lambda:
+    workers are spawned, and each one (plus the front door's local
+    mirror) calls it once.  ``ring_replicas`` defaults to
+    :class:`~repro.cluster.MPNCluster`'s, so both front doors route any
+    given session id to the same shard index.
+
+    The front door also keeps client-side session state (probers, the
+    mirror space for region decoding) through its per-shard
+    :class:`~repro.transport.client.RemoteBackend` objects, so
+    :func:`repro.simulation.run_service` drives a process cluster
+    exactly like an in-process backend.
+    """
+
+    batched = True
+
+    def __init__(
+        self,
+        num_shards: int,
+        space_factory: SpaceFactory,
+        *,
+        extra_spaces: Optional[dict[str, SpaceFactory]] = None,
+        batched: bool = True,
+        ring_replicas: int = 64,
+        host: str = "127.0.0.1",
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        request_timeout: Optional[float] = None,
+        spawn_timeout: float = 120.0,
+    ):
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        extra_spaces = dict(extra_spaces or {})
+        # The front door's own replica: answers ``.space`` /
+        # ``get_space`` reads locally and validates every churn batch
+        # before any worker sees it.
+        self._mirror = share_space(space_factory())
+        self._mirrors: dict[str, Space] = {"default": self._mirror}
+        for name, factory in extra_spaces.items():
+            self._mirrors[name] = share_space(factory())
+        self._ring = HashRing(range(num_shards), replicas=ring_replicas)
+        self._next_id = 0
+        self._closed = False
+
+        ctx = multiprocessing.get_context("spawn")
+        ready_queue = ctx.Queue()
+        self._processes = []
+        for shard_index in range(num_shards):
+            process = ctx.Process(
+                target=_worker_main,
+                args=(
+                    shard_index,
+                    space_factory,
+                    extra_spaces,
+                    batched,
+                    host,
+                    ready_queue,
+                    max_frame_bytes,
+                    max_inflight,
+                    request_timeout,
+                ),
+                daemon=True,
+                name=f"mpn-worker-{shard_index}",
+            )
+            process.start()
+            self._processes.append(process)
+        addresses: dict[int, tuple[str, int]] = {}
+        try:
+            for _ in range(num_shards):
+                shard_index, payload = ready_queue.get(timeout=spawn_timeout)
+                if isinstance(payload, Exception):
+                    raise RuntimeError(
+                        f"worker {shard_index} failed to start: {payload}"
+                    ) from payload
+                addresses[shard_index] = tuple(payload)
+        except Exception:
+            self._terminate_processes()
+            raise
+        # Every shard backend shares the front door's mirrors (regions
+        # decode against them) but must NOT apply churn to them — the
+        # front door applies each batch to the mirror exactly once.
+        self._shards = tuple(
+            RemoteBackend(
+                *addresses[i],
+                spaces=self._mirrors,
+                max_frame_bytes=max_frame_bytes,
+                mirror_updates=False,
+            )
+            for i in range(num_shards)
+        )
+
+    # ------------------------------------------------------------------
+    # Topology + lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple[RemoteBackend, ...]:
+        """The per-worker wire backends (read them, don't route around)."""
+        return self._shards
+
+    def shard_for(self, session_id: int) -> int:
+        return self._ring.shard_for(session_id)
+
+    def _shard(self, session_id: int) -> RemoteBackend:
+        return self._shards[self._ring.shard_for(session_id)]
+
+    def _terminate_processes(self) -> None:
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=10)
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain-and-stop every worker, then join the processes."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            try:
+                shard.shutdown_server()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            shard.close()
+        for process in self._processes:
+            process.join(timeout=timeout)
+        self._terminate_processes()
+
+    def __enter__(self) -> "ProcessCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def worker_exitcodes(self) -> list[Optional[int]]:
+        """Exit codes after :meth:`close` — all zero on a graceful drain."""
+        return [process.exitcode for process in self._processes]
+
+    # ------------------------------------------------------------------
+    # Spaces
+    # ------------------------------------------------------------------
+
+    @property
+    def space(self) -> Space:
+        return self._mirror
+
+    def get_space(self, name: str = "default") -> Space:
+        try:
+            return self._mirrors[name]
+        except KeyError:
+            raise ValueError(
+                f"no mirror for space {name!r}; build the cluster with "
+                "extra_spaces={...}"
+            ) from None
+
+    def space_names(self) -> list[str]:
+        return sorted(self._mirrors)
+
+    def worker_epochs(self, name: str = "default") -> list[object]:
+        """Each worker's published epoch for the named shared space."""
+        return [shard.space_epoch(name) for shard in self._shards]
+
+    # ------------------------------------------------------------------
+    # The wire face
+    # ------------------------------------------------------------------
+
+    def dispatch(self, request: Request) -> Response:
+        return dispatch_request(self, request)
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+
+    def open_session(
+        self,
+        members: Sequence[Union[MemberState, object]],
+        policy: Policy,
+        prober: Optional[Prober] = None,
+        space: Union[None, str, Space] = None,
+        session_id: Optional[int] = None,
+    ) -> SessionHandle:
+        _require_space_ref(space)
+        gid = self._next_id if session_id is None else session_id
+        handle = self._shards[self._ring.shard_for(gid)].open_session(
+            members, policy, prober=prober, space=space, session_id=gid
+        )
+        self._next_id = max(self._next_id, gid + 1)
+        return handle
+
+    def close_session(self, session_id: int) -> None:
+        self._shard(session_id).close_session(session_id)
+
+    def session_ids(self) -> list[int]:
+        return sorted(
+            session_id
+            for shard in self._shards
+            for session_id in shard.session_ids()
+        )
+
+    def session_metrics(self, session_id: int) -> SimulationMetrics:
+        return self._shard(session_id).session_metrics(session_id)
+
+    def update_policy(self, session_id: int, policy: Policy) -> None:
+        self._shard(session_id).update_policy(session_id, policy)
+
+    # ------------------------------------------------------------------
+    # The event protocol
+    # ------------------------------------------------------------------
+
+    def report(
+        self,
+        session_id: int,
+        member_id: int,
+        point,
+        heading: Optional[float] = None,
+        theta: Optional[float] = None,
+        probes: Optional[Sequence[tuple[int, MemberState]]] = None,
+    ) -> Optional[Notification]:
+        return self._shard(session_id).report(
+            session_id, member_id, point, heading, theta, probes=probes
+        )
+
+    def update_locations(
+        self, session_id: int, members: Sequence[Union[MemberState, object]]
+    ) -> Notification:
+        return self._shard(session_id).update_locations(session_id, members)
+
+    def report_many(
+        self, events: Sequence[ReportEvent]
+    ) -> list[Optional[Notification]]:
+        """A fleet wave across the workers, single-service-equivalent.
+
+        Probes are gathered client-side first (so validation sees the
+        exact events that will execute), every involved worker then
+        validates its sub-batch without mutating anything, and only
+        when all accept does any worker serve — the cross-shard
+        all-or-nothing contract of :class:`~repro.cluster.MPNCluster`.
+        Results land back in request order.
+        """
+        split: dict[int, list[tuple[int, ReportEvent]]] = {}
+        for index, event in enumerate(events):
+            shard_index = self._ring.shard_for(event.session_id)
+            split.setdefault(shard_index, []).append((index, event))
+        ordered = sorted(split.items())
+        prepared: dict[int, list[tuple[int, ReportEvent]]] = {}
+        for shard_index, shard_events in ordered:
+            shard = self._shards[shard_index]
+            prepared[shard_index] = [
+                (event_index, with_probes)
+                for (event_index, _), with_probes in zip(
+                    shard_events,
+                    shard.attach_probes([e for _, e in shard_events]),
+                )
+            ]
+        for shard_index, shard_events in ordered:
+            self._shards[shard_index].validate_events(
+                [event for _, event in prepared[shard_index]]
+            )
+        out: list[Optional[Notification]] = [None] * len(events)
+        for shard_index, _ in ordered:
+            shard = self._shards[shard_index]
+            shard_events = prepared[shard_index]
+            notifications = shard.report_many(
+                [event for _, event in shard_events]
+            )
+            for (event_index, _), notification in zip(
+                shard_events, notifications
+            ):
+                out[event_index] = notification
+        return out
+
+    # ------------------------------------------------------------------
+    # Dynamic POI updates
+    # ------------------------------------------------------------------
+
+    def update_pois(
+        self,
+        adds: Sequence[tuple[object, object]] = (),
+        removes: Sequence[tuple[object, object]] = (),
+        space: Union[None, str, Space] = None,
+    ) -> list[Notification]:
+        """One churn batch: validate on the mirror, fan to every worker.
+
+        The front door's mirror replica absorbs the batch first — its
+        delta layer validates all-or-nothing, so a bad removal raises
+        here and no worker ever observes a partial batch (workers are
+        replicas of the mirror, so what the mirror accepts they
+        accept).  Each worker then applies the same batch to its own
+        index — bumping its shared space's epoch exactly once — and
+        re-notifies its own invalidated sessions.  Merged notifications
+        come back in ascending session order.
+        """
+        name = _require_space_ref(space)
+        mirror = self.get_space(name or "default")
+        mirror.bulk_update(adds, removes)
+        notifications: list[Notification] = []
+        for shard in self._shards:
+            notifications.extend(
+                shard.update_pois(adds=adds, removes=removes, space=space)
+            )
+        notifications.sort(key=lambda n: n.session_id)
+        return notifications
+
+    def add_poi(self, p, payload=None, space=None) -> list[Notification]:
+        return self.update_pois(adds=[(p, payload)], space=space)
+
+    def remove_poi(self, p, payload=None, space=None) -> list[Notification]:
+        return self.update_pois(removes=[(p, payload)], space=space)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics(self) -> SimulationMetrics:
+        """Cluster-wide counters: the merge of every worker's aggregate."""
+        merged = SimulationMetrics()
+        for shard in self._shards:
+            merged.merge(shard.metrics)
+        return merged
+
+    def shard_metrics(self) -> list[SimulationMetrics]:
+        return [shard.metrics for shard in self._shards]
+
+    def server_stats(self) -> list[dict]:
+        """Each worker's transport-level stats, in shard order."""
+        return [shard.server_stats() for shard in self._shards]

@@ -1,0 +1,430 @@
+"""The wire stack end to end: framing, server, clients, controls.
+
+Everything here runs the real :class:`~repro.transport.WireServer` on
+a background thread (:class:`~repro.transport.ThreadedWireServer`) and
+talks to it over real TCP sockets on loopback — no mocks.  The
+socket-abuse battery lives in ``tests/test_transport_robustness.py``;
+answer-equivalence proofs live in ``tests/test_wire_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.service import (
+    CloseSessionRequest,
+    CloseSessionResponse,
+    ErrorResponse,
+    MemberState,
+    MPNService,
+    OpenSessionResponse,
+    ReportEvent,
+    ReportRequest,
+    UnknownSessionError,
+    UnknownSpaceError,
+)
+from repro.simulation.policies import circle_policy, tile_policy
+from repro.space import Space, share_space
+from repro.transport import (
+    AsyncWireClient,
+    ConnectionClosed,
+    FrameDecodeError,
+    FrameTooLargeError,
+    RemoteBackend,
+    ThreadedWireServer,
+    UniformPoiSpaceFactory,
+    WireClient,
+    decode_body,
+    encode_frame,
+)
+from tests.conftest import SMALL_WORLD
+
+FACTORY = UniformPoiSpaceFactory(n_pois=250, seed=9)
+
+
+# ----------------------------------------------------------------------
+# Framing (pure units)
+# ----------------------------------------------------------------------
+
+
+class TestFraming:
+    def test_frame_round_trips(self):
+        frame = encode_frame({"id": 3, "control": {"op": "ping"}})
+        size = int.from_bytes(frame[:4], "big")
+        assert len(frame) == 4 + size
+        assert decode_body(frame[4:]) == {"id": 3, "control": {"op": "ping"}}
+
+    def test_oversized_frame_refused_at_encode_time(self):
+        with pytest.raises(FrameTooLargeError) as caught:
+            encode_frame({"blob": "x" * 100}, max_bytes=50)
+        assert caught.value.limit == 50
+        assert caught.value.size > 50
+
+    def test_junk_body_raises_decode_error(self):
+        with pytest.raises(FrameDecodeError):
+            decode_body(b"{not json")
+        with pytest.raises(FrameDecodeError):
+            decode_body(b"\xff\xfe\x00")
+
+
+# ----------------------------------------------------------------------
+# The request/control surface over a live server
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="class")
+def served():
+    service = MPNService(share_space(FACTORY()))
+    with ThreadedWireServer(service) as server:
+        yield server, service
+
+
+class TestWireClient:
+    def test_dispatch_returns_envelopes_call_raises(self, served, rng):
+        server, _ = served
+        with WireClient(*server.address) as client:
+            opened = client.call(
+                _open_request([SMALL_WORLD.sample(rng) for _ in range(2)])
+            )
+            assert isinstance(opened, OpenSessionResponse)
+            closed = client.call(CloseSessionRequest(opened.session_id))
+            assert closed == CloseSessionResponse(session_id=opened.session_id)
+
+            # dispatch() hands back the error envelope...
+            error = client.dispatch(CloseSessionRequest(opened.session_id))
+            assert isinstance(error, ErrorResponse)
+            assert error.code == "unknown_session"
+            # ...call() raises it as the typed exception.
+            with pytest.raises(UnknownSessionError):
+                client.call(CloseSessionRequest(opened.session_id))
+
+    def test_control_surface(self, served, rng):
+        server, service = served
+        backend = RemoteBackend(*server.address)
+        try:
+            assert backend.ping()
+            handle = backend.open_session(
+                [SMALL_WORLD.sample(rng) for _ in range(2)], circle_policy()
+            )
+            assert backend.session_ids() == service.session_ids()
+            assert backend.space_names() == service.space_names()
+            assert backend.space_epoch() == service.space.epoch
+            assert backend.metrics == service.metrics
+            assert backend.session_metrics(
+                handle.session_id
+            ) == service.session_metrics(handle.session_id)
+            stats = backend.server_stats()
+            assert stats["sessions"] == len(service.session_ids())
+            assert stats["requests_served"] > 0
+            assert stats["max_inflight"] == server.server.max_inflight
+            backend.close_session(handle.session_id)
+        finally:
+            backend.close()
+
+    def test_unknown_control_op_is_an_error(self, served):
+        server, _ = served
+        with WireClient(*server.address) as client:
+            with pytest.raises(ValueError, match="unknown control op"):
+                client.control("warp_drive")
+
+    def test_unknown_space_epoch_is_typed(self, served):
+        server, _ = served
+        backend = RemoteBackend(*server.address)
+        try:
+            with pytest.raises((UnknownSpaceError, ValueError)):
+                backend.space_epoch("mars")
+        finally:
+            backend.close()
+
+
+def _open_request(points, policy=None):
+    from repro.service import OpenSessionRequest
+
+    return OpenSessionRequest(
+        members=tuple(MemberState(p) for p in points),
+        policy=policy or circle_policy(),
+    )
+
+
+# ----------------------------------------------------------------------
+# RemoteBackend: the drop-in ServiceBackend
+# ----------------------------------------------------------------------
+
+
+class TestRemoteBackend:
+    def test_full_lifecycle_with_live_regions(self, served, rng):
+        server, service = served
+        backend = RemoteBackend(*server.address, space=FACTORY())
+        try:
+            members = [SMALL_WORLD.sample(rng) for _ in range(3)]
+            handle = backend.open_session(members, circle_policy())
+            # Regions arrive decoded into live geometry: the client can
+            # run contains_point locally — the paper's Fig. 3 client role.
+            assert handle.notification.regions
+            for region, member in zip(handle.notification.regions, members):
+                assert isinstance(region, Circle)
+                assert region.contains_point(member)
+
+            notification = backend.report(
+                handle.session_id, 0, SMALL_WORLD.sample(rng)
+            )
+            assert notification is not None and notification.cause == "report"
+            wave = backend.report_many(
+                [
+                    ReportEvent(
+                        handle.session_id,
+                        1,
+                        MemberState(SMALL_WORLD.sample(rng)),
+                    )
+                ]
+            )
+            assert len(wave) == 1
+
+            refreshed = backend.update_locations(
+                handle.session_id,
+                [MemberState(SMALL_WORLD.sample(rng)) for _ in range(3)],
+            )
+            assert refreshed.cause == "refresh"
+            backend.update_policy(
+                handle.session_id, tile_policy(alpha=5, split_level=1)
+            )
+            assert (
+                service.session(handle.session_id).policy.strategy_name
+                == "tile"
+            )
+
+            victim = service.session(handle.session_id).po
+            churn = backend.remove_poi(victim)
+            assert [n.session_id for n in churn] == [handle.session_id]
+            backend.add_poi(SMALL_WORLD.sample(rng))
+            backend.close_session(handle.session_id)
+            assert handle.session_id not in backend.session_ids()
+        finally:
+            backend.close()
+
+    def test_mirror_space_tracks_server_churn(self, served, rng):
+        server, service = served
+        backend = RemoteBackend(*server.address, space=FACTORY())
+        try:
+            epoch_before = backend.space_epoch()
+            add = SMALL_WORLD.sample(rng)
+            backend.update_pois(adds=[(add, None)])
+            # The server's shared space published a new epoch...
+            assert backend.space_epoch() != epoch_before
+            # ...and the local mirror absorbed the same batch, so both
+            # sides answer GNN queries identically.
+            probe = SMALL_WORLD.sample(rng)
+            assert backend.space.poi_count() == service.space.poi_count()
+            assert backend.space.gnn([probe]) == service.space.gnn([probe])
+        finally:
+            backend.close()
+
+    def test_prober_is_kept_client_side(self, served, rng):
+        server, service = served
+        backend = RemoteBackend(*server.address)
+        try:
+            fresh = [MemberState(SMALL_WORLD.sample(rng)) for _ in range(3)]
+            probed = []
+
+            def prober(i):
+                probed.append(i)
+                return fresh[i]
+
+            handle = backend.open_session(
+                [SMALL_WORLD.sample(rng) for _ in range(3)],
+                circle_policy(),
+                prober=prober,
+            )
+            backend.report(handle.session_id, 0, SMALL_WORLD.sample(rng))
+            assert sorted(probed) == [1, 2]
+            # The server observed the probed states by value.
+            session = service.session(handle.session_id)
+            assert session.members[1].point == fresh[1].point
+            backend.close_session(handle.session_id)
+        finally:
+            backend.close()
+
+    def test_live_space_refuses_the_wire(self, served):
+        server, _ = served
+        backend = RemoteBackend(*server.address)
+        try:
+            with pytest.raises(ValueError, match="cannot cross the wire"):
+                backend.update_pois(
+                    adds=[(Point(1.0, 1.0), None)], space=FACTORY()
+                )
+        finally:
+            backend.close()
+
+    def test_missing_mirror_is_a_clear_error(self, served):
+        server, _ = served
+        backend = RemoteBackend(*server.address)
+        try:
+            with pytest.raises(ValueError, match="local mirror"):
+                _ = backend.space
+            with pytest.raises(ValueError, match="local mirror"):
+                backend.get_space("roads")
+        finally:
+            backend.close()
+
+
+# ----------------------------------------------------------------------
+# Degradation knobs: timeouts, backpressure, drain
+# ----------------------------------------------------------------------
+
+
+class SlowBackend:
+    """A backend whose dispatch blocks — for timeout/backpressure tests."""
+
+    def __init__(self, delay: float):
+        self.delay = delay
+
+    def dispatch(self, request):
+        time.sleep(self.delay)
+        return CloseSessionResponse(session_id=request.session_id)
+
+    def session_ids(self):
+        return []
+
+
+class TestDegradation:
+    def test_request_timeout_becomes_an_error_envelope(self):
+        with ThreadedWireServer(
+            SlowBackend(0.5), request_timeout=0.05
+        ) as server:
+            with WireClient(*server.address, timeout=10.0) as client:
+                error = client.dispatch(CloseSessionRequest(session_id=1))
+                assert isinstance(error, ErrorResponse)
+                assert error.code == "timeout"
+                with pytest.raises(TimeoutError):
+                    client.call(CloseSessionRequest(session_id=2))
+
+    def test_backpressure_brake_engages_and_recovers(self):
+        """Pipelining past max_inflight stalls the read loop (counted in
+        stats) but every request is still answered, in order."""
+        n_requests = 12
+        with ThreadedWireServer(
+            SlowBackend(0.01), max_inflight=2
+        ) as server:
+
+            async def pipeline():
+                client = AsyncWireClient()
+                await client.connect(*server.address)
+                try:
+                    return await asyncio.gather(
+                        *(
+                            client.call(CloseSessionRequest(session_id=i))
+                            for i in range(n_requests)
+                        )
+                    )
+                finally:
+                    await client.close()
+
+            replies = asyncio.run(pipeline())
+            assert [r.session_id for r in replies] == list(range(n_requests))
+            assert server.server.backpressure_waits > 0
+            assert server.server.requests_served == n_requests
+
+    def test_errors_sent_counter_tracks_error_envelopes(self):
+        service = MPNService(share_space(FACTORY()))
+        with ThreadedWireServer(service) as server:
+            with WireClient(*server.address) as client:
+                client.dispatch(CloseSessionRequest(session_id=404))
+                client.dispatch(CloseSessionRequest(session_id=405))
+            assert server.server.errors_sent == 2
+
+    def test_shutdown_control_drains_and_refuses_new_connections(self, rng):
+        service = MPNService(share_space(FACTORY()))
+        server = ThreadedWireServer(service)
+        address = server.start()
+        try:
+            backend = RemoteBackend(*address)
+            handle = backend.open_session(
+                [SMALL_WORLD.sample(rng) for _ in range(2)], circle_policy()
+            )
+            assert handle.notification is not None
+            backend.shutdown_server()
+            backend.close()
+            # The listener is gone: a fresh dial must fail.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                try:
+                    WireClient(*address, timeout=0.2).close()
+                except (ConnectionError, OSError, ConnectionClosed):
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("server still accepting after shutdown")
+        finally:
+            server.stop()
+
+
+# ----------------------------------------------------------------------
+# The async client multiplexes one connection
+# ----------------------------------------------------------------------
+
+
+class TestAsyncWireClient:
+    def test_concurrent_requests_multiplex_correctly(self, served, rng):
+        server, _ = served
+        points = [SMALL_WORLD.sample(rng) for _ in range(2)]
+
+        async def drive():
+            client = AsyncWireClient()
+            await client.connect(*server.address)
+            try:
+                opened = await client.call(_open_request(points))
+                sid = opened.session_id
+                pings, report = await asyncio.gather(
+                    asyncio.gather(
+                        *(client.control("ping") for _ in range(16))
+                    ),
+                    client.call(
+                        ReportRequest(
+                            session_id=sid,
+                            member_id=0,
+                            state=MemberState(SMALL_WORLD.sample(rng)),
+                        )
+                    ),
+                )
+                await client.call(CloseSessionRequest(sid))
+                return pings, report
+            finally:
+                await client.close()
+
+        pings, report = asyncio.run(drive())
+        assert all(p == {"ok": True} for p in pings)
+        assert report.session_id is not None
+
+    def test_connection_loss_fails_pending_futures(self):
+        with ThreadedWireServer(SlowBackend(0.5)) as server:
+
+            async def drive():
+                client = AsyncWireClient()
+                await client.connect(*server.address)
+                pending = asyncio.ensure_future(
+                    client.call(CloseSessionRequest(session_id=1))
+                )
+                await asyncio.sleep(0.05)
+                client._writer.close()
+                with pytest.raises((ConnectionClosed, ConnectionError)):
+                    await pending
+                await client.close()
+
+            asyncio.run(drive())
+
+
+def test_space_factories_are_picklable_and_deterministic():
+    """The replicas-by-construction contract ProcessCluster relies on."""
+    import pickle
+
+    factory = pickle.loads(pickle.dumps(FACTORY))
+    a, b = factory(), FACTORY()
+    assert isinstance(a, Space)
+    probe = Point(123.0, 456.0)
+    assert a.poi_count() == b.poi_count()
+    assert a.gnn([probe]) == b.gnn([probe])

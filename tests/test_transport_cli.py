@@ -1,0 +1,71 @@
+"""The transport entry points, in-process.
+
+``python -m repro.transport.serve`` and ``python -m
+repro.transport.smoke`` are CI's end-to-end liveness checks; these
+tests run their ``main()`` functions here so the CLI wiring — argument
+parsing, the bound-address banner, shutdown-drains-to-exit-0, the
+subprocess smoke — is exercised by the tier-1 suite too.
+"""
+
+from __future__ import annotations
+
+import io
+import threading
+import time
+from contextlib import redirect_stdout
+
+from repro.cluster import MPNCluster
+from repro.service.service import MPNService
+from repro.transport import WireClient
+from repro.transport.serve import build_backend
+from repro.transport.serve import main as serve_main
+from repro.transport.smoke import main as smoke_main
+
+
+class TestServeCli:
+    def test_serves_until_shutdown_and_returns_zero(self):
+        buf = io.StringIO()
+        result: dict[str, int] = {}
+
+        def run():
+            with redirect_stdout(buf):
+                result["code"] = serve_main(
+                    ["--port", "0", "--pois", "120", "--max-inflight", "8"]
+                )
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            banner = buf.getvalue()
+            if banner.startswith("listening on ") and "\n" in banner:
+                break
+            time.sleep(0.01)
+        else:
+            raise AssertionError(f"no listening banner: {buf.getvalue()!r}")
+        address = banner.splitlines()[0].removeprefix("listening on ")
+        host, _, port = address.rpartition(":")
+        with WireClient(host, int(port), timeout=15.0) as client:
+            assert client.control("ping") == {"ok": True}
+            assert client.control("stats")["sessions"] == 0
+            client.control("shutdown")
+        thread.join(timeout=15.0)
+        assert not thread.is_alive(), "server did not drain after shutdown"
+        assert result["code"] == 0
+
+    def test_build_backend_single_and_sharded(self):
+        single = build_backend(50, 3, 1, True)
+        assert isinstance(single, MPNService)
+        cluster = build_backend(50, 3, 2, False)
+        assert isinstance(cluster, MPNCluster)
+        assert cluster.num_shards == 2
+        # Same POI seed: both backends serve the same venue set.
+        assert single.space.poi_count() == cluster.space.poi_count()
+
+
+class TestSmokeCli:
+    def test_smoke_runs_every_op_and_drains(self, capsys):
+        assert smoke_main() == 0
+        out = capsys.readouterr().out
+        assert "server exit code: 0" in out
+        assert "transport smoke: OK" in out
