@@ -10,13 +10,17 @@ Two suites:
   serving stack: sequential round-trip latency plus >= 8 concurrent
   pipelining clients with the backpressure brake engaged) and appends
   p50/p99 latency and throughput to ``BENCH_wire.json``.
+* ``--suite elastic`` — runs ``benchmarks/test_micro_elastic.py``
+  (live reshard: migration latency, remap fraction, per-session wire
+  handoff latency, with the minimal-remap gates armed) and appends the
+  numbers to ``BENCH_elastic.json``.
 
 Each file is a JSON list, newest entry last, so the trajectory can be
 tracked commit over commit.
 
 Usage (from the repo root)::
 
-    PYTHONPATH=src python benchmarks/record_bench.py [--suite churn|wire]
+    PYTHONPATH=src python benchmarks/record_bench.py [--suite churn|wire|elastic]
 
 A run aborts — and records nothing — if any benchmark test fails,
 including the suites' structural gates (churn speedup, backpressure
@@ -175,16 +179,64 @@ def record_wire() -> int:
     return 0
 
 
+def record_elastic() -> int:
+    collector = _Collector(
+        "test_micro_elastic",
+        ("N_POIS", "N_SHARDS", "N_SESSIONS", "WIRE_SESSIONS"),
+    )
+    code = _run(collector, BENCH_DIR / "test_micro_elastic.py")
+    if code != 0:
+        print("benchmark run failed; nothing recorded", file=sys.stderr)
+        return code
+    recorded = collector.recorded
+    if not {"elastic_migration", "elastic_wire_handoff"} <= set(recorded):
+        print("benchmark timings missing; nothing recorded", file=sys.stderr)
+        return 1
+
+    migration = recorded["elastic_migration"]
+    handoff = recorded["elastic_wire_handoff"]
+    entry = {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "commit": _git_commit(),
+        "scale": collector.scale,
+        "results": {
+            "elastic_migration": dict(migration),
+            "elastic_wire_handoff": dict(handoff),
+        },
+        "gate": {
+            "minimal_remap": True,  # armed inside the benchmark itself
+            "remap_fraction": migration["remap_fraction"],
+            "max_remap_fraction": 2.5 / (collector.scale["n_shards"] + 1),
+        },
+    }
+    _append(REPO_ROOT / "BENCH_elastic.json", entry)
+    print(
+        f"  migration   {migration['moved_sessions']} sessions in "
+        f"{migration['grow_seconds'] * 1000.0:.1f} ms "
+        f"({migration['grow_per_session_ms']:.2f} ms/session, "
+        f"remap fraction {migration['remap_fraction']:.3f})"
+    )
+    print(
+        f"  handoff     p50 {handoff['p50_ms']:.3f} ms  "
+        f"p99 {handoff['p99_ms']:.3f} ms per session over TCP"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("churn", "wire"),
+        choices=("churn", "wire", "elastic"),
         default="churn",
         help="which benchmark suite to run and record",
     )
     args = parser.parse_args(argv)
-    return record_churn() if args.suite == "churn" else record_wire()
+    if args.suite == "churn":
+        return record_churn()
+    if args.suite == "wire":
+        return record_wire()
+    return record_elastic()
 
 
 if __name__ == "__main__":

@@ -12,5 +12,13 @@ bit-identical to an unsharded service.
 
 from repro.cluster.cluster import MPNCluster, SpaceFactory
 from repro.cluster.hashring import HashRing
+from repro.cluster.load import ShardLoad, collect_shard_loads, hot_shards
 
-__all__ = ["MPNCluster", "SpaceFactory", "HashRing"]
+__all__ = [
+    "MPNCluster",
+    "SpaceFactory",
+    "HashRing",
+    "ShardLoad",
+    "collect_shard_loads",
+    "hot_shards",
+]

@@ -57,7 +57,14 @@ from typing import Callable, Optional, Sequence, Union
 from repro.geometry.point import Point
 from repro.index.backend import SpatialIndex
 from repro.cluster.hashring import HashRing
-from repro.service.api import Request, Response, dispatch_request
+from repro.cluster.load import ShardLoad, collect_shard_loads, hot_shards
+from repro.service.api import (
+    Request,
+    Response,
+    ServiceSnapshot,
+    SessionSnapshot,
+    dispatch_request,
+)
 from repro.service.errors import UnknownSessionError
 from repro.service.messages import (
     MemberState,
@@ -141,11 +148,20 @@ class MPNCluster:
         shared = _build_shared(
             space_factory if space_factory is not None else as_space(tree)
         )
-        self._shards = tuple(
-            MPNService(shared, batched=batched) for _ in range(num_shards)
-        )
+        self._shared_spaces: dict[str, SharedSpace] = {"default": shared}
+        self._shards: dict[int, MPNService] = {
+            shard_id: MPNService(shared, batched=batched)
+            for shard_id in range(num_shards)
+        }
         self._ring = HashRing(range(num_shards), replicas=ring_replicas)
         self._next_id = 0
+        # Shard ids are never recycled: a reused id would alias a
+        # retired shard's identity in load baselines and operator logs.
+        self._next_shard_id = num_shards
+        # Merged aggregates of shards removed by remove_shard(): their
+        # traffic was really served, so cluster-wide counters keep it.
+        self._retired = SimulationMetrics()
+        self._load_baselines: dict[int, tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -157,15 +173,34 @@ class MPNCluster:
 
     @property
     def shards(self) -> tuple[MPNService, ...]:
-        """The per-shard workers (read them, don't route around them)."""
-        return self._shards
+        """The per-shard workers in shard-id order (read them, don't
+        route around them).  Shard ids are stable but — after a
+        ``remove_shard`` — not necessarily contiguous; index this tuple
+        positionally only on a never-reshaped cluster, else go through
+        :meth:`shard`."""
+        return tuple(self._shards[i] for i in sorted(self._shards))
+
+    def shard_ids(self) -> list[int]:
+        """Current shard ids, ascending."""
+        return sorted(self._shards)
+
+    def shard(self, shard_id: int) -> MPNService:
+        """The worker serving ``shard_id``."""
+        try:
+            return self._shards[shard_id]
+        except KeyError:
+            raise ValueError(f"no shard {shard_id}") from None
 
     def shard_for(self, session_id: int) -> int:
-        """The index of the shard owning ``session_id``."""
+        """The id of the shard owning ``session_id``."""
         return self._ring.shard_for(session_id)
 
     def _shard(self, session_id: int) -> MPNService:
         return self._shards[self._ring.shard_for(session_id)]
+
+    def _front_shard(self) -> MPNService:
+        """Any live shard (they all share the same space registry)."""
+        return self._shards[min(self._shards)]
 
     # ------------------------------------------------------------------
     # Spaces (epoch-shared publications, referenced by name)
@@ -178,7 +213,7 @@ class MPNCluster:
         Every shard serves this same published space, so it answers
         exactness queries for the whole cluster.
         """
-        return self._shards[0].space
+        return self._front_shard().space
 
     def add_space(
         self, name: str, space: Union[Space, SpaceFactory]
@@ -189,20 +224,22 @@ class MPNCluster:
         replicable live space (:func:`repro.space.replicate_space`
         copies it once; the original object stays the caller's and is
         never mutated by the cluster).  All shards register the same
-        :class:`repro.space.SharedSpace` publication.
+        :class:`repro.space.SharedSpace` publication — shards added
+        later (:meth:`add_shard`) register it at birth.
         """
         shared = _build_shared(space)
-        for shard in self._shards:
+        for shard in self._shards.values():
             shard.add_space(name, shared)
+        self._shared_spaces[name] = shared
 
     def get_space(self, name: str = "default") -> Space:
         """The cluster's epoch-shared publication of the named space."""
         if name == "default":
             return self.space
-        return self._shards[0].get_space(name)
+        return self._front_shard().get_space(name)
 
     def space_names(self) -> list[str]:
-        return self._shards[0].space_names()
+        return self._front_shard().space_names()
 
     # ------------------------------------------------------------------
     # The wire face
@@ -234,22 +271,33 @@ class MPNCluster:
         _require_space_ref(space)
         gid = self._next_id if session_id is None else session_id
         shard = self._shard(gid)
-        # Mirror the single service's numbering exactly: validation
-        # failures consume no id; only a strategy failing *during*
-        # registration (below, after the bump) burns one — which is
-        # precisely when MPNService burns one too.
         strategy, resolved = shard.validate_open(members, policy, space=space)
-        if session_id is not None:
-            try:
-                shard.session(gid)
-            except UnknownSessionError:
-                pass
-            else:
-                raise ValueError(f"session id {gid} is already in use")
-        self._next_id = max(self._next_id, gid + 1)
-        return shard._open_validated(
+        # Duplicate detection is topology-aware: an explicit id is
+        # checked against *every* shard, not just the ring's current
+        # owner — resharding (or a failover restore) may have placed
+        # the original elsewhere, and an off-owner duplicate would
+        # silently split the session's identity.
+        if session_id is not None and self._owner_of(gid) is not None:
+            raise ValueError(f"session id {gid} is already in use")
+        # Numbering mirrors the single service exactly: the id is
+        # consumed only once registration succeeds, so neither a
+        # validation failure nor a strategy failing mid-registration
+        # burns one.
+        handle = shard._open_validated(
             members, policy, strategy, resolved, prober, gid
         )
+        self._next_id = max(self._next_id, gid + 1)
+        return handle
+
+    def _owner_of(self, session_id: int) -> Optional[int]:
+        """The shard id actually holding ``session_id``, or ``None``."""
+        for shard_id, shard in self._shards.items():
+            try:
+                shard.session(session_id)
+            except UnknownSessionError:
+                continue
+            return shard_id
+        return None
 
     def close_session(self, session_id: int) -> None:
         self._shard(session_id).close_session(session_id)
@@ -260,7 +308,7 @@ class MPNCluster:
     def session_ids(self) -> list[int]:
         return sorted(
             session_id
-            for shard in self._shards
+            for shard in self._shards.values()
             for session_id in shard.session_ids()
         )
 
@@ -269,6 +317,124 @@ class MPNCluster:
 
     def update_policy(self, session_id: int, policy: Policy) -> None:
         self._shard(session_id).update_policy(session_id, policy)
+
+    # ------------------------------------------------------------------
+    # Elastic operations: live reshard, migration, snapshots
+    # ------------------------------------------------------------------
+
+    def add_shard(self) -> int:
+        """Grow the cluster by one shard, migrating sessions live.
+
+        A fresh :class:`~repro.service.MPNService` joins under a
+        never-used shard id, serving the same epoch-shared spaces.
+        Consistent hashing moves only ~``1/(n+1)`` of the sessions —
+        all of them *to* the newcomer (see
+        :class:`~repro.cluster.hashring.HashRing`) — and each moves
+        through the :class:`~repro.service.api.SessionSnapshot` codec:
+        members, meeting point, safe regions and per-session counters
+        resume verbatim, probers ride along in-process.  Migration
+        recomputes nothing and charges nothing, so the fleet's
+        notification stream is bit-identical to a run that never
+        resharded.  Returns the new shard's id.
+        """
+        shard_id = self._next_shard_id
+        self._next_shard_id += 1
+        service = MPNService(
+            self._shared_spaces["default"], batched=self.batched
+        )
+        for name, shared in self._shared_spaces.items():
+            if name != "default":
+                service.add_space(name, shared)
+        new_ring = self._ring.copy()
+        new_ring.add_shard(shard_id)
+        moved = new_ring.moved_keys(self._ring, self.session_ids())
+        self._migrate(moved, {shard_id: service})
+        self._shards[shard_id] = service
+        self._ring = new_ring
+        return shard_id
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Retire one shard, migrating its sessions to the survivors.
+
+        Consistent hashing guarantees only the departing shard's
+        sessions move — each to whichever survivor the ring hands it.
+        The retiring shard's aggregate counters fold into the cluster's
+        retired-metrics ledger, so :attr:`metrics` stays exact across
+        the reshard.  Refuses to remove the last shard.
+        """
+        if shard_id not in self._shards:
+            raise ValueError(f"no shard {shard_id}")
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        new_ring = self._ring.copy()
+        new_ring.remove_shard(shard_id)
+        moved = new_ring.moved_keys(self._ring, self.session_ids())
+        self._migrate(moved, {})
+        retiring = self._shards.pop(shard_id)
+        self._retired.merge(retiring.metrics)
+        self._load_baselines.pop(shard_id, None)
+        self._ring = new_ring
+
+    def _migrate(
+        self,
+        moved: dict[int, tuple[int, int]],
+        joining: dict[int, MPNService],
+    ) -> None:
+        """Move each session in the plan through the snapshot codec.
+
+        ``joining`` holds not-yet-installed target shards (the
+        add_shard case).  Export → import → close: the session is
+        never absent (the old shard serves it until the import
+        lands), and the ring is committed only after every move — a
+        failed migration leaves routing on the old topology.
+        """
+        for session_id in sorted(moved):
+            source_id, target_id = moved[session_id]
+            source = self._shards[source_id]
+            target = joining.get(target_id) or self._shards[target_id]
+            prober = source.session(session_id).prober
+            target.import_session(
+                source.export_session(session_id), prober=prober
+            )
+            source.close_session(session_id)
+
+    def export_session(self, session_id: int) -> SessionSnapshot:
+        """Snapshot one session off whichever shard actually holds it."""
+        owner = self._owner_of(session_id)
+        if owner is None:
+            raise UnknownSessionError(session_id)
+        return self._shards[owner].export_session(session_id)
+
+    def import_session(
+        self, snapshot: SessionSnapshot, prober: Optional[Prober] = None
+    ) -> None:
+        """Install a migrated session on its ring-routed owner shard."""
+        if self._owner_of(snapshot.session_id) is not None:
+            raise ValueError(
+                f"session id {snapshot.session_id} is already in use"
+            )
+        self._shard(snapshot.session_id).import_session(
+            snapshot, prober=prober
+        )
+        self._next_id = max(self._next_id, snapshot.session_id + 1)
+
+    def shard_snapshot(self, shard_id: int) -> ServiceSnapshot:
+        """One whole shard as a failover envelope (a read; see
+        :meth:`repro.service.MPNService.snapshot`)."""
+        return self.shard(shard_id).snapshot()
+
+    def restore_shard(
+        self,
+        shard_id: int,
+        snapshot: ServiceSnapshot,
+        probers: Optional[dict[int, Prober]] = None,
+    ) -> list[int]:
+        """Replay a shard snapshot into ``shard_id`` (e.g. a fresh
+        replacement after a failover); returns the restored ids."""
+        restored = self.shard(shard_id).restore(snapshot, probers)
+        for session_id in restored:
+            self._next_id = max(self._next_id, session_id + 1)
+        return restored
 
     # ------------------------------------------------------------------
     # The event protocol
@@ -385,10 +551,10 @@ class MPNCluster:
         the order a single service emits.
         """
         _require_space_ref(space)
-        target = self._shards[0]._resolve_space(space)
+        target = self._front_shard()._resolve_space(space)
         target.bulk_update(adds, removes)
         notifications: list[Notification] = []
-        for shard in self._shards:
+        for shard in self.shards:
             notifications.extend(
                 shard.renotify_pois(adds=adds, removes=removes, space=space)
             )
@@ -416,14 +582,26 @@ class MPNCluster:
         Every message and recomputation is charged on exactly one
         shard, so this equals the single-service aggregate counter for
         counter (wall-clock seconds excepted — work runs on different
-        schedules).  Computed fresh per read; mutate shard metrics, not
-        this.
+        schedules).  Removed shards' aggregates stay merged in (their
+        traffic was served).  Computed fresh per read; mutate shard
+        metrics, not this.
         """
         merged = SimulationMetrics()
-        for shard in self._shards:
+        merged.merge(self._retired)
+        for shard in self._shards.values():
             merged.merge(shard.metrics)
         return merged
 
     def shard_metrics(self) -> list[SimulationMetrics]:
-        """Each shard's own service-wide aggregate, in shard order."""
-        return [shard.metrics for shard in self._shards]
+        """Each shard's own service-wide aggregate, in shard-id order."""
+        return [shard.metrics for shard in self.shards]
+
+    def shard_loads(self) -> list[ShardLoad]:
+        """Per-shard load since the previous read (see
+        :mod:`repro.cluster.load`)."""
+        return collect_shard_loads(self._shards, self._load_baselines)
+
+    def hot_shards(self, threshold: float = 2.0) -> list[int]:
+        """Shard ids serving > ``threshold`` × the mean load since the
+        last :meth:`shard_loads` read — candidates for a split."""
+        return hot_shards(self.shard_loads(), threshold)

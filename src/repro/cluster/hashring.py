@@ -6,7 +6,12 @@ pseudo-random points (MD5 of a stable label — *not* Python's salted
 routes a session id to the first shard clockwise of the id's own ring
 point.  Consistency is the point: growing an ``n``-shard ring to
 ``n + 1`` shards remaps only ~``1/(n+1)`` of the sessions, instead of
-rehashing the world the way ``sid % n`` would.
+rehashing the world the way ``sid % n`` would — and every remapped
+session moves *to* the newcomer, never between pre-existing shards
+(each new ring point only steals the arc immediately counter-clockwise
+of itself).  Removal is the mirror image: only the departing shard's
+sessions move, each to whichever survivor owns the next point
+clockwise.  ``moved_keys`` turns that guarantee into a migration plan.
 """
 
 from __future__ import annotations
@@ -22,24 +27,80 @@ def _ring_hash(key: str) -> int:
 
 
 class HashRing:
-    """Maps integer session ids onto a fixed set of shard ids."""
+    """Maps integer session ids onto a mutable set of shard ids."""
 
     def __init__(self, shard_ids: Iterable[int], replicas: int = 64):
         shard_ids = list(shard_ids)
         if not shard_ids:
             raise ValueError("need at least one shard")
+        if len(set(shard_ids)) != len(shard_ids):
+            raise ValueError("duplicate shard ids")
         if replicas < 1:
             raise ValueError("need at least one ring point per shard")
-        points: list[tuple[int, int]] = []
+        self.replicas = replicas
+        self._shards: set[int] = set()
+        self._points: list[tuple[int, int]] = []
+        self._keys: list[int] = []
         for shard in shard_ids:
-            for replica in range(replicas):
-                points.append((_ring_hash(f"shard:{shard}:{replica}"), shard))
-        points.sort()
-        self._points: Sequence[tuple[int, int]] = points
-        self._keys = [point for point, _ in points]
+            self.add_shard(shard)
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        """Current members, ascending."""
+        return tuple(sorted(self._shards))
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard_id: int) -> bool:
+        return shard_id in self._shards
+
+    def copy(self) -> "HashRing":
+        """An independent ring with identical membership and placement."""
+        return HashRing(self.shard_ids, replicas=self.replicas)
+
+    def add_shard(self, shard_id: int) -> None:
+        """Place ``shard_id``'s ring points; O(replicas · log points)."""
+        if shard_id in self._shards:
+            raise ValueError(f"shard {shard_id} is already on the ring")
+        self._shards.add(shard_id)
+        for replica in range(self.replicas):
+            point = (_ring_hash(f"shard:{shard_id}:{replica}"), shard_id)
+            bisect.insort(self._points, point)
+        self._keys = [point for point, _ in self._points]
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Remove ``shard_id``'s ring points; survivors keep theirs."""
+        if shard_id not in self._shards:
+            raise ValueError(f"shard {shard_id} is not on the ring")
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        self._shards.remove(shard_id)
+        self._points = [p for p in self._points if p[1] != shard_id]
+        self._keys = [point for point, _ in self._points]
 
     def shard_for(self, session_id: int) -> int:
         """The shard owning ``session_id`` (first ring point clockwise)."""
         where = _ring_hash(f"session:{session_id}")
         i = bisect.bisect_right(self._keys, where) % len(self._keys)
         return self._points[i][1]
+
+    def moved_keys(
+        self, old_ring: "HashRing", session_ids: Iterable[int]
+    ) -> dict[int, tuple[int, int]]:
+        """The migration plan from ``old_ring``'s placement to this one.
+
+        Returns ``{session_id: (old_shard, new_shard)}`` for exactly the
+        ids whose owner changed — the minimal remap set.  Both rings
+        hash identically, so unchanged owners drop out by comparison.
+        """
+        moved: dict[int, tuple[int, int]] = {}
+        for session_id in session_ids:
+            old = old_ring.shard_for(session_id)
+            new = self.shard_for(session_id)
+            if old != new:
+                moved[session_id] = (old, new)
+        return moved
+
+
+__all__: Sequence[str] = ("HashRing",)

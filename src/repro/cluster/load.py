@@ -1,0 +1,82 @@
+"""Per-shard load accounting and hot-shard detection.
+
+Elastic operations need something to react *to*: a shard running hot
+is the signal to ``add_shard()``, a cold tail the signal to
+``remove_shard()``.  Both cluster front doors —
+:class:`repro.cluster.MPNCluster` and
+:class:`repro.transport.worker.ProcessCluster` — expose
+``shard_loads()``: one :class:`ShardLoad` per shard with its resident
+session count and the messages/recomputations it served *since the
+previous read* (the front door keeps a per-shard baseline, so each
+read is a rate window, not a lifetime total).  ``hot_shards`` turns a
+reading into shard ids worth splitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ShardLoad:
+    """One shard's load since the previous ``shard_loads()`` read."""
+
+    shard_id: int
+    sessions: int
+    messages: int
+    recomputations: int
+
+    @property
+    def score(self) -> int:
+        """The served-traffic scalar hot-shard detection ranks by."""
+        return self.messages + self.recomputations
+
+
+def collect_shard_loads(shards: dict, baselines: dict) -> list["ShardLoad"]:
+    """Read every shard's counters and advance the baselines.
+
+    ``shards`` maps shard id to any backend exposing ``metrics`` (a
+    :class:`~repro.simulation.metrics.SimulationMetrics`) and
+    ``session_ids()`` — both :class:`~repro.service.MPNService` and
+    :class:`~repro.transport.client.RemoteBackend` qualify.
+    ``baselines`` (mutated in place) holds the counter totals as of the
+    previous read, keyed by shard id; unknown shards start from zero.
+    """
+    loads: list[ShardLoad] = []
+    for shard_id in sorted(shards):
+        shard = shards[shard_id]
+        metrics = shard.metrics
+        prev_messages, prev_updates = baselines.get(shard_id, (0, 0))
+        totals = (metrics.messages_total, metrics.update_events)
+        baselines[shard_id] = totals
+        loads.append(
+            ShardLoad(
+                shard_id=shard_id,
+                sessions=len(shard.session_ids()),
+                messages=totals[0] - prev_messages,
+                recomputations=totals[1] - prev_updates,
+            )
+        )
+    return loads
+
+
+def hot_shards(
+    loads: Sequence[ShardLoad], threshold: float = 2.0
+) -> list[int]:
+    """Shard ids whose load score exceeds ``threshold`` × the mean.
+
+    An idle cluster (zero traffic everywhere) has no hot shards, and a
+    single-shard cluster never flags itself — a shard must actually
+    stand out from its peers.
+    """
+    if len(loads) < 2:
+        return []
+    mean = sum(load.score for load in loads) / len(loads)
+    if mean <= 0:
+        return []
+    return [
+        load.shard_id
+        for load in loads
+        if load.score > threshold * mean
+    ]

@@ -61,6 +61,8 @@ from repro.service.api import (
     Request,
     Response,
     ServiceBackend,
+    ServiceSnapshot,
+    SessionSnapshot,
     UpdateLocationsRequest,
     UpdateLocationsResponse,
     UpdatePoisRequest,
@@ -122,6 +124,8 @@ __all__ = [
     "CloseSessionRequest",
     "CloseSessionResponse",
     "NotificationPayload",
+    "SessionSnapshot",
+    "ServiceSnapshot",
     "ErrorResponse",
     "ERROR_CODES",
     "error_response_for",

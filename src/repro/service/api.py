@@ -928,6 +928,105 @@ class CloseSessionResponse:
     )
 
 
+# ----------------------------------------------------------------------
+# Snapshots: full session state by value (elastic operations)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """One live session's full state as a schema-v2 envelope.
+
+    The serialization substrate for live migration: everything a fresh
+    shard — possibly a fresh worker *process* — needs to keep serving a
+    session exactly where the old shard left off.  Members carry their
+    last-reported states, ``regions`` the current safe regions as
+    :mod:`repro.service.regions` codecs (bit-identical on decode), and
+    ``metrics`` the per-session counters as a JSON-safe dict.  ``space``
+    names the backend-registered space the session runs on (``None`` =
+    default); the importing side resolves it against its own registry
+    and re-resolves the strategy from ``policy``, so nothing live
+    crosses the wire.  Probers are in-process callables and travel
+    out-of-band (``import_session(..., prober=)``).
+    """
+
+    op: ClassVar[str] = "session_snapshot"
+
+    session_id: int
+    policy: Policy
+    members: tuple[MemberState, ...]
+    po: object
+    regions: tuple[dict, ...]
+    metrics: dict
+    space: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "members", tuple(self.members))
+        object.__setattr__(self, "regions", tuple(self.regions))
+        object.__setattr__(self, "metrics", dict(self.metrics))
+
+    def to_dict(self) -> dict:
+        return _envelope(
+            self.op,
+            session_id=self.session_id,
+            policy=encode_policy(self.policy),
+            members=[encode_member(m) for m in self.members],
+            po=None if self.po is None else encode_position(self.po),
+            regions=list(self.regions),
+            metrics=dict(self.metrics),
+            space=_encode_space_ref(self.space),
+        )
+
+    from_dict = _decoding(
+        "session_snapshot",
+        lambda cls, data: cls(
+            session_id=int(data["session_id"]),
+            policy=decode_policy(data["policy"]),
+            members=tuple(decode_member(m) for m in data["members"]),
+            po=None if data.get("po") is None else decode_position(data["po"]),
+            regions=tuple(data.get("regions", ())),
+            metrics=dict(data.get("metrics") or {}),
+            space=data.get("space"),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ServiceSnapshot:
+    """A whole shard by value: every session plus the id watermark.
+
+    The failover/restore envelope: ``MPNService.snapshot()`` produces
+    one, ``restore()`` replays it into an empty (or disjoint) service.
+    ``next_id`` carries the numbering watermark so a restored shard
+    never re-issues an id the snapshotted one already handed out.
+    """
+
+    op: ClassVar[str] = "service_snapshot"
+
+    sessions: tuple[SessionSnapshot, ...]
+    next_id: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sessions", tuple(self.sessions))
+
+    def to_dict(self) -> dict:
+        return _envelope(
+            self.op,
+            sessions=[s.to_dict() for s in self.sessions],
+            next_id=self.next_id,
+        )
+
+    from_dict = _decoding(
+        "service_snapshot",
+        lambda cls, data: cls(
+            sessions=tuple(
+                SessionSnapshot.from_dict(s) for s in data.get("sessions", ())
+            ),
+            next_id=int(data.get("next_id", 0)),
+        ),
+    )
+
+
 @dataclass(frozen=True)
 class ErrorResponse:
     """A failed dispatch as a wire envelope (schema v2).

@@ -62,13 +62,24 @@ that on randomized fleets.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Optional, Sequence, Union
 
 from repro.geometry.point import Point
 from repro.index.backend import SpatialIndex
-from repro.service.api import Request, Response, dispatch_request
-from repro.service.errors import UnknownSessionError, UnknownSpaceError
+from repro.service.api import (
+    Request,
+    Response,
+    ServiceSnapshot,
+    SessionSnapshot,
+    dispatch_request,
+)
+from repro.service.errors import (
+    EnvelopeError,
+    UnknownSessionError,
+    UnknownSpaceError,
+)
 from repro.service.messages import (
     MemberState,
     Notification,
@@ -245,11 +256,8 @@ class MPNService:
         once, on the owning shard, not twice."""
         if session_id is None:
             session_id = self._next_id
-            self._next_id += 1
-        else:
-            if session_id in self._sessions:
-                raise ValueError(f"session id {session_id} is already in use")
-            self._next_id = max(self._next_id, session_id + 1)
+        elif session_id in self._sessions:
+            raise ValueError(f"session id {session_id} is already in use")
         session = ServiceSession(
             session_id=session_id,
             policy=policy,
@@ -259,9 +267,13 @@ class MPNService:
             space=space,
         )
         # Register only after the first computation succeeds, so a
-        # failing strategy cannot leak a half-initialized session.
+        # failing strategy cannot leak a half-initialized session — and
+        # consume the id only then too, so a strategy failing
+        # mid-registration burns nothing, here and on every front door
+        # (in-process or wire) that numbers sessions through a service.
         notification = self._recompute(session, cause="register")
         self._sessions[session_id] = session
+        self._next_id = max(self._next_id, session_id + 1)
         for _ in session.members:
             self._charge_message(session, location_update())
         return SessionHandle(
@@ -306,6 +318,132 @@ class MPNService:
             )
         session.policy = policy
         session.strategy = strategy
+
+    # ------------------------------------------------------------------
+    # Session migration and shard snapshots (elastic operations)
+    # ------------------------------------------------------------------
+
+    def _space_name_of(self, space: Space) -> Optional[str]:
+        """The registered name of ``space`` (``None`` = default).
+
+        Sessions opened on an unregistered live space cannot leave this
+        process — there is no name a peer could resolve."""
+        for name, registered in self._spaces.items():
+            if registered is space:
+                return None if name == "default" else name
+        raise EnvelopeError(
+            "session lives on an unregistered space; only sessions on "
+            "registered spaces (add_space) can be exported"
+        )
+
+    def export_session(self, session_id: int) -> SessionSnapshot:
+        """The session's full state as a wire-safe snapshot envelope.
+
+        Mutates nothing and charges nothing: exporting is a read.  The
+        session keeps serving here until :meth:`close_session`; the
+        prober (an in-process callable) is the one thing not captured —
+        hand it to the importing side out-of-band.
+        """
+        from repro.service.regions import encode_region
+
+        session = self.session(session_id)
+        return SessionSnapshot(
+            session_id=session.session_id,
+            policy=session.policy,
+            members=tuple(session.members),
+            po=session.po,
+            regions=tuple(encode_region(r) for r in session.regions),
+            metrics=dataclasses.asdict(session.metrics),
+            space=self._space_name_of(session.space),
+        )
+
+    def _decode_snapshot(
+        self, snapshot: SessionSnapshot, prober: Optional[Prober]
+    ) -> ServiceSession:
+        """A live :class:`ServiceSession` from its snapshot, unregistered."""
+        from repro.service.regions import decode_region
+
+        space = self._resolve_space(snapshot.space)
+        strategy = get_strategy(snapshot.policy)
+        required_kind = getattr(strategy, "space_kind", None)
+        if required_kind is not None and required_kind != space.kind:
+            raise ValueError(
+                f"strategy {snapshot.policy.strategy_name!r} serves "
+                f"{required_kind} spaces, but the session space is "
+                f"{space.kind}"
+            )
+        return ServiceSession(
+            session_id=snapshot.session_id,
+            policy=snapshot.policy,
+            strategy=strategy,
+            members=[_as_state(m) for m in snapshot.members],
+            prober=prober,
+            space=space,
+            po=snapshot.po,
+            regions=[decode_region(r, space=space) for r in snapshot.regions],
+            metrics=SimulationMetrics(**snapshot.metrics),
+        )
+
+    def import_session(
+        self, snapshot: SessionSnapshot, prober: Optional[Prober] = None
+    ) -> None:
+        """Install a migrated session exactly where its export left off.
+
+        The notification-invariance half of live migration: importing
+        recomputes nothing and charges nothing — members, meeting
+        point, safe regions and per-session counters resume verbatim,
+        so a fleet replayed across the move cannot tell it happened.
+        The service-wide aggregate is *not* credited with the restored
+        counters (their charges live on whichever shard served them);
+        cluster-level metrics stay exact under migration because of it.
+        The id watermark advances past the imported id so this shard
+        never re-issues it.
+        """
+        if snapshot.session_id in self._sessions:
+            raise ValueError(
+                f"session id {snapshot.session_id} is already in use"
+            )
+        session = self._decode_snapshot(snapshot, prober)
+        self._sessions[session.session_id] = session
+        self._next_id = max(self._next_id, session.session_id + 1)
+
+    def snapshot(self) -> ServiceSnapshot:
+        """Every session plus the id watermark — the failover envelope."""
+        return ServiceSnapshot(
+            sessions=tuple(
+                self.export_session(sid) for sid in self.session_ids()
+            ),
+            next_id=self._next_id,
+        )
+
+    def restore(
+        self,
+        snapshot: ServiceSnapshot,
+        probers: Optional[dict[int, Prober]] = None,
+    ) -> list[int]:
+        """Replay a whole-shard snapshot into this service, atomically.
+
+        Every session is decoded (and checked for id collisions) before
+        any is installed, so a bad snapshot leaves the service
+        untouched.  Returns the restored session ids.
+        """
+        probers = probers or {}
+        decoded: list[ServiceSession] = []
+        seen: set[int] = set()
+        for entry in snapshot.sessions:
+            if entry.session_id in self._sessions or entry.session_id in seen:
+                raise ValueError(
+                    f"session id {entry.session_id} is already in use"
+                )
+            seen.add(entry.session_id)
+            decoded.append(
+                self._decode_snapshot(entry, probers.get(entry.session_id))
+            )
+        for session in decoded:
+            self._sessions[session.session_id] = session
+            self._next_id = max(self._next_id, session.session_id + 1)
+        self._next_id = max(self._next_id, snapshot.next_id)
+        return [session.session_id for session in decoded]
 
     # ------------------------------------------------------------------
     # The event protocol (Fig. 3)

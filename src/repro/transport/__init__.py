@@ -23,7 +23,11 @@ shard.
   an OS process serving its replica through the wire, the front door
   fanning waves and POI churn exactly like
   :class:`repro.cluster.MPNCluster` — with bit-identical answers,
-  proven by ``tests/test_wire_equivalence.py``.
+  proven by ``tests/test_wire_equivalence.py``.  ``add_shard`` /
+  ``remove_shard`` reshape the worker fleet live, migrating sessions
+  by snapshot without disturbing a single notification
+  (``tests/test_elastic_equivalence.py``); a worker that fails to
+  drain surfaces as :class:`WorkerShutdownError`.
 * ``python -m repro.transport.serve`` — a small CLI that builds a
   demo service and serves it (used by the CI transport smoke job).
 """
@@ -56,6 +60,7 @@ from repro.transport.worker import (
     GridNetworkSpaceFactory,
     ProcessCluster,
     UniformPoiSpaceFactory,
+    WorkerShutdownError,
 )
 
 __all__ = [
@@ -78,6 +83,7 @@ __all__ = [
     "ControlError",
     "RemoteBackend",
     "ProcessCluster",
+    "WorkerShutdownError",
     "UniformPoiSpaceFactory",
     "GridNetworkSpaceFactory",
 ]

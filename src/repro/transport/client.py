@@ -57,6 +57,8 @@ from repro.service.api import (
     ReportRequest,
     Request,
     Response,
+    ServiceSnapshot,
+    SessionSnapshot,
     UpdateLocationsRequest,
     UpdatePoisRequest,
     UpdatePolicyRequest,
@@ -115,8 +117,17 @@ class WireClient:
             host, port, max_frame_bytes, timeout
         )
         self._ids = itertools.count()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def close(self) -> None:
+        """Close the connection; safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
         self._stream.close()
 
     def __enter__(self) -> "WireClient":
@@ -370,6 +381,70 @@ class RemoteBackend:
         self.client.call(
             UpdatePolicyRequest(session_id=session_id, policy=policy)
         )
+
+    # ------------------------------------------------------------------
+    # Session migration and shard snapshots (elastic operations)
+    # ------------------------------------------------------------------
+
+    def export_session(self, session_id: int) -> SessionSnapshot:
+        """The server-side session state as a snapshot envelope (a read)."""
+        return SessionSnapshot.from_dict(
+            self.client.control("export_session", session_id=session_id)
+        )
+
+    def import_session(
+        self, snapshot: SessionSnapshot, prober: Optional[Prober] = None
+    ) -> None:
+        """Install a migrated session on this backend's server.
+
+        The server resumes the session verbatim (no recomputation, no
+        metric charges); this side registers the client-side stand-ins
+        — the prober and the mirror space named by the snapshot — so
+        probe gathering and region decoding keep working here.
+        """
+        self.client.control("import_session", snapshot=snapshot.to_dict())
+        self._sessions[snapshot.session_id] = _RemoteSession(
+            size=len(snapshot.members),
+            prober=prober,
+            space=self._mirror_for_ref(snapshot.space),
+        )
+
+    def handoff_session(
+        self, session_id: int, target: "RemoteBackend"
+    ) -> SessionSnapshot:
+        """Migrate one session from this server to ``target``'s.
+
+        Export → import → close, with the client-side state (prober,
+        mirror) moving along.  The session is never absent: this server
+        keeps serving it until the import has landed.
+        """
+        snapshot = self.export_session(session_id)
+        state = self._sessions.get(session_id)
+        target.import_session(
+            snapshot, prober=None if state is None else state.prober
+        )
+        self.close_session(session_id)
+        return snapshot
+
+    def snapshot(self) -> ServiceSnapshot:
+        """The whole remote shard as a failover envelope (a read)."""
+        return ServiceSnapshot.from_dict(self.client.control("snapshot"))
+
+    def restore(
+        self,
+        snapshot: ServiceSnapshot,
+        probers: Optional[dict[int, Prober]] = None,
+    ) -> list[int]:
+        """Replay a shard snapshot into this backend's server."""
+        result = self.client.control("restore", snapshot=snapshot.to_dict())
+        probers = probers or {}
+        for entry in snapshot.sessions:
+            self._sessions[entry.session_id] = _RemoteSession(
+                size=len(entry.members),
+                prober=probers.get(entry.session_id),
+                space=self._mirror_for_ref(entry.space),
+            )
+        return [int(session_id) for session_id in result["session_ids"]]
 
     def report(
         self,

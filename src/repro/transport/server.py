@@ -67,6 +67,8 @@ from typing import Optional
 from repro.service.api import (
     ErrorResponse,
     ReportManyRequest,
+    ServiceSnapshot,
+    SessionSnapshot,
     error_response_for,
     request_from_dict,
 )
@@ -367,6 +369,32 @@ class WireServer:
                 return getattr(space, "epoch", None)
 
             return {"epoch": await self._dispatch_blocking(epoch)}
+        if op == "export_session":
+            # Session migration, source side: the full session state as
+            # a schema-v2 snapshot envelope.  A read — the session
+            # keeps serving here until the front door closes it.
+            snapshot = await self._dispatch_blocking(
+                self.backend.export_session, int(control["session_id"])
+            )
+            return snapshot.to_dict()
+        if op == "import_session":
+            # Session migration, target side: install the snapshot
+            # verbatim — no recomputation, no metric charges — so a
+            # migrated fleet's notification stream cannot tell.
+            snapshot = SessionSnapshot.from_dict(control["snapshot"])
+            await self._dispatch_blocking(
+                self.backend.import_session, snapshot
+            )
+            return {"ok": True, "session_id": snapshot.session_id}
+        if op == "snapshot":
+            snapshot = await self._dispatch_blocking(self.backend.snapshot)
+            return snapshot.to_dict()
+        if op == "restore":
+            snapshot = ServiceSnapshot.from_dict(control["snapshot"])
+            restored = await self._dispatch_blocking(
+                self.backend.restore, snapshot
+            )
+            return {"ok": True, "session_ids": list(restored)}
         if op == "validate_events":
             # All-or-nothing wave validation for a multi-worker front
             # door: decode the report_many envelope, validate, mutate

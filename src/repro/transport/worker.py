@@ -31,7 +31,8 @@ match the in-process cluster:
   come back in ascending session order, as a single service emits
   them.
 * **Metrics** merge across workers exactly as shard metrics merge
-  in-process.
+  in-process — retired workers' aggregates included (their traffic was
+  served).
 
 Workers are **replicas by construction**: every process calls the same
 factory, so the factories must be deterministic (build from literal
@@ -39,16 +40,30 @@ data or a seeded generator).  That is what makes mirror-side batch
 validation sound and keeps cluster answers bit-identical to a single
 service — proven over the wire by ``tests/test_wire_equivalence.py``.
 
-One numbering caveat against the in-process cluster: ``MPNCluster``
-burns a session id when a strategy fails *during* registration (after
-validation); this front door only advances its counter on success.
-The difference is observable only after a mid-registration strategy
-crash — never in a healthy run.
+Elastic operations
+------------------
+
+:meth:`ProcessCluster.add_shard` spawns a **fresh worker process**
+mid-run: the newcomer builds its replica from the factory, replays the
+cluster's accumulated churn log (each ``update_pois`` batch, in order,
+so its index — and its epoch counter — catches up with the incumbents;
+the log grows with churn, the price of factory-built replicas), and
+then receives exactly the ring's minimal remap set of sessions through
+the ``export_session`` / ``import_session`` control ops.
+:meth:`ProcessCluster.remove_shard` is the reverse: the departing
+worker's sessions migrate to the survivors, its aggregate counters
+fold into the cluster's retired ledger, and the process drains and
+exits.  Migration installs snapshots verbatim — no recomputation, no
+metric charges — so a fleet replayed across a reshard emits
+bit-identical notifications (``tests/test_elastic_equivalence.py``).
 
 Shutdown (:meth:`ProcessCluster.close`) is drain-and-stop: each worker
 acknowledges the ``shutdown`` control op, finishes its in-flight
 requests, closes its listener, and exits 0; the front door then joins
-the processes (terminating only those that outlive the timeout).
+the processes.  A worker that outlives the timeout is terminated, and
+any terminated or non-zero exit is surfaced as a
+:class:`WorkerShutdownError` (pass ``raise_on_error=False`` for a
+best-effort close); ``close`` is idempotent either way.
 """
 
 from __future__ import annotations
@@ -58,7 +73,14 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Union
 
 from repro.cluster.hashring import HashRing
-from repro.service.api import Request, Response, dispatch_request
+from repro.cluster.load import ShardLoad, collect_shard_loads, hot_shards
+from repro.service.api import (
+    Request,
+    Response,
+    ServiceSnapshot,
+    SessionSnapshot,
+    dispatch_request,
+)
 from repro.service.messages import (
     MemberState,
     Notification,
@@ -74,6 +96,24 @@ from repro.transport.framing import DEFAULT_MAX_FRAME_BYTES
 from repro.transport.server import DEFAULT_MAX_INFLIGHT
 
 SpaceFactory = Callable[[], Space]
+
+
+class WorkerShutdownError(RuntimeError):
+    """One or more worker processes failed to drain cleanly.
+
+    ``exitcodes`` maps shard id to the process's final exit code —
+    negative for a signal (``-15`` = had to be terminated after
+    outliving the drain timeout), positive for a worker that exited
+    with an error of its own.
+    """
+
+    def __init__(self, exitcodes: dict[int, Optional[int]]):
+        self.exitcodes = dict(exitcodes)
+        detail = ", ".join(
+            f"worker {shard_id}: exit code {code}"
+            for shard_id, code in sorted(self.exitcodes.items())
+        )
+        super().__init__(f"workers failed to drain cleanly ({detail})")
 
 
 @dataclass(frozen=True)
@@ -179,7 +219,8 @@ class ProcessCluster:
     picklable zero-argument callable building the shard's space — a
     module-level function or :func:`functools.partial`, not a lambda:
     workers are spawned, and each one (plus the front door's local
-    mirror) calls it once.  ``ring_replicas`` defaults to
+    mirror, plus any worker :meth:`add_shard` spawns later) calls it
+    once.  ``ring_replicas`` defaults to
     :class:`~repro.cluster.MPNCluster`'s, so both front doors route any
     given session id to the same shard index.
 
@@ -189,8 +230,6 @@ class ProcessCluster:
     :func:`repro.simulation.run_service` drives a process cluster
     exactly like an in-process backend.
     """
-
-    batched = True
 
     def __init__(
         self,
@@ -208,63 +247,99 @@ class ProcessCluster:
     ):
         if num_shards < 1:
             raise ValueError("need at least one shard")
-        extra_spaces = dict(extra_spaces or {})
+        # Spawn configuration is kept verbatim: add_shard() boots late
+        # workers with exactly the parameters the incumbents got.
+        self.batched = batched
+        self._space_factory = space_factory
+        self._extra_spaces = dict(extra_spaces or {})
+        self._host = host
+        self._max_frame_bytes = max_frame_bytes
+        self._max_inflight = max_inflight
+        self._request_timeout = request_timeout
+        self._spawn_timeout = spawn_timeout
         # The front door's own replica: answers ``.space`` /
         # ``get_space`` reads locally and validates every churn batch
         # before any worker sees it.
         self._mirror = share_space(space_factory())
         self._mirrors: dict[str, Space] = {"default": self._mirror}
-        for name, factory in extra_spaces.items():
+        for name, factory in self._extra_spaces.items():
             self._mirrors[name] = share_space(factory())
         self._ring = HashRing(range(num_shards), replicas=ring_replicas)
         self._next_id = 0
+        self._next_shard_id = num_shards  # shard ids are never recycled
         self._closed = False
+        # Every accepted churn batch, in order — the catch-up feed a
+        # late-spawned worker replays so its factory-built replica
+        # reaches the cluster's live POI set (and epoch count).
+        self._churn_log: list[tuple[tuple, tuple, Optional[str]]] = []
+        self._retired = SimulationMetrics()
+        self._load_baselines: dict[int, tuple[int, int]] = {}
 
+        spawned = self._spawn_workers(list(range(num_shards)))
+        self._processes: dict[int, multiprocessing.process.BaseProcess] = {}
+        self._all_processes: dict[int, multiprocessing.process.BaseProcess] = {}
+        self._shards: dict[int, RemoteBackend] = {}
+        for shard_id, (process, address) in spawned.items():
+            self._processes[shard_id] = process
+            self._all_processes[shard_id] = process
+            self._shards[shard_id] = self._connect(address)
+
+    def _spawn_workers(
+        self, shard_ids: Sequence[int]
+    ) -> dict[int, tuple]:
+        """Boot one worker process per id; returns ``{id: (process,
+        address)}``.  All-or-nothing: a worker failing to start
+        terminates every sibling spawned by this call."""
         ctx = multiprocessing.get_context("spawn")
         ready_queue = ctx.Queue()
-        self._processes = []
-        for shard_index in range(num_shards):
+        processes: dict[int, multiprocessing.process.BaseProcess] = {}
+        for shard_id in shard_ids:
             process = ctx.Process(
                 target=_worker_main,
                 args=(
-                    shard_index,
-                    space_factory,
-                    extra_spaces,
-                    batched,
-                    host,
+                    shard_id,
+                    self._space_factory,
+                    self._extra_spaces,
+                    self.batched,
+                    self._host,
                     ready_queue,
-                    max_frame_bytes,
-                    max_inflight,
-                    request_timeout,
+                    self._max_frame_bytes,
+                    self._max_inflight,
+                    self._request_timeout,
                 ),
                 daemon=True,
-                name=f"mpn-worker-{shard_index}",
+                name=f"mpn-worker-{shard_id}",
             )
             process.start()
-            self._processes.append(process)
+            processes[shard_id] = process
         addresses: dict[int, tuple[str, int]] = {}
         try:
-            for _ in range(num_shards):
-                shard_index, payload = ready_queue.get(timeout=spawn_timeout)
+            for _ in shard_ids:
+                shard_id, payload = ready_queue.get(
+                    timeout=self._spawn_timeout
+                )
                 if isinstance(payload, Exception):
                     raise RuntimeError(
-                        f"worker {shard_index} failed to start: {payload}"
+                        f"worker {shard_id} failed to start: {payload}"
                     ) from payload
-                addresses[shard_index] = tuple(payload)
+                addresses[shard_id] = tuple(payload)
         except Exception:
-            self._terminate_processes()
+            for process in processes.values():
+                if process.is_alive():
+                    process.terminate()
+                process.join(timeout=10)
             raise
+        return {i: (processes[i], addresses[i]) for i in shard_ids}
+
+    def _connect(self, address: tuple[str, int]) -> RemoteBackend:
         # Every shard backend shares the front door's mirrors (regions
         # decode against them) but must NOT apply churn to them — the
         # front door applies each batch to the mirror exactly once.
-        self._shards = tuple(
-            RemoteBackend(
-                *addresses[i],
-                spaces=self._mirrors,
-                max_frame_bytes=max_frame_bytes,
-                mirror_updates=False,
-            )
-            for i in range(num_shards)
+        return RemoteBackend(
+            *address,
+            spaces=self._mirrors,
+            max_frame_bytes=self._max_frame_bytes,
+            mirror_updates=False,
         )
 
     # ------------------------------------------------------------------
@@ -277,8 +352,22 @@ class ProcessCluster:
 
     @property
     def shards(self) -> tuple[RemoteBackend, ...]:
-        """The per-worker wire backends (read them, don't route around)."""
-        return self._shards
+        """The per-worker wire backends in shard-id order (read them,
+        don't route around).  Ids are stable but not necessarily
+        contiguous after a ``remove_shard``; use :meth:`shard` to
+        address one by id."""
+        return tuple(self._shards[i] for i in sorted(self._shards))
+
+    def shard_ids(self) -> list[int]:
+        """Current shard ids, ascending."""
+        return sorted(self._shards)
+
+    def shard(self, shard_id: int) -> RemoteBackend:
+        """The wire backend serving ``shard_id``."""
+        try:
+            return self._shards[shard_id]
+        except KeyError:
+            raise ValueError(f"no shard {shard_id}") from None
 
     def shard_for(self, session_id: int) -> int:
         return self._ring.shard_for(session_id)
@@ -286,36 +375,173 @@ class ProcessCluster:
     def _shard(self, session_id: int) -> RemoteBackend:
         return self._shards[self._ring.shard_for(session_id)]
 
-    def _terminate_processes(self) -> None:
-        for process in self._processes:
-            if process.is_alive():
-                process.terminate()
-            process.join(timeout=10)
+    def close(self, timeout: float = 30.0, raise_on_error: bool = True) -> None:
+        """Drain-and-stop every worker, then join the processes.
 
-    def close(self, timeout: float = 30.0) -> None:
-        """Drain-and-stop every worker, then join the processes."""
+        Idempotent — the second call is a no-op.  A worker that
+        outlives ``timeout`` is terminated; terminated or non-zero
+        exits are raised as :class:`WorkerShutdownError` (carrying the
+        per-shard exit codes) unless ``raise_on_error`` is false.
+        """
         if self._closed:
             return
         self._closed = True
-        for shard in self._shards:
+        for shard in self._shards.values():
             try:
                 shard.shutdown_server()
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
             shard.close()
-        for process in self._processes:
+        failed: dict[int, Optional[int]] = {}
+        for shard_id in sorted(self._processes):
+            process = self._processes[shard_id]
             process.join(timeout=timeout)
-        self._terminate_processes()
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=10)
+                failed[shard_id] = process.exitcode
+            elif process.exitcode not in (0, None):
+                failed[shard_id] = process.exitcode
+        if failed and raise_on_error:
+            raise WorkerShutdownError(failed)
 
     def __enter__(self) -> "ProcessCluster":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # A shutdown report must not mask an exception already in
+        # flight; on the clean path it raises like a direct close().
+        self.close(raise_on_error=exc_type is None)
 
     def worker_exitcodes(self) -> list[Optional[int]]:
-        """Exit codes after :meth:`close` — all zero on a graceful drain."""
-        return [process.exitcode for process in self._processes]
+        """Exit codes of every worker ever spawned, in shard-id order —
+        retired shards included; all zero after graceful drains."""
+        return [
+            self._all_processes[shard_id].exitcode
+            for shard_id in sorted(self._all_processes)
+        ]
+
+    # ------------------------------------------------------------------
+    # Elastic operations: live reshard, migration, snapshots
+    # ------------------------------------------------------------------
+
+    def add_shard(self) -> int:
+        """Grow the cluster by one **worker process**, migrating live.
+
+        The newcomer builds its replica from the factory, replays the
+        churn log (so its POI set and epoch counter match the
+        incumbents), and receives the ring's minimal remap set — every
+        moved session crosses the wire as a
+        :class:`~repro.service.api.SessionSnapshot` and resumes
+        verbatim on the new worker, prober and mirror state moving
+        along client-side.  Returns the new shard's id.
+        """
+        if self._closed:
+            raise RuntimeError("cluster is closed")
+        shard_id = self._next_shard_id
+        self._next_shard_id += 1
+        ((process, address),) = self._spawn_workers([shard_id]).values()
+        backend = self._connect(address)
+        for adds, removes, space in self._churn_log:
+            backend.update_pois(adds=adds, removes=removes, space=space)
+        new_ring = self._ring.copy()
+        new_ring.add_shard(shard_id)
+        moved = new_ring.moved_keys(self._ring, self.session_ids())
+        self._migrate(moved, {shard_id: backend})
+        self._processes[shard_id] = process
+        self._all_processes[shard_id] = process
+        self._shards[shard_id] = backend
+        self._ring = new_ring
+        return shard_id
+
+    def remove_shard(self, shard_id: int, timeout: float = 30.0) -> None:
+        """Retire one worker process, migrating its sessions out first.
+
+        Only the departing shard's sessions move (the consistent-hash
+        guarantee); its aggregate counters fold into the retired
+        ledger so cluster metrics stay exact.  The worker then drains
+        gracefully; a terminated or non-zero exit raises
+        :class:`WorkerShutdownError` *after* the topology change — the
+        cluster keeps serving on the survivors either way.
+        """
+        if self._closed:
+            raise RuntimeError("cluster is closed")
+        if shard_id not in self._shards:
+            raise ValueError(f"no shard {shard_id}")
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        new_ring = self._ring.copy()
+        new_ring.remove_shard(shard_id)
+        moved = new_ring.moved_keys(self._ring, self.session_ids())
+        retiring = self._shards[shard_id]
+        self._migrate(moved, {})
+        self._retired.merge(retiring.metrics)
+        del self._shards[shard_id]
+        self._load_baselines.pop(shard_id, None)
+        self._ring = new_ring
+        self._drain_worker(shard_id, retiring, timeout)
+
+    def _drain_worker(
+        self, shard_id: int, backend: RemoteBackend, timeout: float
+    ) -> None:
+        try:
+            backend.shutdown_server()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+        backend.close()
+        process = self._processes.pop(shard_id)
+        process.join(timeout=timeout)
+        failed: dict[int, Optional[int]] = {}
+        if process.is_alive():  # pragma: no cover - drain timeout
+            process.terminate()
+            process.join(timeout=10)
+            failed[shard_id] = process.exitcode
+        elif process.exitcode not in (0, None):  # pragma: no cover
+            failed[shard_id] = process.exitcode
+        if failed:  # pragma: no cover - drain failures
+            raise WorkerShutdownError(failed)
+
+    def _migrate(
+        self,
+        moved: dict[int, tuple[int, int]],
+        joining: dict[int, RemoteBackend],
+    ) -> None:
+        """Hand each session in the plan from its old worker to its new
+        one (``joining`` holds not-yet-installed backends)."""
+        for session_id in sorted(moved):
+            source_id, target_id = moved[session_id]
+            source = self._shards[source_id]
+            target = joining.get(target_id) or self._shards[target_id]
+            source.handoff_session(session_id, target)
+
+    def export_session(self, session_id: int) -> SessionSnapshot:
+        """Snapshot one session off its ring-routed worker (a read)."""
+        return self._shard(session_id).export_session(session_id)
+
+    def import_session(
+        self, snapshot: SessionSnapshot, prober: Optional[Prober] = None
+    ) -> None:
+        """Install a migrated session on its ring-routed worker."""
+        self._shard(snapshot.session_id).import_session(
+            snapshot, prober=prober
+        )
+        self._next_id = max(self._next_id, snapshot.session_id + 1)
+
+    def shard_snapshot(self, shard_id: int) -> ServiceSnapshot:
+        """One whole worker as a failover envelope (a read)."""
+        return self.shard(shard_id).snapshot()
+
+    def restore_shard(
+        self,
+        shard_id: int,
+        snapshot: ServiceSnapshot,
+        probers: Optional[dict[int, Prober]] = None,
+    ) -> list[int]:
+        """Replay a shard snapshot into ``shard_id``'s worker."""
+        restored = self.shard(shard_id).restore(snapshot, probers)
+        for session_id in restored:
+            self._next_id = max(self._next_id, session_id + 1)
+        return restored
 
     # ------------------------------------------------------------------
     # Spaces
@@ -339,7 +565,7 @@ class ProcessCluster:
 
     def worker_epochs(self, name: str = "default") -> list[object]:
         """Each worker's published epoch for the named shared space."""
-        return [shard.space_epoch(name) for shard in self._shards]
+        return [shard.space_epoch(name) for shard in self.shards]
 
     # ------------------------------------------------------------------
     # The wire face
@@ -362,7 +588,18 @@ class ProcessCluster:
     ) -> SessionHandle:
         _require_space_ref(space)
         gid = self._next_id if session_id is None else session_id
-        handle = self._shards[self._ring.shard_for(gid)].open_session(
+        owner_id = self._ring.shard_for(gid)
+        # Topology-aware duplicate detection: the ring's current owner
+        # rejects duplicates server-side, but a reshard (or a failover
+        # restore) may have parked the original on another worker —
+        # check them too before registering anything.
+        if session_id is not None:
+            for shard_id in sorted(self._shards):
+                if shard_id == owner_id:
+                    continue
+                if gid in self._shards[shard_id].session_ids():
+                    raise ValueError(f"session id {gid} is already in use")
+        handle = self._shards[owner_id].open_session(
             members, policy, prober=prober, space=space, session_id=gid
         )
         self._next_id = max(self._next_id, gid + 1)
@@ -374,7 +611,7 @@ class ProcessCluster:
     def session_ids(self) -> list[int]:
         return sorted(
             session_id
-            for shard in self._shards
+            for shard in self._shards.values()
             for session_id in shard.session_ids()
         )
 
@@ -468,14 +705,17 @@ class ProcessCluster:
         replicas of the mirror, so what the mirror accepts they
         accept).  Each worker then applies the same batch to its own
         index — bumping its shared space's epoch exactly once — and
-        re-notifies its own invalidated sessions.  Merged notifications
-        come back in ascending session order.
+        re-notifies its own invalidated sessions.  Accepted batches
+        also land in the churn log that catches up late-spawned
+        workers (:meth:`add_shard`).  Merged notifications come back
+        in ascending session order.
         """
         name = _require_space_ref(space)
         mirror = self.get_space(name or "default")
         mirror.bulk_update(adds, removes)
+        self._churn_log.append((tuple(adds), tuple(removes), name))
         notifications: list[Notification] = []
-        for shard in self._shards:
+        for shard in self.shards:
             notifications.extend(
                 shard.update_pois(adds=adds, removes=removes, space=space)
             )
@@ -494,15 +734,27 @@ class ProcessCluster:
 
     @property
     def metrics(self) -> SimulationMetrics:
-        """Cluster-wide counters: the merge of every worker's aggregate."""
+        """Cluster-wide counters: every worker's aggregate merged,
+        retired workers' aggregates included."""
         merged = SimulationMetrics()
-        for shard in self._shards:
+        merged.merge(self._retired)
+        for shard in self._shards.values():
             merged.merge(shard.metrics)
         return merged
 
     def shard_metrics(self) -> list[SimulationMetrics]:
-        return [shard.metrics for shard in self._shards]
+        return [shard.metrics for shard in self.shards]
+
+    def shard_loads(self) -> list[ShardLoad]:
+        """Per-worker load since the previous read (see
+        :mod:`repro.cluster.load`)."""
+        return collect_shard_loads(self._shards, self._load_baselines)
+
+    def hot_shards(self, threshold: float = 2.0) -> list[int]:
+        """Worker shard ids serving > ``threshold`` × the mean load
+        since the last :meth:`shard_loads` read."""
+        return hot_shards(self.shard_loads(), threshold)
 
     def server_stats(self) -> list[dict]:
-        """Each worker's transport-level stats, in shard order."""
-        return [shard.server_stats() for shard in self._shards]
+        """Each worker's transport-level stats, in shard-id order."""
+        return [shard.server_stats() for shard in self.shards]

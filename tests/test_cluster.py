@@ -119,7 +119,7 @@ class TestRouting:
         cluster = make_cluster()
         for _ in range(12):
             handle = cluster.open_session(random_users(rng, 2), circle_policy())
-            shard = cluster.shards[cluster.shard_for(handle.session_id)]
+            shard = cluster.shard(cluster.shard_for(handle.session_id))
             assert handle.session_id in shard.session_ids()
         assert cluster.session_ids() == list(range(12))
 
@@ -392,3 +392,240 @@ class TestClusterMetrics:
         )
         got = [n.session_id for n in notifications]
         assert got == sorted(got)
+
+
+# ----------------------------------------------------------------------
+# Elastic operations: incremental ring edits, live reshard mechanics,
+# numbering and duplicate detection across topology changes.
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.service.strategies import (  # noqa: E402
+    register_strategy,
+    unregister_strategy,
+)
+from repro.simulation.policies import custom_policy  # noqa: E402
+
+key_sets = st.lists(st.integers(0, 10**9), min_size=1, max_size=300, unique=True)
+
+
+class TestHashRingElastic:
+    def test_incremental_add_equals_fresh_construction(self):
+        grown = HashRing(range(3))
+        grown.add_shard(3)
+        fresh = HashRing(range(4))
+        assert [grown.shard_for(i) for i in range(1000)] == [
+            fresh.shard_for(i) for i in range(1000)
+        ]
+
+    def test_remove_then_add_round_trips(self):
+        ring = HashRing(range(4))
+        ring.remove_shard(2)
+        ring.add_shard(2)
+        fresh = HashRing(range(4))
+        assert [ring.shard_for(i) for i in range(1000)] == [
+            fresh.shard_for(i) for i in range(1000)
+        ]
+
+    def test_copy_is_independent(self):
+        ring = HashRing(range(3))
+        clone = ring.copy()
+        clone.add_shard(3)
+        assert 3 in clone and 3 not in ring
+        assert ring.shard_ids == (0, 1, 2)
+
+    def test_edit_validation(self):
+        ring = HashRing([0])
+        with pytest.raises(ValueError, match="already"):
+            ring.add_shard(0)
+        with pytest.raises(ValueError, match="not on the ring"):
+            ring.remove_shard(9)
+        with pytest.raises(ValueError, match="last"):
+            ring.remove_shard(0)
+
+    def test_moved_keys_reports_exact_diff(self):
+        old = HashRing(range(3))
+        new = old.copy()
+        new.add_shard(3)
+        moved = new.moved_keys(old, range(2000))
+        assert moved  # some keys always land on a 64-replica newcomer
+        for key, (src, dst) in moved.items():
+            assert old.shard_for(key) == src != dst == new.shard_for(key)
+        untouched = [k for k in range(2000) if k not in moved]
+        assert all(old.shard_for(k) == new.shard_for(k) for k in untouched)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 8), key_sets)
+    def test_growth_is_minimal_remap(self, n_shards, keys):
+        """n -> n+1 moves keys only TO the newcomer, never between
+        incumbents — the consistent-hash contract, property-tested."""
+        old = HashRing(range(n_shards))
+        new = old.copy()
+        new.add_shard(n_shards)
+        for key, (src, dst) in new.moved_keys(old, keys).items():
+            assert dst == n_shards, f"key {key} rehashed {src}->{dst}"
+            assert src != n_shards
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(2, 8), st.data())
+    def test_removal_moves_only_the_departed_shards_keys(self, n_shards, data):
+        victim = data.draw(st.integers(0, n_shards - 1))
+        keys = data.draw(key_sets)
+        old = HashRing(range(n_shards))
+        new = old.copy()
+        new.remove_shard(victim)
+        for key, (src, dst) in new.moved_keys(old, keys).items():
+            assert src == victim, f"key {key} fled a surviving shard"
+            assert dst != victim
+
+
+class BoomMidRegistration:
+    """Validates fine, explodes during the registration recompute."""
+
+    periodic = False
+
+    def __init__(self, policy):
+        pass
+
+    def compute(self, users, tree, headings=None, thetas=None):
+        raise RuntimeError("boom mid-registration")
+
+
+@pytest.fixture
+def boom_registered():
+    register_strategy("boom", BoomMidRegistration)
+    yield
+    unregister_strategy("boom")
+
+
+class TestBurnFreeNumbering:
+    """A failed open consumes no id on any backend — including failures
+    *after* validation, mid-registration, on service and cluster alike."""
+
+    def test_service_survives_mid_registration_failure(self, rng, boom_registered):
+        pois = uniform_pois(100, SMALL_WORLD, seed=3)
+        service = MPNService(build_poi_tree(pois))
+        with pytest.raises(RuntimeError, match="boom"):
+            service.open_session(random_users(rng, 2), custom_policy("boom", "boom"))
+        assert service.session_ids() == []
+        handle = service.open_session(random_users(rng, 2), circle_policy())
+        assert handle.session_id == 0
+        # explicit ids burn nothing either
+        with pytest.raises(RuntimeError, match="boom"):
+            service.open_session(
+                random_users(rng, 2), custom_policy("boom", "boom"), session_id=17
+            )
+        assert service.open_session(
+            random_users(rng, 2), circle_policy()
+        ).session_id == 1
+
+    def test_cluster_survives_mid_registration_failure(self, rng, boom_registered):
+        cluster = make_cluster(n_shards=3)
+        with pytest.raises(RuntimeError, match="boom"):
+            cluster.open_session(random_users(rng, 2), custom_policy("boom", "boom"))
+        assert cluster.session_ids() == []
+        assert cluster.open_session(
+            random_users(rng, 2), circle_policy()
+        ).session_id == 0
+
+
+class TestElasticCluster:
+    def test_shard_ids_never_recycled(self, rng):
+        cluster = make_cluster(n_shards=2)
+        assert cluster.add_shard() == 2
+        cluster.remove_shard(2)
+        assert cluster.add_shard() == 3
+        assert cluster.shard_ids() == [0, 1, 3]
+
+    def test_remove_validation(self):
+        cluster = make_cluster(n_shards=2)
+        with pytest.raises(ValueError, match="no shard"):
+            cluster.remove_shard(9)
+        cluster.remove_shard(1)
+        with pytest.raises(ValueError, match="last"):
+            cluster.remove_shard(0)
+        with pytest.raises(ValueError, match="no shard"):
+            cluster.shard(1)
+
+    def test_retired_shard_counters_stay_in_the_merge(self, rng):
+        cluster = make_cluster(n_shards=2)
+        ids = [
+            cluster.open_session(random_users(rng, 2), circle_policy()).session_id
+            for _ in range(8)
+        ]
+        cluster.report_many(
+            [ReportEvent(sid, 0, MemberState(SMALL_WORLD.sample(rng))) for sid in ids]
+        )
+        before = cluster.metrics
+        cluster.remove_shard(0)
+        after = cluster.metrics
+        assert after.messages_total == before.messages_total
+        assert after.update_events == before.update_events
+
+    def test_duplicate_id_caught_on_any_shard(self, rng):
+        """The regression: a session parked off its ring owner (as a
+        failover restore can leave it) must still block its id."""
+        cluster = make_cluster(n_shards=2)
+        cluster.open_session(random_users(rng, 2), circle_policy(), session_id=5)
+        owner = cluster.shard_for(5)
+        other = next(i for i in cluster.shard_ids() if i != owner)
+        snapshot = cluster.shard(owner).export_session(5)
+        cluster.shard(owner).close_session(5)
+        cluster.shard(other).import_session(snapshot)
+        assert cluster.session_ids() == [5]
+        with pytest.raises(ValueError, match="already in use"):
+            cluster.open_session(random_users(rng, 2), circle_policy(), session_id=5)
+
+    def test_explicit_ids_stay_unique_across_reshard(self, rng):
+        cluster = make_cluster(n_shards=2)
+        for sid in (3, 7, 11):
+            cluster.open_session(random_users(rng, 2), circle_policy(), session_id=sid)
+        cluster.add_shard()
+        cluster.remove_shard(0)
+        for sid in (3, 7, 11):
+            with pytest.raises(ValueError, match="already in use"):
+                cluster.open_session(
+                    random_users(rng, 2), circle_policy(), session_id=sid
+                )
+        assert cluster.open_session(
+            random_users(rng, 2), circle_policy()
+        ).session_id == 12
+
+    def test_shard_snapshot_restore_round_trip(self, rng):
+        cluster = make_cluster(n_shards=2)
+        ids = [
+            cluster.open_session(random_users(rng, 2), circle_policy()).session_id
+            for _ in range(6)
+        ]
+        victim = cluster.shard_ids()[0]
+        owned = [sid for sid in ids if cluster.shard_for(sid) == victim]
+        snapshot = cluster.shard_snapshot(victim)
+        assert sorted(s.session_id for s in snapshot.sessions) == owned
+        twin = make_cluster(n_shards=2)
+        restored = twin.restore_shard(victim, snapshot)
+        assert restored == owned
+        for sid in owned:
+            assert twin.session(sid).po == cluster.session(sid).po
+        # the watermark advanced: fresh ids continue past the restores
+        assert twin.open_session(
+            random_users(rng, 2), circle_policy()
+        ).session_id == max(owned) + 1
+
+    def test_shard_loads_and_hot_shards(self, rng):
+        cluster = make_cluster(n_shards=2)
+        ids = [
+            cluster.open_session(random_users(rng, 2), circle_policy()).session_id
+            for _ in range(8)
+        ]
+        cluster.report_many(
+            [ReportEvent(sid, 0, MemberState(SMALL_WORLD.sample(rng))) for sid in ids]
+        )
+        loads = cluster.shard_loads()
+        assert [load.shard_id for load in loads] == cluster.shard_ids()
+        assert sum(load.sessions for load in loads) == len(ids)
+        assert sum(load.messages for load in loads) == cluster.metrics.messages_total
+        # deltas: a second read with no traffic reports zero work
+        assert all(load.score == 0 for load in cluster.shard_loads())
+        assert cluster.hot_shards() == []

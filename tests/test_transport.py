@@ -35,6 +35,7 @@ from repro.transport import (
     ConnectionClosed,
     FrameDecodeError,
     FrameTooLargeError,
+    ProcessCluster,
     RemoteBackend,
     ThreadedWireServer,
     UniformPoiSpaceFactory,
@@ -428,3 +429,122 @@ def test_space_factories_are_picklable_and_deterministic():
     probe = Point(123.0, 456.0)
     assert a.poi_count() == b.poi_count()
     assert a.gnn([probe]) == b.gnn([probe])
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: idempotent close everywhere, worker exits surfaced,
+# session migration over the wire, burn-free numbering through errors.
+# ----------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_wire_client_double_close_is_idempotent(self, served):
+        server, _ = served
+        client = WireClient(*server.address)
+        assert client.control("ping") == {"ok": True}
+        assert not client.closed
+        client.close()
+        assert client.closed
+        client.close()  # second close: a no-op, not an error
+        assert client.closed
+
+    def test_async_wire_client_double_close_is_idempotent(self, served):
+        server, _ = served
+
+        async def drive():
+            client = AsyncWireClient()
+            await client.connect(*server.address)
+            assert await client.control("ping") == {"ok": True}
+            await client.close()
+            await client.close()
+
+        asyncio.run(drive())
+
+    def test_failed_open_burns_no_id_over_the_wire(self, served, rng):
+        """The numbering contract crosses the wire: a rejected open —
+        validation or unknown strategy — consumes nothing server-side."""
+        from repro.simulation.policies import custom_policy
+
+        server, _ = served
+        with RemoteBackend(*server.address, space=FACTORY()) as remote:
+            with pytest.raises(KeyError):
+                remote.open_session(
+                    [SMALL_WORLD.sample(rng)], custom_policy("nope", "no-such")
+                )
+            with pytest.raises(ValueError, match="at least one member"):
+                remote.open_session([], circle_policy())
+            handle = remote.open_session([SMALL_WORLD.sample(rng)], circle_policy())
+            assert handle.session_id == 0
+
+    def test_handoff_session_migrates_between_servers(self, rng):
+        """export -> import across two live servers: the session keeps
+        answering on the target exactly where the source left off."""
+        twin = MPNService(share_space(FACTORY()))
+        a = MPNService(share_space(FACTORY()))
+        b = MPNService(share_space(FACTORY()))
+        with ThreadedWireServer(a) as sa, ThreadedWireServer(b) as sb:
+            ra = RemoteBackend(*sa.address, space=FACTORY())
+            rb = RemoteBackend(*sb.address, space=FACTORY())
+            try:
+                points = [SMALL_WORLD.sample(rng) for _ in range(3)]
+                h_twin = twin.open_session(points, circle_policy())
+                h_wire = ra.open_session(points, circle_policy())
+                assert h_twin.session_id == h_wire.session_id
+                sid = h_wire.session_id
+                step = SMALL_WORLD.sample(rng)
+                n_twin = twin.report(sid, 0, step)
+                n_wire = ra.report(sid, 0, step)
+                assert (n_twin is None) == (n_wire is None)
+
+                snapshot = ra.handoff_session(sid, rb)
+                assert snapshot.session_id == sid
+                assert ra.session_ids() == [] and rb.session_ids() == [sid]
+                # migration charged nothing
+                assert b.session_metrics(sid).update_events == (
+                    twin.session_metrics(sid).update_events
+                )
+                # ... and the session answers on the target bit-for-bit
+                for _ in range(4):
+                    escape = SMALL_WORLD.sample(rng)
+                    want = twin.report(sid, 1, escape)
+                    got = rb.report(sid, 1, escape)
+                    assert (want is None) == (got is None)
+                    if want is not None:
+                        assert want.po == got.po
+                        assert len(want.regions) == len(got.regions)
+            finally:
+                ra.close()
+                rb.close()
+
+    def test_process_cluster_double_close_is_idempotent(self):
+        cluster = ProcessCluster(2, FACTORY)
+        cluster.close()
+        cluster.close()
+        assert cluster.worker_exitcodes() == [0, 0]
+
+    def test_killed_worker_surfaces_on_close(self):
+        """The regression: a worker that died (or hangs) no longer
+        vanishes silently — close() reports it, with exit codes."""
+        from repro.transport import WorkerShutdownError
+
+        cluster = ProcessCluster(2, FACTORY)
+        victim = cluster._processes[0]
+        victim.kill()
+        victim.join(timeout=10)
+        with pytest.raises(WorkerShutdownError) as err:
+            cluster.close()
+        assert 0 in err.value.exitcodes
+        assert err.value.exitcodes[0] not in (0, None)
+        assert "exit code" in str(err.value)
+        cluster.close()  # still idempotent after the report
+        codes = cluster.worker_exitcodes()
+        assert codes[0] not in (0, None) and codes[1] == 0
+
+    def test_context_manager_does_not_mask_inflight_errors(self):
+        """__exit__ reports shutdown failures only on the clean path."""
+        with pytest.raises(RuntimeError, match="the real problem"):
+            with ProcessCluster(2, FACTORY) as cluster:
+                cluster._processes[1].kill()
+                cluster._processes[1].join(timeout=10)
+                raise RuntimeError("the real problem")
+        assert cluster.worker_exitcodes()[1] not in (0, None)
