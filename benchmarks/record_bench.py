@@ -14,6 +14,11 @@ Two suites:
   (live reshard: migration latency, remap fraction, per-session wire
   handoff latency, with the minimal-remap gates armed) and appends the
   numbers to ``BENCH_elastic.json``.
+* ``--suite citynet`` — runs ``benchmarks/test_micro_citynet.py`` (the
+  distance oracle at 100k+-edge city scale: ALT-pruned GNN >= 3x over
+  exact full rows under the same row-cache byte budget, plus the
+  always-armed cache byte ceiling) and appends the numbers to
+  ``BENCH_citynet.json``.
 
 Each file is a JSON list, newest entry last, so the trajectory can be
 tracked commit over commit.
@@ -223,11 +228,66 @@ def record_elastic() -> int:
     return 0
 
 
+def record_citynet() -> int:
+    collector = _Collector(
+        "test_micro_citynet",
+        ("GRID", "N_POIS", "GROUP_SIZE", "N_GROUPS", "CACHE_ROWS", "LANDMARKS"),
+    )
+    code = _run(collector, BENCH_DIR / "test_micro_citynet.py")
+    if code != 0:
+        print("benchmark run failed; nothing recorded", file=sys.stderr)
+        return code
+    recorded = collector.recorded
+    gnn = recorded.get("gnn_2best", {})
+    if not {"exact-rows", "alt-pruned"} <= set(gnn):
+        print("benchmark timings missing; nothing recorded", file=sys.stderr)
+        return 1
+
+    exact_s, exact_samples = gnn["exact-rows"]
+    alt_s, alt_samples = gnn["alt-pruned"]
+    speedup = exact_s / alt_s
+    cache = recorded.get("cache", {})
+    stats = recorded.get("alt_stats", {})
+    entry = {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "commit": _git_commit(),
+        "scale": collector.scale,
+        "results": {
+            "gnn_exact_seconds": exact_s,
+            "gnn_alt_seconds": alt_s,
+            "speedup": speedup,
+            "samples": min(exact_samples, alt_samples),
+            "alt_prune_rate": stats.get("alt_prune_rate"),
+            "landmark_bytes": stats.get("landmark_bytes"),
+            "cache": cache,
+        },
+        "gate": {
+            "alt_min_speedup": GATE_MIN_SPEEDUP,
+            "passed": speedup >= GATE_MIN_SPEEDUP,
+            "byte_ceiling_held": bool(cache)
+            and cache["resident_bytes"] <= cache["budget_bytes"],
+        },
+    }
+    _append(REPO_ROOT / "BENCH_citynet.json", entry)
+    print(
+        f"  gnn_2best   {speedup:7.2f}x (exact {exact_s * 1000.0:.1f} ms, "
+        f"alt {alt_s * 1000.0:.1f} ms, prune rate "
+        f"{stats.get('alt_prune_rate', float('nan')):.3f})"
+    )
+    if cache:
+        print(
+            f"  row cache   {cache['resident_bytes']} / "
+            f"{cache['budget_bytes']} bytes resident, "
+            f"{cache['evictions']} evictions"
+        )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("churn", "wire", "elastic"),
+        choices=("churn", "wire", "elastic", "citynet"),
         default="churn",
         help="which benchmark suite to run and record",
     )
@@ -236,7 +296,9 @@ def main(argv=None) -> int:
         return record_churn()
     if args.suite == "wire":
         return record_wire()
-    return record_elastic()
+    if args.suite == "elastic":
+        return record_elastic()
+    return record_citynet()
 
 
 if __name__ == "__main__":

@@ -596,6 +596,24 @@ class MPNCluster:
         """Each shard's own service-wide aggregate, in shard-id order."""
         return [shard.metrics for shard in self.shards]
 
+    def oracle_stats(self) -> dict[str, dict]:
+        """Distance-oracle counters per shared road-network space.
+
+        Read off the cluster's :class:`~repro.space.SharedSpace`
+        registry rather than any one shard: every shard serves the
+        same epoch-published space, whose replicas all share one
+        :class:`~repro.index.oracle.DistanceOracle` — so these
+        counters are the whole cluster's cache, counted once (the
+        satellite invariant ``tests/test_oracle.py`` pins down).
+        """
+        out: dict[str, dict] = {}
+        for name in sorted(self._shared_spaces):
+            index = getattr(self._shared_spaces[name], "index", None)
+            oracle = getattr(index, "oracle", None)
+            if oracle is not None:
+                out[name] = oracle.stats()
+        return out
+
     def shard_loads(self) -> list[ShardLoad]:
         """Per-shard load since the previous read (see
         :mod:`repro.cluster.load`)."""

@@ -8,19 +8,29 @@ the POIs by the graph node they sit on, and answers aggregate
 nearest-neighbor queries from *bulk* shortest-path distance rows:
 
 * one Dijkstra run per distinct anchor node (SciPy's C implementation
-  when available, a heap-based CSR traversal otherwise), cached for
-  the lifetime of the index — users sliding along an edge keep their
-  endpoint anchors, and POI updates never invalidate distances;
+  when available, a heap-based CSR traversal otherwise), cached in a
+  byte-budgeted LRU behind the shared
+  :class:`~repro.index.oracle.DistanceOracle` — users sliding along an
+  edge keep their endpoint anchors, and POI updates never invalidate
+  distances;
 * per-user node-distance rows combined from the anchor rows with one
   ``np.minimum`` pass;
-* POI scores gathered and aggregated across users in NumPy.
+* POI scores gathered and aggregated across users in NumPy;
+* at city scale (or when forced through
+  :class:`~repro.index.oracle.OracleConfig`), an ALT landmark pass
+  first: triangle-inequality lower/upper bounds from ~16 pinned
+  landmark rows discard almost every POI, and only the survivors are
+  scored exactly from bounded-radius Dijkstra runs.  Pruning never
+  changes answers — both paths produce bit-identical results.
 
 The results are bit-identical to the brute-force reference
 (:func:`repro.network_ext.gnn.network_gnn`): the same additions in the
 same order, the same min-over-anchors, the same ``(distance,
 str(poi))`` tie-break.  ``benchmarks/test_micro_network_gnn.py`` holds
 the kernel to a >=3x speedup over that reference at 10k-edge /
-5k-POI scale.
+5k-POI scale, and ``benchmarks/test_micro_citynet.py`` holds the ALT
+path to a >=3x speedup over the exact full-row path at 100k-edge
+scale under a hard row-cache byte ceiling.
 
 POIs are graph nodes (real POI datasets are map-matched to the road
 graph, matching the rest of :mod:`repro.network_ext`).
@@ -28,12 +38,12 @@ graph, matching the rest of :mod:`repro.network_ext`).
 
 from __future__ import annotations
 
-import heapq
 from typing import Any, Hashable, Optional, Sequence
 
 import numpy as np
 
 from repro.index.flat import DEFAULT_DELTA_FRACTION
+from repro.index.oracle import OracleConfig, oracle_for, padded_cutoff
 from repro.index.rtree import resolve_removals_indexed
 
 try:  # SciPy is optional; the fallback kernel needs only NumPy.
@@ -44,14 +54,23 @@ except ImportError:  # pragma: no cover - exercised only without scipy
     _csgraph_dijkstra = None
 
 
+def _scipy_kernels() -> tuple:
+    """The SciPy pair read from *this* module's globals at call time,
+    so tests monkeypatching ``_csgraph_dijkstra`` here flip the shared
+    oracle onto the pure-python kernels too."""
+    return _csr_matrix, _csgraph_dijkstra
+
+
 class NetworkIndex:
     """Edge-weighted road graph + node-bucketed POIs, query-ready.
 
     ``space`` is a :class:`repro.network_ext.space.NetworkSpace` (or
     anything exposing ``graph`` and ``anchors``); the graph is packed
-    once at construction and assumed immutable afterwards, while the
-    POI set mutates freely through :meth:`bulk_update` /
-    :meth:`insert` / :meth:`delete`.
+    once — into the space's shared :class:`DistanceOracle` — and
+    assumed immutable afterwards, while the POI set mutates freely
+    through :meth:`bulk_update` / :meth:`insert` / :meth:`delete`.
+    All indexes over one space share that oracle's row cache and
+    landmark rows; ``oracle_config`` tunes it on first construction.
     """
 
     def __init__(
@@ -60,6 +79,7 @@ class NetworkIndex:
         pois: Sequence[Hashable] = (),
         payloads: Optional[Sequence[Any]] = None,
         delta_fraction: float = DEFAULT_DELTA_FRACTION,
+        oracle_config: Optional[OracleConfig] = None,
     ):
         if delta_fraction < 0.0:
             raise ValueError("delta_fraction must be >= 0")
@@ -69,30 +89,10 @@ class NetworkIndex:
         # repacks vs delta batches absorbed without one.
         self.build_count = 0
         self.delta_batches = 0
-        graph = space.graph
-        self._nodes: list[Hashable] = list(graph.nodes)
-        self._node_id: dict[Hashable, int] = {
-            node: i for i, node in enumerate(self._nodes)
-        }
-        n = len(self._nodes)
-        # CSR adjacency: both directions of every undirected edge.
-        src: list[int] = []
-        dst: list[int] = []
-        wgt: list[float] = []
-        for u, v, data in graph.edges(data=True):
-            iu, iv = self._node_id[u], self._node_id[v]
-            length = float(data["length"])
-            src += [iu, iv]
-            dst += [iv, iu]
-            wgt += [length, length]
-        src_arr = np.asarray(src, dtype=np.int64)
-        order = np.argsort(src_arr, kind="stable")
-        self.indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(np.bincount(src_arr, minlength=n), out=self.indptr[1:])
-        self.indices = np.asarray(dst, dtype=np.int64)[order]
-        self.weights = np.asarray(wgt, dtype=np.float64)[order]
-        self._csgraph = None  # scipy matrix view, built on first use
-        self._dist_rows: dict[int, np.ndarray] = {}
+        self._oracle = oracle_for(space, oracle_config, _scipy_kernels)
+        self._nodes: list[Hashable] = self._oracle.nodes
+        self._node_id: dict[Hashable, int] = self._oracle.node_id
+        self._lm_slot_cache: Optional[tuple[np.ndarray, np.ndarray]] = None
         # POI store: (node, payload) items plus a node -> item-index
         # bucket map for O(1) per-node lookups.
         self._items: list[tuple[Hashable, Any]] = []
@@ -103,6 +103,25 @@ class NetworkIndex:
         if len(payloads) != len(pois):
             raise ValueError("payloads length does not match pois")
         self._install([(p, pl) for p, pl in zip(pois, payloads)])
+
+    # The CSR arrays live on the shared oracle; these views keep the
+    # packing introspectable where it always was.
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._oracle.indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self._oracle.indices
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._oracle.weights
+
+    @property
+    def oracle(self):
+        """The space's shared :class:`~repro.index.oracle.DistanceOracle`."""
+        return self._oracle
 
     # ------------------------------------------------------------------
     # POI bookkeeping
@@ -198,7 +217,8 @@ class NetworkIndex:
         add nodes are validated against the graph and every removal is
         matched before anything mutates, so an error for a bad entry
         leaves the index untouched.  Distance rows are unaffected —
-        the road graph itself is immutable.
+        the road graph itself is immutable, so the shared oracle's
+        caches survive every churn batch.
         """
         for node, _ in adds:
             if node not in self._node_id:
@@ -287,8 +307,8 @@ class NetworkIndex:
     # ------------------------------------------------------------------
 
     def distance_row(self, node: Hashable) -> np.ndarray:
-        """Distances from ``node`` to every graph node (cached)."""
-        return self._row(self._node_id[node])
+        """Distances from ``node`` to every graph node (LRU-cached)."""
+        return self._oracle.row(self._node_id[node])
 
     def distance_map(self, node: Hashable) -> dict[Hashable, float]:
         """:meth:`distance_row` as a dict — a drop-in for the networkx
@@ -298,52 +318,34 @@ class NetworkIndex:
         instead of running a second Dijkstra per anchor."""
         return dict(zip(self._nodes, self.distance_row(node).tolist()))
 
+    def node_pair_distance(self, node_a: Hashable, node_b: Hashable) -> float:
+        """Exact node-to-node distance off one LRU row — the space's
+        pair provider, avoiding a 100k-entry dict per anchor at city
+        scale (:meth:`NetworkSpace.set_pair_distance_provider`)."""
+        row = self._oracle.row(self._node_id[node_a])
+        return float(row[self._node_id[node_b]])
+
+    def bounded_distance_map(
+        self, node: Hashable, cutoff: float
+    ) -> dict[Hashable, float]:
+        """``{target: distance}`` for every node within ``cutoff``.
+
+        The bounded-radius provider behind
+        :meth:`NetworkSpace.node_distances_within`: entries present are
+        bit-identical to the full map's, absent targets are farther
+        than ``cutoff``.
+        """
+        row = self._oracle.bounded_row(self._node_id[node], cutoff)
+        reached = np.flatnonzero(np.isfinite(row))
+        values = row[reached].tolist()
+        return {self._nodes[i]: d for i, d in zip(reached.tolist(), values)}
+
     def _row(self, node_id: int) -> np.ndarray:
-        row = self._dist_rows.get(node_id)
-        if row is None:
-            self._compute_rows([node_id])
-            row = self._dist_rows[node_id]
-        return row
+        return self._oracle.row(node_id)
 
     def _compute_rows(self, node_ids: Sequence[int]) -> None:
-        """One multi-source dispatch for every uncached source at once."""
-        missing = sorted({i for i in node_ids if i not in self._dist_rows})
-        if not missing:
-            return
-        if _csgraph_dijkstra is not None:
-            if self._csgraph is None:
-                n = len(self._nodes)
-                self._csgraph = _csr_matrix(
-                    (self.weights, self.indices, self.indptr), shape=(n, n)
-                )
-            rows = np.atleast_2d(
-                _csgraph_dijkstra(self._csgraph, indices=missing)
-            )
-            for node_id, row in zip(missing, rows):
-                self._dist_rows[node_id] = row
-        else:
-            for node_id in missing:
-                self._dist_rows[node_id] = self._dijkstra_python(node_id)
-
-    def _dijkstra_python(self, source: int) -> np.ndarray:
-        """Heap Dijkstra over the CSR arrays (no-SciPy fallback)."""
-        indptr = self.indptr.tolist()
-        indices = self.indices.tolist()
-        weights = self.weights.tolist()
-        dist = [float("inf")] * len(self._nodes)
-        dist[source] = 0.0
-        heap: list[tuple[float, int]] = [(0.0, source)]
-        while heap:
-            d, u = heapq.heappop(heap)
-            if d > dist[u]:
-                continue
-            for k in range(indptr[u], indptr[u + 1]):
-                v = indices[k]
-                nd = d + weights[k]
-                if nd < dist[v]:
-                    dist[v] = nd
-                    heapq.heappush(heap, (nd, v))
-        return np.asarray(dist, dtype=np.float64)
+        """Warm the oracle's cache with one multi-source dispatch."""
+        self._oracle.rows(node_ids)
 
     def user_node_distances(self, users: Sequence[object]) -> np.ndarray:
         """``[m, n_nodes]`` matrix of exact user-to-node distances.
@@ -354,14 +356,14 @@ class NetworkIndex:
         out of its per-anchor Dijkstra dicts.
         """
         anchor_lists = [self.space.anchors(user) for user in users]
-        self._compute_rows(
+        anchor_rows = self._oracle.rows(
             [self._node_id[node] for anchors in anchor_lists for node, _ in anchors]
         )
         rows = []
         for anchors in anchor_lists:
             combined: Optional[np.ndarray] = None
             for node, d0 in anchors:
-                row = d0 + self._row(self._node_id[node])
+                row = d0 + anchor_rows[self._node_id[node]]
                 combined = row if combined is None else np.minimum(combined, row)
             rows.append(combined)
         return np.vstack(rows)
@@ -380,6 +382,10 @@ class NetworkIndex:
         runs in the same order with the same float operations) and the
         identical ``(distance, str(poi))`` tie-break.  ``agg`` is
         ``"max"`` / ``"sum"`` or an :class:`~repro.gnn.aggregate.Aggregate`.
+
+        When the oracle's ALT mode is engaged the landmark-pruned path
+        runs first; it either returns the provably identical answer or
+        declines back to the exact full-row path below.
         """
         agg_name = getattr(agg, "value", agg)
         if agg_name not in ("max", "sum"):
@@ -392,6 +398,13 @@ class NetworkIndex:
         if k <= 0:
             return []
         slot_ids, live_mask = self._poi_slots()
+        kk = min(k, n_live)
+        if kk < n_live and self._oracle.alt_active:
+            result = self._gnn_alt(
+                users, k, kk, agg_name, slot_ids, live_mask
+            )
+            if result is not None:
+                return result
         per_user = self.user_node_distances(users)[:, slot_ids]
         scores = per_user[0].copy()
         if agg_name == "max":
@@ -407,7 +420,6 @@ class NetworkIndex:
         # masking dead slots to inf keeps the answer bit-identical.
         if live_mask is not None:
             scores = np.where(live_mask, scores, np.inf)
-        kk = min(k, n_live)
         if kk < n_live:
             part = np.argpartition(scores, kk - 1)[:kk]
             candidates = np.flatnonzero(scores <= scores[part].max())
@@ -424,3 +436,135 @@ class NetworkIndex:
             key=lambda t: (t[0], str(t[1])),
         )
         return scored[:k]
+
+    # ------------------------------------------------------------------
+    # The ALT-pruned path
+    # ------------------------------------------------------------------
+
+    def _landmark_slot_columns(self, slot_ids: np.ndarray) -> np.ndarray:
+        """``[L, n_slots]`` landmark distances gathered at the POI
+        slots, cached per delta generation (``slot_ids`` identity)."""
+        cache = self._lm_slot_cache
+        if cache is None or cache[0] is not slot_ids:
+            columns = self._oracle.landmark_matrix()[:, slot_ids]
+            self._lm_slot_cache = (slot_ids, columns)
+            return columns
+        return cache[1]
+
+    def _gnn_alt(
+        self,
+        users: Sequence[object],
+        k: int,
+        kk: int,
+        agg_name: str,
+        slot_ids: np.ndarray,
+        live_mask: Optional[np.ndarray],
+    ) -> Optional[list[tuple[float, Hashable]]]:
+        """Landmark bounds -> bounded exact scoring, or ``None`` to
+        decline onto the exact full-row path.
+
+        Correctness sketch (the equivalence suite checks the claim on
+        random graphs):
+
+        * per user, ``LB(p) <= dist(user, p) <= UB(p)`` from the
+          triangle inequality through every landmark, minimized over
+          the user's anchors; aggregating bounds with the objective's
+          own max/sum preserves both inequalities;
+        * ``T`` = the ``kk``-th smallest aggregate UB, so at least
+          ``kk`` POIs score ``<= T`` and every answer POI does;
+        * any POI with aggregate score ``<= T`` has every per-user
+          term ``<= T`` (max: trivially; sum: non-negative terms), so
+          a bounded Dijkstra per anchor with cutoff ``~T`` settles the
+          minimizing anchor path exactly — survivor scores at or below
+          ``T`` are bit-identical to full-row scores, and masked-inf
+          entries only inflate scores already strictly above ``T``;
+        * survivors = ``{LB <= T + slack}`` — slack covering the
+          bounds' float rounding — therefore contains every POI of
+          the exact answer, scored identically, and the shared
+          ``(score, str(poi))`` sort returns the identical list.
+        """
+        oracle = self._oracle
+        anchor_lists = [self.space.anchors(user) for user in users]
+        landmarks = oracle.landmark_matrix()
+        lm_slots = self._landmark_slot_columns(slot_ids)
+        lb: Optional[np.ndarray] = None
+        ub: Optional[np.ndarray] = None
+        for anchors in anchor_lists:
+            user_lb: Optional[np.ndarray] = None
+            user_ub: Optional[np.ndarray] = None
+            for node, d0 in anchors:
+                to_anchor = landmarks[:, self._node_id[node]][:, None]
+                a_lb = d0 + np.abs(lm_slots - to_anchor).max(axis=0)
+                a_ub = d0 + (lm_slots + to_anchor).min(axis=0)
+                user_lb = (
+                    a_lb if user_lb is None else np.minimum(user_lb, a_lb)
+                )
+                user_ub = (
+                    a_ub if user_ub is None else np.minimum(user_ub, a_ub)
+                )
+            if lb is None:
+                lb, ub = user_lb.copy(), user_ub.copy()
+            elif agg_name == "max":
+                np.maximum(lb, user_lb, out=lb)
+                np.maximum(ub, user_ub, out=ub)
+            else:
+                lb += user_lb
+                ub += user_ub
+        if live_mask is not None:
+            lb = np.where(live_mask, lb, np.inf)
+            ub = np.where(live_mask, ub, np.inf)
+        threshold = float(np.partition(ub, kk - 1)[kk - 1])
+        if not np.isfinite(threshold):
+            return None
+        # LB and UB reach the same real value through *different* float
+        # expressions (|a - b| vs a + b, then the aggregation chain), so
+        # rounding can lift a true answer's LB a few ulps past the
+        # UB-derived threshold.  The slack dominates that chain — one
+        # rounding per op, < len(users) + 8 ops, each <= eps/2 relative
+        # — by seven orders of magnitude while pruning power is
+        # untouched (real distance gaps dwarf 1e-9 relative).
+        cut = threshold + 1e-9 * (abs(threshold) + 1.0) * (len(users) + 8)
+        survivors = np.flatnonzero(lb <= cut)
+        oracle.note_alt(candidates=int(n_live_slots(live_mask, slot_ids)),
+                        survivors=len(survivors))
+        # Exact scores for the survivors only, off bounded rows.  The
+        # cutoff is padded so a rounded ``d0 + d == cut`` sum can never
+        # fall out of the settled ball (see ``padded_cutoff``).
+        sub_cols = slot_ids[survivors]
+        scores: Optional[np.ndarray] = None
+        for anchors in anchor_lists:
+            combined: Optional[np.ndarray] = None
+            for node, d0 in anchors:
+                node_id = self._node_id[node]
+                full = oracle.cached_row(node_id)
+                if full is not None:
+                    row = d0 + full[sub_cols]
+                else:
+                    bounded = oracle.bounded_row(
+                        node_id, padded_cutoff(cut, d0)
+                    )
+                    row = d0 + bounded[sub_cols]
+                combined = (
+                    row if combined is None else np.minimum(combined, row)
+                )
+            if scores is None:
+                scores = combined.copy()
+            elif agg_name == "max":
+                np.maximum(scores, combined, out=scores)
+            else:
+                scores += combined
+        scored = sorted(
+            (
+                (float(scores[j]), self._item(int(i))[0])
+                for j, i in enumerate(survivors)
+            ),
+            key=lambda t: (t[0], str(t[1])),
+        )
+        return scored[:k]
+
+
+def n_live_slots(
+    live_mask: Optional[np.ndarray], slot_ids: np.ndarray
+) -> int:
+    """Live POI slots under ``live_mask`` (all of them when ``None``)."""
+    return int(live_mask.sum()) if live_mask is not None else len(slot_ids)

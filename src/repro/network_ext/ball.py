@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Hashable
 
+from repro.index.oracle import padded_cutoff
 from repro.network_ext.space import NetworkPosition, NetworkSpace
 
 
@@ -25,24 +26,61 @@ class NetworkBall:
         self.space = space
         self.center = center
         self.radius = radius
-        # Distance from the center to every node (bounded by r + any
-        # incident edge, but the full map is cheap and cacheable).
+        # Distance from the center to every node.  With a bounded
+        # provider on the space, each anchor map settles only the ball
+        # it can reach (early-exit Dijkstra, cutoff padded so rounded
+        # boundary sums never fall out); otherwise the full map, as
+        # before.  Either way, every stored value <= radius is the
+        # exact min over all anchors — a bounded map is guaranteed to
+        # contain every target whose anchor total stays within radius.
+        self._bounded = space.bounded_distances_active
         self._node_dist: dict[Hashable, float] = {}
+        self._exact_dist: dict[Hashable, float] = {}
         for node, d0 in space.anchors(center):
-            for target, d in space.node_distances(node).items():
+            if self._bounded:
+                targets = space.node_distances_within(
+                    node, padded_cutoff(radius, d0)
+                )
+            else:
+                targets = space.node_distances(node)
+            for target, d in targets.items():
                 total = d0 + d
                 old = self._node_dist.get(target)
                 if old is None or total < old:
                     self._node_dist[target] = total
 
     def node_distance(self, node: Hashable) -> float:
+        """Exact center-to-node distance.
+
+        In bounded mode the materialized map only proves distances up
+        to the radius: a missing node — or a stored boundary value
+        above it, which may come from a non-minimizing anchor — is
+        resolved with one exact pair query and memoized.  (Coverage
+        never needs that fallback: every value at or under the radius
+        is exact, and anything beyond covers nothing either way.)
+        """
+        d = self._node_dist.get(node, float("inf"))
+        if self._bounded and d > self.radius:
+            exact = self._exact_dist.get(node)
+            if exact is None:
+                exact = self.space.distance(
+                    self.center, NetworkPosition.at_node(node)
+                )
+                self._exact_dist[node] = exact
+            return exact
+        return d
+
+    def _coverage_distance(self, node: Hashable) -> float:
+        """The materialized map value only — exact at or under the
+        radius, and anything beyond (or absent) covers zero length in
+        either mode, so coverage never pays the exact fallback."""
         return self._node_dist.get(node, float("inf"))
 
     def edge_coverage(self, u: Hashable, v: Hashable) -> tuple[float, float]:
         """(cover_u, cover_v): covered prefix/suffix lengths of (u, v)."""
         length = self.space.edge_length(u, v)
-        cover_u = max(0.0, min(length, self.radius - self.node_distance(u)))
-        cover_v = max(0.0, min(length, self.radius - self.node_distance(v)))
+        cover_u = max(0.0, min(length, self.radius - self._coverage_distance(u)))
+        cover_v = max(0.0, min(length, self.radius - self._coverage_distance(v)))
         return cover_u, cover_v
 
     def _target_distance(self, target) -> float:

@@ -63,6 +63,12 @@ class NetworkSpace:
         self.graph = graph
         self._sssp_cache: dict[Hashable, dict[Hashable, float]] = {}
         self._distance_provider = None
+        self._pair_provider = None
+        self._bounded_provider = None
+        # The shared DistanceOracle, installed lazily by
+        # repro.index.oracle.oracle_for (one per graph, shared by every
+        # POI replica and cluster epoch over this space).
+        self._distance_oracle = None
 
     @classmethod
     def from_grid(
@@ -112,6 +118,37 @@ class NetworkSpace:
         """
         self._distance_provider = provider
 
+    def set_pair_distance_provider(self, provider) -> None:
+        """Install an exact node-pair distance backend for :meth:`distance`.
+
+        ``provider(node_a, node_b) -> distance`` must return the exact
+        shortest-path length.  The CSR index installs its LRU-row
+        lookup here
+        (:meth:`repro.index.network.NetworkIndex.node_pair_distance`),
+        so position-to-position queries stop materializing a full
+        ``{node: distance}`` dict per anchor — at 100k+ nodes those
+        dicts are the memory hog, not the Dijkstra itself.
+        """
+        self._pair_provider = provider
+
+    def set_bounded_distance_provider(self, provider) -> None:
+        """Install a bounded-radius backend for :meth:`node_distances_within`.
+
+        ``provider(source, cutoff) -> {node: distance}`` must contain
+        every node within ``cutoff`` of ``source``, with exactly the
+        values the full map would hold; nodes beyond the cutoff may be
+        absent.  The CSR index installs its early-exit Dijkstra here
+        (:meth:`repro.index.network.NetworkIndex.bounded_distance_map`)
+        when the oracle's bounded mode is engaged, so ball construction
+        at city scale settles only the region it covers.
+        """
+        self._bounded_provider = provider
+
+    @property
+    def bounded_distances_active(self) -> bool:
+        """Do :meth:`node_distances_within` maps come radius-bounded?"""
+        return self._bounded_provider is not None
+
     def node_distances(self, source: Hashable) -> dict[Hashable, float]:
         """All-nodes shortest-path distances from ``source`` (cached)."""
         cached = self._sssp_cache.get(source)
@@ -124,6 +161,21 @@ class NetworkSpace:
                 )
             self._sssp_cache[source] = cached
         return cached
+
+    def node_distances_within(
+        self, source: Hashable, cutoff: float
+    ) -> dict[Hashable, float]:
+        """Shortest-path distances from ``source``, exact up to ``cutoff``.
+
+        With a bounded provider installed the map holds (at least)
+        every node within ``cutoff``, bit-identical to the full map's
+        values; without one it degrades to the full cached map — a
+        superset, which callers must tolerate.  Bounded maps are not
+        cached: they are radius-specific and cheap to recompute.
+        """
+        if self._bounded_provider is not None:
+            return self._bounded_provider(source, cutoff)
+        return self.node_distances(source)
 
     def anchors(self, pos: NetworkPosition) -> list[tuple[Hashable, float]]:
         """(node, distance-to-node) pairs anchoring a position."""
@@ -150,11 +202,26 @@ class NetworkSpace:
                 b_off = b.offset if a.edge == b.edge else length - b.offset
                 best = abs(a.offset - b_off)
         for node_a, d_a in self._anchors(a):
-            dist_map = self.node_distances(node_a)
             for node_b, d_b in self._anchors(b):
-                via = d_a + dist_map.get(node_b, float("inf")) + d_b
+                via = d_a + self._pair_distance(node_a, node_b) + d_b
                 best = min(best, via)
         return best
+
+    def _pair_distance(self, node_a: Hashable, node_b: Hashable) -> float:
+        """Exact ``node_a -> node_b`` distance, dict-free when possible.
+
+        An already-cached full map answers from its dict; otherwise a
+        pair provider (one LRU row lookup) beats materializing a
+        ``{node: distance}`` dict that :meth:`node_distances` would
+        cache forever.  Identical values either way — both read the
+        same Dijkstra result.
+        """
+        cached = self._sssp_cache.get(node_a)
+        if cached is not None:
+            return cached.get(node_b, float("inf"))
+        if self._pair_provider is not None:
+            return self._pair_provider(node_a, node_b)
+        return self.node_distances(node_a).get(node_b, float("inf"))
 
     def distance_to_node(self, pos: NetworkPosition, node: Hashable) -> float:
         return self.distance(pos, NetworkPosition.at_node(node))

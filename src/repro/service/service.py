@@ -300,6 +300,24 @@ class MPNService:
     def session_metrics(self, session_id: int) -> SimulationMetrics:
         return self.session(session_id).metrics
 
+    def oracle_stats(self) -> dict[str, dict]:
+        """Distance-oracle counters per registered road-network space.
+
+        ``{space_name: stats}`` for every space whose index runs on a
+        :class:`~repro.index.oracle.DistanceOracle` (row-cache
+        hits/misses/evictions, resident bytes, landmark prune rate —
+        see :meth:`DistanceOracle.stats`).  Euclidean spaces have no
+        oracle and are omitted.  JSON-safe; the wire ``stats`` control
+        op ships it under the ``"oracle"`` key.
+        """
+        out: dict[str, dict] = {}
+        for name in self.space_names():
+            index = getattr(self.get_space(name), "index", None)
+            oracle = getattr(index, "oracle", None)
+            if oracle is not None:
+                out[name] = oracle.stats()
+        return out
+
     def update_policy(self, session_id: int, policy: Policy) -> None:
         """Swap a session's policy; the strategy is re-resolved once.
 

@@ -301,6 +301,13 @@ def _network_strategy_factory(class_name: str) -> StrategyFactory:
     :mod:`networkx`), so the import is delayed until a ``net_*`` policy
     is actually resolved — this module stays importable without the
     network stack installed.
+
+    Both strategies read every distance through their space's shared
+    :class:`repro.index.oracle.DistanceOracle`: GNN candidates are
+    ALT-landmark-pruned and ``net_circle`` balls build from
+    bounded-radius Dijkstra when the oracle is engaged (city-scale
+    graphs; see ``OracleConfig``), with answers bit-identical to the
+    full-row path either way.
     """
 
     def factory(policy: Policy) -> SafeRegionStrategy:

@@ -20,6 +20,7 @@ from typing import Any, Hashable, Optional, Sequence
 
 from repro.gnn.aggregate import Aggregate
 from repro.index.network import NetworkIndex
+from repro.index.oracle import OracleConfig
 from repro.network_ext.ball import NetworkBall
 from repro.network_ext.gnn import network_aggregate_dist
 from repro.network_ext.space import NetworkPosition, NetworkSpace
@@ -42,21 +43,43 @@ class NetworkPOISpace:
         pois: Sequence[Hashable] = (),
         payloads: Optional[Sequence[Any]] = None,
         delta_fraction: Optional[float] = None,
+        oracle_config: Optional[OracleConfig] = None,
     ):
         self.space = space
         index_kwargs = {} if delta_fraction is None else {
             "delta_fraction": delta_fraction
         }
-        self._index = NetworkIndex(space, pois, payloads, **index_kwargs)
+        self._index = NetworkIndex(
+            space, pois, payloads, oracle_config=oracle_config, **index_kwargs
+        )
         # One SSSP per anchor, not two: region construction and tile
-        # verification read their distance maps from the same CSR rows
+        # verification read their distance maps from the same LRU rows
         # the GNN kernel computes.
         space.set_distance_provider(self._index.distance_map)
+        # Pair queries skip the {node: distance} dict entirely — one
+        # row lookup instead of a full-map materialization per anchor.
+        space.set_pair_distance_provider(self._index.node_pair_distance)
+        if self._index.oracle.bounded_active:
+            # City scale: safe-region construction settles only the
+            # ball it covers (early-exit Dijkstra) instead of paying a
+            # whole-graph row per anchor.
+            space.set_bounded_distance_provider(
+                self._index.bounded_distance_map
+            )
 
     @classmethod
-    def from_grid(cls, pois: Sequence[Hashable] = (), **grid_kwargs) -> "NetworkPOISpace":
+    def from_grid(
+        cls,
+        pois: Sequence[Hashable] = (),
+        oracle_config: Optional[OracleConfig] = None,
+        **grid_kwargs,
+    ) -> "NetworkPOISpace":
         """A serving space over :meth:`NetworkSpace.from_grid`."""
-        return cls(NetworkSpace.from_grid(**grid_kwargs), pois)
+        return cls(
+            NetworkSpace.from_grid(**grid_kwargs),
+            pois,
+            oracle_config=oracle_config,
+        )
 
     @property
     def index(self) -> NetworkIndex:
@@ -101,11 +124,13 @@ class NetworkPOISpace:
 
         The graph (and its Dijkstra/CSR distance machinery) is
         immutable and POI-independent, so replicas share the
-        :class:`NetworkSpace` while each owning its POI buckets — POI
-        churn against one replica never leaks into another.  Each
-        construction re-points the space's distance provider at the
-        newest replica's CSR rows; all replicas pack the same graph,
-        so the provided distances are identical whichever serves.
+        :class:`NetworkSpace` — and through it the one
+        :class:`~repro.index.oracle.DistanceOracle` row cache — while
+        each owning its POI buckets: POI churn against one replica
+        never leaks into another, and an N-shard cluster holds one
+        distance cache, not N.  All replicas read the same packed
+        graph, so the provided distances are identical whichever
+        serves.
         """
         items = self._index.items()
         return NetworkPOISpace(

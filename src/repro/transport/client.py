@@ -243,6 +243,17 @@ class RemoteBackend:
     def server_stats(self) -> dict:
         return dict(self.client.control("stats"))
 
+    def oracle_stats(self) -> dict:
+        """Remote distance-oracle counters, per road-network space.
+
+        The server ships :meth:`MPNService.oracle_stats` inside the
+        ``stats`` control reply; backends with no road-network spaces
+        report ``{}``.  Being a :class:`ServiceBackend` method here
+        too, a :class:`RemoteBackend` fronting a remote server chains
+        transparently (e.g. a cluster of wire workers).
+        """
+        return dict(self.server_stats().get("oracle", {}))
+
     def shutdown_server(self) -> None:
         """Ask the server to drain and stop (the graceful path)."""
         self.client.control("shutdown")

@@ -341,7 +341,7 @@ class WireServer:
             asyncio.ensure_future(self.stop())
             return {"ok": True}
         if op == "stats":
-            return {
+            stats = {
                 "sessions": len(self.backend.session_ids()),
                 "connections": len(self._connections),
                 "max_inflight": self.max_inflight,
@@ -349,6 +349,12 @@ class WireServer:
                 "requests_served": self.requests_served,
                 "errors_sent": self.errors_sent,
             }
+            oracle_stats = getattr(self.backend, "oracle_stats", None)
+            if oracle_stats is not None:
+                # Road-network backends: the distance oracle's
+                # row-cache / landmark counters, per space name.
+                stats["oracle"] = await self._dispatch_blocking(oracle_stats)
+            return stats
         if op == "metrics":
             metrics = await self._dispatch_blocking(
                 lambda: self.backend.metrics

@@ -1,0 +1,326 @@
+"""The distance oracle: LRU row cache, landmarks, bounded Dijkstra,
+and the one-cache-per-graph sharing contract (repro.index.oracle)."""
+
+import random
+
+import numpy as np
+import pytest
+
+import repro.index.network as network_index_module
+from repro.index.oracle import (
+    DistanceOracle,
+    OracleConfig,
+    oracle_for,
+    padded_cutoff,
+)
+from repro.network_ext.space import NetworkSpace
+from repro.service import MPNService
+from repro.space import share_space
+from repro.space.network import NetworkPOISpace
+
+
+@pytest.fixture()
+def space():
+    # Function-scoped on purpose: every test gets a fresh oracle.
+    return NetworkSpace.from_grid(grid_size=6, seed=31)
+
+
+def row_budget(space, rows):
+    """A config byte budget holding exactly ``rows`` full rows."""
+    return rows * space.graph.number_of_nodes() * 8
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OracleConfig(row_cache_bytes=-1)
+        with pytest.raises(ValueError):
+            OracleConfig(landmarks=0)
+        with pytest.raises(ValueError):
+            OracleConfig(alt_mode="sometimes")
+        with pytest.raises(ValueError):
+            OracleConfig(bounded_mode="maybe")
+        with pytest.raises(ValueError):
+            OracleConfig(auto_threshold_nodes=-5)
+
+    def test_auto_mode_tracks_node_count(self, space):
+        small = DistanceOracle(space, OracleConfig(auto_threshold_nodes=10**6))
+        assert not small.alt_active and not small.bounded_active
+        big = DistanceOracle(space, OracleConfig(auto_threshold_nodes=1))
+        assert big.alt_active and big.bounded_active
+
+    def test_forced_modes(self, space):
+        on = DistanceOracle(
+            space, OracleConfig(alt_mode="on", bounded_mode="off")
+        )
+        assert on.alt_active and not on.bounded_active
+        off = DistanceOracle(
+            space,
+            OracleConfig(alt_mode="off", bounded_mode="on",
+                         auto_threshold_nodes=1),
+        )
+        assert not off.alt_active and off.bounded_active
+
+
+class TestRowCache:
+    def test_rows_exact_and_cached(self, space):
+        oracle = DistanceOracle(space)
+        nodes = list(space.graph.nodes)
+        for node in nodes[:4]:
+            row = oracle.row(oracle.node_id[node])
+            reference = space.node_distances(node)
+            for other, expected in reference.items():
+                assert row[oracle.node_id[other]] == expected
+        assert oracle.misses == 4 and oracle.rows_computed == 4
+        first = oracle.row(oracle.node_id[nodes[0]])
+        assert first is oracle.row(oracle.node_id[nodes[0]])
+        assert oracle.hits >= 2
+
+    def test_budget_evicts_lru(self, space):
+        oracle = DistanceOracle(
+            space, OracleConfig(row_cache_bytes=row_budget(space, 2))
+        )
+        oracle.row(0)
+        oracle.row(1)
+        oracle.row(0)  # freshen 0; 1 becomes LRU
+        oracle.row(2)  # evicts 1
+        assert oracle.resident_rows == 2
+        assert oracle.resident_bytes <= oracle.config.row_cache_bytes
+        assert oracle.evictions == 1
+        assert oracle.has_row(0) and oracle.has_row(2)
+        assert not oracle.has_row(1)
+
+    def test_zero_budget_never_caches_but_stays_exact(self, space):
+        oracle = DistanceOracle(space, OracleConfig(row_cache_bytes=0))
+        baseline = DistanceOracle(space)
+        assert (oracle.row(3) == baseline.row(3)).all()
+        assert oracle.resident_rows == 0 and oracle.resident_bytes == 0
+
+    def test_multi_row_request_survives_eviction(self, space):
+        oracle = DistanceOracle(
+            space, OracleConfig(row_cache_bytes=row_budget(space, 1))
+        )
+        wanted = [0, 1, 2, 3]
+        rows = oracle.rows(wanted)
+        assert set(rows) == set(wanted)
+        baseline = DistanceOracle(space)
+        for node_id in wanted:
+            assert (rows[node_id] == baseline.row(node_id)).all()
+        assert oracle.resident_rows == 1  # budget still enforced
+
+    def test_stats_shape_json_safe(self, space):
+        import json
+
+        oracle = DistanceOracle(space)
+        oracle.row(0)
+        oracle.bounded_row(0, 10.0)
+        oracle.landmark_matrix()
+        oracle.note_alt(candidates=10, survivors=3)
+        stats = oracle.stats()
+        json.dumps(stats)  # wire-safe
+        assert stats["row_cache_misses"] == 1
+        assert stats["bounded_queries"] == 1
+        assert stats["landmarks"] == stats["landmark_bytes"] // stats["row_bytes"]
+        assert stats["alt_prune_rate"] == pytest.approx(0.7)
+        assert stats["resident_bytes"] <= stats["row_cache_bytes"]
+
+
+class TestBoundedRows:
+    def test_bounded_matches_masked_full_row(self, space):
+        oracle = DistanceOracle(space, OracleConfig(row_cache_bytes=0))
+        full = DistanceOracle(space)
+        rng = random.Random(7)
+        finite = full.row(0)
+        for _ in range(10):
+            cutoff = rng.uniform(0.0, float(finite.max()) * 1.2)
+            bounded = oracle.bounded_row(0, cutoff)
+            expected = full.row(0).copy()
+            expected[expected > cutoff] = np.inf
+            assert (bounded == expected).all()
+
+    def test_boundary_distance_is_included(self, space):
+        """cutoff exactly equal to a node's distance keeps that node."""
+        full = DistanceOracle(space)
+        row = full.row(0)
+        boundary = float(np.sort(row)[len(row) // 2])
+        bounded = full.bounded_row(0, boundary)
+        assert bounded[row == boundary].min() == boundary
+
+    def test_negative_cutoff_is_empty(self, space):
+        oracle = DistanceOracle(space)
+        assert not np.isfinite(oracle.bounded_row(0, -1.0)).any()
+
+    def test_padded_cutoff_covers_rounded_sums(self):
+        rng = random.Random(3)
+        for _ in range(200):
+            limit = rng.uniform(0.1, 1e4)
+            offset = rng.uniform(0.0, limit)
+            d = limit - offset  # rounded subtraction, the worst case
+            assert offset + d <= limit or d <= padded_cutoff(limit, offset)
+            assert d <= padded_cutoff(limit, offset)
+        assert padded_cutoff(float("inf"), 1.0) == float("inf")
+
+
+class TestLandmarks:
+    def test_farthest_point_selection(self, space):
+        oracle = DistanceOracle(space, OracleConfig(landmarks=4))
+        matrix = oracle.landmark_matrix()
+        ids = oracle.landmark_ids()
+        assert matrix.shape == (4, len(oracle.nodes))
+        assert len(set(ids.tolist())) == 4
+        # Pinned outside the LRU budget.
+        assert oracle.resident_rows == 0
+        assert oracle.landmark_bytes == matrix.nbytes
+        # Rows are the landmarks' exact distance rows.
+        full = DistanceOracle(space)
+        for lm, row in zip(ids.tolist(), matrix):
+            assert (row == full.row(lm)).all()
+
+    def test_triangle_bounds_are_valid(self, space):
+        oracle = DistanceOracle(space, OracleConfig(landmarks=6))
+        matrix = oracle.landmark_matrix()
+        full = DistanceOracle(space)
+        rng = random.Random(11)
+        n = len(oracle.nodes)
+        for _ in range(25):
+            s, t = rng.randrange(n), rng.randrange(n)
+            d = full.row(s)[t]
+            lb = np.abs(matrix[:, s] - matrix[:, t]).max()
+            ub = (matrix[:, s] + matrix[:, t]).min()
+            assert lb <= d + 1e-12
+            assert ub >= d - 1e-12
+
+    def test_more_landmarks_than_nodes_is_capped(self):
+        tiny = NetworkSpace.from_grid(grid_size=2, seed=1)
+        oracle = DistanceOracle(tiny, OracleConfig(landmarks=64))
+        assert oracle.landmark_matrix().shape[0] <= len(oracle.nodes)
+
+
+class TestPythonFallback:
+    def test_fallback_matches_scipy_everywhere(self, monkeypatch):
+        scipy_space = NetworkSpace.from_grid(grid_size=5, seed=3)
+        with_scipy = DistanceOracle(scipy_space, OracleConfig(landmarks=3))
+        monkeypatch.setattr(network_index_module, "_csgraph_dijkstra", None)
+        python_space = NetworkSpace.from_grid(grid_size=5, seed=3)
+        # Route through the network module's hook, like NetworkIndex.
+        no_scipy = DistanceOracle(
+            python_space,
+            OracleConfig(landmarks=3),
+            scipy_hook=network_index_module._scipy_kernels,
+        )
+        for node_id in (0, 5, 11):
+            assert (no_scipy.row(node_id) == with_scipy.row(node_id)).all()
+            cutoff = float(np.median(with_scipy.row(node_id)))
+            assert (
+                no_scipy.bounded_row(node_id, cutoff)
+                == with_scipy.bounded_row(node_id, cutoff)
+            ).all()
+        assert (
+            no_scipy.landmark_matrix() == with_scipy.landmark_matrix()
+        ).all()
+        assert (no_scipy.landmark_ids() == with_scipy.landmark_ids()).all()
+
+
+class TestSharing:
+    def test_oracle_for_returns_one_instance(self, space):
+        first = oracle_for(space)
+        assert oracle_for(space) is first
+        assert oracle_for(space, first.config) is first
+        with pytest.raises(ValueError, match="different"):
+            oracle_for(space, OracleConfig(row_cache_bytes=123456))
+
+    def test_replicas_share_rows_and_counters(self, space):
+        pois = list(space.graph.nodes)[:6]
+        original = NetworkPOISpace(space, pois)
+        replica = original.replicate()
+        assert replica.index.oracle is original.index.oracle
+        original.index.distance_row(pois[0])
+        misses = original.index.oracle.misses
+        # The replica reads the very same cached row: a hit, no miss.
+        replica.index.distance_row(pois[0])
+        oracle = replica.index.oracle
+        assert oracle.misses == misses and oracle.hits >= 1
+
+    def test_shared_space_epochs_share_the_oracle(self, space):
+        pois = list(space.graph.nodes)[:6]
+        shared = share_space(NetworkPOISpace(space, pois))
+        assert shared.index.oracle is oracle_for(space)
+        before = shared.index.oracle.stats()
+        shared.bulk_update(adds=[(list(space.graph.nodes)[10], None)])
+        assert shared.index.oracle is oracle_for(space)
+        assert shared.index.oracle.stats() == before
+
+    def test_poi_churn_never_touches_the_cache(self, space):
+        """The regression pin for the sharing satellite: the cache is
+        keyed on graph structure, and POI churn never mutates it."""
+        nodes = list(space.graph.nodes)
+        poi_space = NetworkPOISpace(space, nodes[:8])
+        index = poi_space.index
+        rows = [index.distance_row(n) for n in nodes[:3]]
+        oracle = index.oracle
+        snapshot = oracle.stats()
+        indptr, indices, weights = index.indptr, index.indices, index.weights
+        for step in range(6):
+            index.bulk_update(
+                adds=[(nodes[10 + step], f"p{step}")],
+                removes=[(nodes[step], None)] if step < 3 else (),
+            )
+        # Same arrays (identity), same resident rows, untouched counters.
+        assert index.indptr is indptr
+        assert index.indices is indices
+        assert index.weights is weights
+        assert oracle.stats() == snapshot
+        for node, row in zip(nodes[:3], rows):
+            assert index.distance_row(node) is row
+
+
+class TestServiceAndClusterStats:
+    def test_service_oracle_stats_per_space(self, space):
+        from repro.workloads.poi import build_poi_tree, uniform_pois
+        from tests.conftest import SMALL_WORLD
+
+        euclidean = MPNService(
+            build_poi_tree(uniform_pois(20, SMALL_WORLD, seed=4))
+        )
+        assert euclidean.oracle_stats() == {}  # no road networks, no oracle
+        net = NetworkPOISpace(space, list(space.graph.nodes)[:6])
+        euclidean.add_space("roads", net)
+        net.index.distance_row(list(space.graph.nodes)[0])
+        stats = euclidean.oracle_stats()
+        assert set(stats) == {"roads"}
+        assert stats["roads"]["rows_computed"] >= 1
+
+    def test_cluster_holds_one_cache_not_n(self, space):
+        from repro.cluster import MPNCluster
+        from repro.simulation import net_circle_policy
+
+        pois = random.Random(5).sample(list(space.graph.nodes), 8)
+        cluster = MPNCluster(
+            num_shards=3,
+            space_factory=lambda: NetworkPOISpace(space, pois),
+        )
+        oracles = {
+            id(shard.get_space("default").index.oracle)
+            for shard in cluster.shards
+        }
+        assert len(oracles) == 1  # N shards, one oracle
+        rng = random.Random(9)
+        handles = [
+            cluster.open_session(
+                [space.random_position(rng) for _ in range(2)],
+                net_circle_policy(),
+            )
+            for _ in range(6)
+        ]
+        served_by = {cluster.shard_for(h.session_id) for h in handles}
+        assert len(served_by) > 1  # traffic really crossed shards
+        for handle in handles:
+            cluster.report(
+                handle.session_id, 0, space.random_position(rng)
+            )
+        stats = cluster.oracle_stats()
+        assert set(stats) == {"default"}
+        assert stats["default"]["rows_computed"] > 0
+        # All shards' traffic landed on the one shared cache.
+        front = cluster.shards[0].get_space("default").index.oracle
+        assert stats["default"] == front.stats()

@@ -548,3 +548,64 @@ class TestLifecycle:
                 cluster._processes[1].join(timeout=10)
                 raise RuntimeError("the real problem")
         assert cluster.worker_exitcodes()[1] not in (0, None)
+
+
+# ----------------------------------------------------------------------
+# Oracle stats over the wire
+# ----------------------------------------------------------------------
+
+
+class TestOracleStatsRoundTrip:
+    def test_remote_backend_reads_oracle_counters(self):
+        """The distance oracle's counters ride the `stats` control op:
+        served from the live index, JSON over TCP, per-space keys."""
+        from repro.index.oracle import OracleConfig
+        from repro.network_ext.space import NetworkSpace
+        from repro.simulation import net_circle_policy
+        from repro.space.network import NetworkPOISpace
+
+        net_space = NetworkSpace.from_grid(grid_size=5, seed=23)
+        import random as _random
+
+        pois = _random.Random(3).sample(list(net_space.graph.nodes), 8)
+        poi_space = NetworkPOISpace(
+            net_space,
+            pois,
+            oracle_config=OracleConfig(
+                landmarks=4, alt_mode="on", bounded_mode="on"
+            ),
+        )
+        service = MPNService(poi_space)
+        rng = _random.Random(6)
+        with ThreadedWireServer(service) as server:
+            # The local mirror lets the client decode net_ball regions.
+            backend = RemoteBackend(*server.address, space=poi_space)
+            try:
+                handle = backend.open_session(
+                    [net_space.random_position(rng) for _ in range(3)],
+                    net_circle_policy(),
+                )
+                remote = backend.oracle_stats()
+                assert set(remote) == {"default"}
+                stats = remote["default"]
+                assert stats == poi_space.index.oracle.stats()
+                assert stats["rows_computed"] > 0
+                assert stats["landmarks"] == 4
+                # Counters move with traffic and the next read sees it.
+                backend.report(
+                    handle.session_id,
+                    0,
+                    net_space.random_position(rng),
+                )
+                after = backend.oracle_stats()["default"]
+                assert after == poi_space.index.oracle.stats()
+            finally:
+                backend.close()
+
+    def test_euclidean_only_service_reports_empty(self, served):
+        _, _ = served
+        backend = RemoteBackend(*served[0].address)
+        try:
+            assert backend.oracle_stats() == {}
+        finally:
+            backend.close()
