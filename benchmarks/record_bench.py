@@ -19,13 +19,19 @@ Two suites:
   exact full rows under the same row-cache byte budget, plus the
   always-armed cache byte ceiling) and appends the numbers to
   ``BENCH_citynet.json``.
+* ``--suite fleet`` — runs ``benchmarks/test_micro_fleet.py`` with the
+  ``metro_fleet`` preset (100,800 declared sessions streamed lazily
+  through spawned worker processes, seeded replay spot-check on) and
+  appends per-tick p50/p99 dispatch latency, notification
+  distributions, and throughput to ``BENCH_fleet.json``.
 
 Each file is a JSON list, newest entry last, so the trajectory can be
 tracked commit over commit.
 
 Usage (from the repo root)::
 
-    PYTHONPATH=src python benchmarks/record_bench.py [--suite churn|wire|elastic]
+    PYTHONPATH=src python benchmarks/record_bench.py \
+        [--suite churn|wire|elastic|citynet|fleet]
 
 A run aborts — and records nothing — if any benchmark test fails,
 including the suites' structural gates (churn speedup, backpressure
@@ -283,11 +289,59 @@ def record_citynet() -> int:
     return 0
 
 
+def record_fleet() -> int:
+    import os
+
+    os.environ.setdefault("FLEET_PRESET", "metro_fleet")
+    preset = os.environ["FLEET_PRESET"]
+    collector = _Collector(
+        "test_micro_fleet",
+        ("FLEET_PRESET", "FLEET_SHARDS", "TOTAL_SESSIONS", "TICKS"),
+    )
+    code = _run(collector, BENCH_DIR / "test_micro_fleet.py")
+    if code != 0:
+        print("benchmark run failed; nothing recorded", file=sys.stderr)
+        return code
+    row = collector.recorded.get(preset)
+    if not row:
+        print("benchmark timings missing; nothing recorded", file=sys.stderr)
+        return 1
+
+    min_sessions = 100_000 if preset == "metro_fleet" else 1
+    entry = {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "commit": _git_commit(),
+        "scale": collector.scale,
+        "results": dict(row),
+        "gate": {
+            "min_total_sessions": min_sessions,
+            "passed": row["total_opened"] >= min_sessions,
+            "spot_check_clean": row["spot_check"]["clean"],
+            "streamed_lazily": row["peak_live"] < 0.6 * row["total_opened"],
+        },
+    }
+    _append(REPO_ROOT / "BENCH_fleet.json", entry)
+    print(
+        f"  fleet       {row['total_opened']} sessions / {row['ticks']} ticks "
+        f"(peak live {row['peak_live']}) in {row['elapsed_seconds']:.1f}s "
+        f"({row['sessions_per_second']:.0f} sessions/s)"
+    )
+    print(
+        f"  dispatch    p50 {row['p50_ms']:.3f} ms  p99 {row['p99_ms']:.3f} ms "
+        f"over {row['dispatch_calls']} calls"
+    )
+    print(
+        f"  exactness   {row['spot_check']['sampled_sessions']} sessions "
+        f"replayed, clean={row['spot_check']['clean']}"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        choices=("churn", "wire", "elastic", "citynet"),
+        choices=("churn", "wire", "elastic", "citynet", "fleet"),
         default="churn",
         help="which benchmark suite to run and record",
     )
@@ -298,7 +352,9 @@ def main(argv=None) -> int:
         return record_wire()
     if args.suite == "elastic":
         return record_elastic()
-    return record_citynet()
+    if args.suite == "citynet":
+        return record_citynet()
+    return record_fleet()
 
 
 if __name__ == "__main__":

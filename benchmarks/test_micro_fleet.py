@@ -1,0 +1,129 @@
+"""Micro-benchmark: a declared fleet streamed through worker processes.
+
+One scenario preset (``FLEET_PRESET`` env var, default ``smoke``; the
+recorded run uses ``metro_fleet`` — 100,800 sessions) is compiled to
+its lazy tick stream and driven through a spawned
+:class:`~repro.transport.worker.ProcessCluster`, with the seeded
+replay spot-check on.  Recorded per run: pooled and per-tick p50/p99
+dispatch latency, wave/notification counts, throughput, peak live
+population.
+
+Absolute timings are never asserted (CI runners are noisy); the
+structural facts always arm, CI included:
+
+* the exactness spot-check replays bit-identically,
+* the population streamed lazily (peak live well under total opened),
+* session ids came out sequential (asserted inside the runner),
+* every worker process drained and exited 0.
+
+``record_bench.py --suite fleet`` runs this file with
+``FLEET_PRESET=metro_fleet`` and appends the numbers to
+``BENCH_fleet.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.scenarios import ScenarioRecorder, get_preset, run_scenario
+from repro.transport.worker import ProcessCluster
+
+FLEET_PRESET = os.environ.get("FLEET_PRESET", "smoke")
+FLEET_SHARDS = int(os.environ.get("FLEET_SHARDS", "4"))
+SPOT_CHECK_FRACTION = 0.02
+SPOT_CHECK_CAP = 64
+
+_SPEC = get_preset(FLEET_PRESET)
+TOTAL_SESSIONS = _SPEC.total_sessions()
+TICKS = _SPEC.ticks
+
+# preset -> {"p50_ms": ..., "total_opened": ..., ...}; consumed by
+# record_bench.py --suite fleet.
+RECORDED: dict[str, dict] = {}
+
+
+def test_fleet_scenario_through_process_cluster():
+    spec = _SPEC
+    cluster = ProcessCluster(FLEET_SHARDS, spec.space)
+    try:
+        recorder = ScenarioRecorder(cluster)
+        started = time.perf_counter()
+        result = run_scenario(
+            spec,
+            cluster,
+            recorder=recorder,
+            spot_check_fraction=SPOT_CHECK_FRACTION,
+            spot_check_cap=SPOT_CHECK_CAP,
+        )
+        elapsed = time.perf_counter() - started
+    finally:
+        cluster.close()
+
+    # Structural gates — these always arm, shared CI runners included.
+    assert result.total_opened == spec.total_sessions()
+    check = result.spot_check
+    assert check.sampled_sessions > 0
+    assert check.clean, (
+        f"spot-check diverged on sessions {check.mismatched_sessions}"
+    )
+    # Laziness: the compiler must never hold the whole population at
+    # once (every preset staggers arrivals over most of the horizon).
+    assert result.peak_live < 0.6 * result.total_opened, (
+        f"peak live {result.peak_live} of {result.total_opened} — the "
+        "stream materialized eagerly"
+    )
+    assert all(code == 0 for code in cluster.worker_exitcodes()), (
+        cluster.worker_exitcodes()
+    )
+
+    summary = result.summary
+    RECORDED[FLEET_PRESET] = {
+        "preset": spec.name,
+        "shards": FLEET_SHARDS,
+        "total_opened": result.total_opened,
+        "peak_live": result.peak_live,
+        "ticks": result.ticks,
+        "wave_events": result.total_wave_events,
+        "notifications": result.total_notifications,
+        "churn_notifications": result.total_churn_notifications,
+        "elapsed_seconds": elapsed,
+        "sessions_per_second": result.total_opened / elapsed,
+        "p50_ms": summary["p50_ms"],
+        "p99_ms": summary["p99_ms"],
+        "dispatch_calls": summary["dispatch_calls"],
+        "notifications_per_tick": summary["notifications_per_tick"],
+        "tick_p99_ms": summary["tick_p99_ms"],
+        "per_tick": summary["per_tick"],
+        "spot_check": {
+            "sampled_sessions": check.sampled_sessions,
+            "compared_notifications": check.compared_notifications,
+            "clean": check.clean,
+        },
+    }
+
+
+def test_report_fleet_summary():
+    """Prints after the run; keeps the numbers in the pytest output."""
+    row = RECORDED.get(FLEET_PRESET)
+    if not row:
+        return
+    print(
+        f"\nfleet {row['preset']!r} x{row['shards']} shards: "
+        f"{row['total_opened']} sessions / {row['ticks']} ticks "
+        f"(peak live {row['peak_live']}) in {row['elapsed_seconds']:.1f}s"
+    )
+    print(
+        f"  dispatch  p50 {row['p50_ms']:.3f} ms  p99 {row['p99_ms']:.3f} ms "
+        f"over {row['dispatch_calls']} calls"
+    )
+    print(
+        f"  traffic   {row['wave_events']} wave events, "
+        f"{row['notifications']} notifications "
+        f"(+{row['churn_notifications']} churn)"
+    )
+    print(
+        f"  exactness {row['spot_check']['sampled_sessions']} sessions, "
+        f"{row['spot_check']['compared_notifications']} notifications "
+        "replayed bit-identically"
+    )

@@ -1,0 +1,88 @@
+"""Event-crowd motion: destination-directed convergence on a venue.
+
+The third crowd shape the scenario engine needs (alongside the taxi-like
+waypoint wander and shortest-path network motion): a spectator heading
+for a stadium walks *toward* it with mild heading noise, arrives, and
+then mills around the venue — short random steps inside a small radius —
+for the rest of the trace.  The milling phase is what keeps a converged
+crowd generating occasional safe-region escapes instead of freezing the
+whole cohort on one point.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.mobility.trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class ConvergeParams:
+    """Tuning of the crowd-convergence motion model."""
+
+    speed: float = 5.0  # nominal approach distance per timestamp
+    speed_jitter: float = 0.25  # relative std-dev of per-step speed noise
+    heading_jitter: float = 0.12  # radians of per-step direction noise
+    mill_radius: float = 25.0  # how far arrived members drift from the venue
+    mill_step: float = 3.0  # nominal milling distance per timestamp
+
+
+def _clamp(pos: Point, world: Rect) -> Point:
+    return Point(
+        min(max(pos.x, world.x_lo), world.x_hi),
+        min(max(pos.y, world.y_lo), world.y_hi),
+    )
+
+
+def generate_converge_trajectory(
+    world: Rect,
+    n_timestamps: int,
+    venue: Point,
+    params: ConvergeParams,
+    rng: random.Random,
+    start: Point | None = None,
+) -> Trajectory:
+    """One trajectory converging on ``venue`` then milling around it."""
+    if n_timestamps < 1:
+        raise ValueError("need at least one timestamp")
+    pos = start if start is not None else world.sample(rng)
+    points = [pos]
+    arrived = False
+    while len(points) < n_timestamps:
+        if not arrived:
+            to_venue = pos.dist(venue)
+            step = max(
+                0.0, rng.gauss(params.speed, params.speed * params.speed_jitter)
+            )
+            if to_venue <= max(step, params.mill_radius):
+                arrived = True
+                continue
+            angle = math.atan2(venue.y - pos.y, venue.x - pos.x)
+            angle += rng.gauss(0.0, params.heading_jitter)
+            pos = _clamp(
+                Point(
+                    pos.x + step * math.cos(angle),
+                    pos.y + step * math.sin(angle),
+                ),
+                world,
+            )
+        else:
+            # Milling: a short step in a random direction, pulled back
+            # inside the venue radius if it strays.
+            angle = rng.uniform(-math.pi, math.pi)
+            step = max(0.0, rng.gauss(params.mill_step, params.mill_step * 0.5))
+            cand = Point(
+                pos.x + step * math.cos(angle), pos.y + step * math.sin(angle)
+            )
+            if cand.dist(venue) > params.mill_radius:
+                pull = math.atan2(venue.y - cand.y, venue.x - cand.x)
+                cand = Point(
+                    cand.x + step * math.cos(pull), cand.y + step * math.sin(pull)
+                )
+            pos = _clamp(cand, world)
+        points.append(pos)
+    return Trajectory(tuple(points[:n_timestamps]))

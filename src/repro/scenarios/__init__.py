@@ -1,0 +1,62 @@
+"""Declarative population-scale fleet workloads.
+
+A scenario is data — a frozen :class:`~repro.scenarios.spec.ScenarioSpec`
+describing cohorts of moving groups, their formation/dissolution
+schedules, policy mix and POI churn — compiled into a deterministic,
+lazy, per-tick event stream and streamed through any
+``ServiceBackend`` (:class:`~repro.service.MPNService`,
+:class:`~repro.cluster.MPNCluster`,
+:class:`~repro.transport.worker.ProcessCluster`, or a
+:class:`~repro.transport.client.RemoteBackend`) unchanged, with seeded
+exactness spot-checks and a per-tick latency/notification recorder.
+
+``python -m repro.scenarios --preset smoke`` runs a bundled preset.
+"""
+
+from repro.scenarios.spec import (
+    CityGraphSpaceSpec,
+    CohortSpec,
+    EuclideanSpaceSpec,
+    PoiChurnSpec,
+    ScenarioSpec,
+    resolve_policy,
+)
+from repro.scenarios.compiler import (
+    CompiledScenario,
+    MoveEvent,
+    OpenEvent,
+    TickEvents,
+    compile_spec,
+    stream_digest,
+)
+from repro.scenarios.recorder import ScenarioRecorder, TickStats
+from repro.scenarios.runner import (
+    ScenarioResult,
+    SpotCheckReport,
+    notification_key,
+    run_scenario,
+)
+from repro.scenarios.presets import PRESETS, get_preset
+
+__all__ = [
+    "CityGraphSpaceSpec",
+    "CohortSpec",
+    "EuclideanSpaceSpec",
+    "PoiChurnSpec",
+    "ScenarioSpec",
+    "resolve_policy",
+    "CompiledScenario",
+    "MoveEvent",
+    "OpenEvent",
+    "TickEvents",
+    "compile_spec",
+    "stream_digest",
+    "ScenarioRecorder",
+    "TickStats",
+    "ScenarioResult",
+    "SpotCheckReport",
+    "notification_key",
+    "run_scenario",
+    "PRESETS",
+    "get_preset",
+]

@@ -1,0 +1,162 @@
+"""CLI: run a bundled scenario preset against a chosen backend.
+
+::
+
+    PYTHONPATH=src python -m repro.scenarios --preset smoke \
+        --backend process --shards 2 --spot-check 0.25
+
+Backends: ``service`` (one unsharded :class:`MPNService`), ``cluster``
+(in-process :class:`MPNCluster`), ``process`` (spawned worker processes
+behind the wire, :class:`ProcessCluster`).  Exit code is non-zero if
+the run fails or any exactness spot-check diverges.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.scenarios.presets import PRESETS, get_preset
+from repro.scenarios.recorder import ScenarioRecorder
+from repro.scenarios.runner import run_scenario
+
+
+def _build_backend(kind: str, spec, shards: int):
+    """The backend plus its cleanup callable."""
+    if kind == "service":
+        from repro.service.service import MPNService
+
+        return MPNService(spec.space()), lambda: None
+    if kind == "cluster":
+        from repro.cluster.cluster import MPNCluster
+
+        return MPNCluster(shards, spec.space), lambda: None
+    from repro.transport.worker import ProcessCluster
+
+    cluster = ProcessCluster(shards, spec.space)
+    return cluster, cluster.close
+
+
+def _print_table(summary: dict, every: int) -> None:
+    header = (
+        f"{'tick':>5} {'live':>7} {'opens':>6} {'closes':>6} "
+        f"{'wave':>6} {'notifs':>7} {'p50 ms':>8} {'p99 ms':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    rows = summary["per_tick"]
+    for row in rows:
+        if row["tick"] % every and row is not rows[-1]:
+            continue
+        print(
+            f"{row['tick']:>5} {row['live']:>7} {row['opens']:>6} "
+            f"{row['closes']:>6} {row['wave_events']:>6} "
+            f"{row['notifications']:>7} {row['p50_ms']:>8.3f} "
+            f"{row['p99_ms']:>8.3f}"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--preset", choices=sorted(PRESETS), default="smoke",
+        help="bundled scenario to run",
+    )
+    parser.add_argument(
+        "--backend", choices=("service", "cluster", "process"),
+        default="service", help="which ServiceBackend serves the fleet",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2,
+        help="shard count for cluster/process backends",
+    )
+    parser.add_argument(
+        "--spot-check", type=float, default=0.1, metavar="FRACTION",
+        help="fraction of sessions replayed for exactness (0 disables)",
+    )
+    parser.add_argument(
+        "--spot-check-cap", type=int, default=64,
+        help="most sessions the spot-check will sample",
+    )
+    parser.add_argument(
+        "--every", type=int, default=1, metavar="N",
+        help="print every Nth tick row of the summary table",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full summary as JSON instead of the table",
+    )
+    args = parser.parse_args(argv)
+
+    spec = get_preset(args.preset)
+    backend, cleanup = _build_backend(args.backend, spec, args.shards)
+    try:
+        recorder = ScenarioRecorder(backend)
+        result = run_scenario(
+            spec,
+            backend,
+            recorder=recorder,
+            spot_check_fraction=args.spot_check,
+            spot_check_cap=args.spot_check_cap,
+        )
+    finally:
+        cleanup()
+
+    if args.json:
+        payload = {
+            "preset": spec.name,
+            "backend": args.backend,
+            "total_opened": result.total_opened,
+            "peak_live": result.peak_live,
+            "elapsed_seconds": result.elapsed_seconds,
+            "summary": result.summary,
+            "spot_check": (
+                None
+                if result.spot_check is None
+                else {
+                    "sampled_sessions": result.spot_check.sampled_sessions,
+                    "compared_notifications": (
+                        result.spot_check.compared_notifications
+                    ),
+                    "clean": result.spot_check.clean,
+                }
+            ),
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"preset {spec.name!r} on {args.backend}: "
+            f"{result.total_opened} sessions over {result.ticks} ticks "
+            f"(peak live {result.peak_live}) in "
+            f"{result.elapsed_seconds:.1f}s"
+        )
+        _print_table(result.summary, max(1, args.every))
+        print(
+            f"wave events {result.total_wave_events}, notifications "
+            f"{result.total_notifications} "
+            f"(+{result.total_churn_notifications} POI-churn)"
+        )
+        if result.spot_check is not None:
+            check = result.spot_check
+            status = "clean" if check.clean else "DIVERGED"
+            print(
+                f"spot-check: {check.sampled_sessions} sessions, "
+                f"{check.compared_notifications} notifications replayed "
+                f"bit-identically -> {status}"
+            )
+    if result.spot_check is not None and not result.spot_check.clean:
+        print(
+            f"spot-check diverged; mismatched sessions: "
+            f"{result.spot_check.mismatched_sessions}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,192 @@
+"""Bundled scenario presets, smallest to largest.
+
+* ``smoke`` — seconds-scale, used by CI's scenario smoke job and the
+  tier-1 fleet benchmark's default mode: every cohort kind the
+  Euclidean plane serves, with POI churn, in 14 ticks.
+* ``commuter_rush`` — 10^4 sessions of commuters and an event crowd on
+  a seeded city road graph (``examples/scenario_fleet.py``).
+* ``metro_fleet`` — the 10^5-session recorded run behind
+  ``BENCH_fleet.json``: delivery fleets, wanderers, and two stadium
+  crowds arriving over 180 ticks, never more than ~15% of the
+  population live at once — the laziness the compiler guarantees.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.spec import (
+    CityGraphSpaceSpec,
+    CohortSpec,
+    EuclideanSpaceSpec,
+    PoiChurnSpec,
+    ScenarioSpec,
+)
+
+
+def smoke() -> ScenarioSpec:
+    """Tiny end-to-end preset: every Euclidean cohort kind + churn."""
+    return ScenarioSpec(
+        name="smoke",
+        seed=101,
+        ticks=17,
+        space=EuclideanSpaceSpec(
+            world=(0.0, 0.0, 2000.0, 2000.0), n_pois=120, poi_seed=7
+        ),
+        cohorts=(
+            CohortSpec(
+                name="wanderers",
+                kind="wanderer",
+                sessions=24,
+                group_size=2,
+                first_tick=0,
+                last_tick=10,
+                lifetime=4,
+                speed=10.0,
+                spawn_spread=40.0,
+                policies=("circle", "circle", "circle", "tile"),
+            ),
+            CohortSpec(
+                name="vans",
+                kind="delivery",
+                sessions=16,
+                group_size=2,
+                first_tick=1,
+                last_tick=11,
+                lifetime=4,
+                speed=16.0,
+                spawn_spread=30.0,
+                policies=("circle",),
+            ),
+            CohortSpec(
+                name="concert",
+                kind="event_crowd",
+                sessions=20,
+                group_size=3,
+                first_tick=0,
+                last_tick=9,
+                lifetime=5,
+                speed=12.0,
+                spawn_spread=60.0,
+                policies=("circle",),
+            ),
+        ),
+        poi_churn=PoiChurnSpec(every=4, adds=5, removes=3),
+        description="CI smoke: 60 sessions, all Euclidean cohort kinds",
+    )
+
+
+def commuter_rush() -> ScenarioSpec:
+    """10^4 road-network sessions: morning commute plus a stadium crowd."""
+    return ScenarioSpec(
+        name="commuter_rush",
+        seed=2013,
+        ticks=60,
+        space=CityGraphSpaceSpec(
+            grid_size=22, graph_seed=17, n_pois=130, poi_seed=23
+        ),
+        cohorts=(
+            CohortSpec(
+                name="commuters",
+                kind="commuter",
+                sessions=7000,
+                group_size=3,
+                first_tick=0,
+                last_tick=45,
+                lifetime=16,
+                speed=1.2,
+                policies=("net_circle",),
+            ),
+            CohortSpec(
+                name="match_crowd",
+                kind="event_crowd",
+                sessions=3000,
+                group_size=3,
+                first_tick=10,
+                last_tick=40,
+                lifetime=14,
+                speed=0.9,
+                policies=("net_circle",),
+            ),
+        ),
+        poi_churn=PoiChurnSpec(every=12, adds=6, removes=3),
+        description="10k sessions over a city road graph",
+    )
+
+
+def metro_fleet() -> ScenarioSpec:
+    """The recorded 10^5-session metro: fleets, wanderers, two stadiums."""
+    return ScenarioSpec(
+        name="metro_fleet",
+        seed=420013,
+        ticks=205,
+        space=EuclideanSpaceSpec(
+            world=(0.0, 0.0, 20000.0, 20000.0), n_pois=2500, poi_seed=7
+        ),
+        cohorts=(
+            CohortSpec(
+                name="delivery_fleet",
+                kind="delivery",
+                sessions=40320,
+                group_size=2,
+                first_tick=0,
+                last_tick=180,
+                lifetime=22,
+                speed=22.0,
+                spawn_spread=120.0,
+                policies=("circle",),
+            ),
+            CohortSpec(
+                name="wanderers",
+                kind="wanderer",
+                sessions=35280,
+                group_size=2,
+                first_tick=0,
+                last_tick=180,
+                lifetime=24,
+                speed=14.0,
+                spawn_spread=90.0,
+                policies=("circle",),
+            ),
+            CohortSpec(
+                name="stadium_north",
+                kind="event_crowd",
+                sessions=13200,
+                group_size=3,
+                first_tick=20,
+                last_tick=120,
+                lifetime=26,
+                speed=18.0,
+                spawn_spread=150.0,
+                policies=("circle",),
+            ),
+            CohortSpec(
+                name="stadium_south",
+                kind="event_crowd",
+                sessions=12000,
+                group_size=3,
+                first_tick=60,
+                last_tick=170,
+                lifetime=26,
+                speed=18.0,
+                spawn_spread=150.0,
+                policies=("circle",),
+            ),
+        ),
+        poi_churn=PoiChurnSpec(every=15, adds=20, removes=10),
+        description="100,800 sessions streamed in ticks; peak live ~14k",
+    )
+
+
+PRESETS = {
+    "smoke": smoke,
+    "commuter_rush": commuter_rush,
+    "metro_fleet": metro_fleet,
+}
+
+
+def get_preset(name: str) -> ScenarioSpec:
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None

@@ -1,0 +1,170 @@
+"""Per-tick measurements of a scenario run.
+
+The recorder sits between the runner and the backend: the runner times
+every dispatch-layer call it makes (opens, the tick's ``report_many``
+wave, churn batches, closes) and hands the recorder one
+:class:`TickStats` worth of numbers per tick.  At the end,
+:meth:`ScenarioRecorder.summary` rolls the series into the shape
+``benchmarks/record_bench.py --suite fleet`` appends to
+``BENCH_fleet.json``: pooled and per-tick p50/p99 dispatch latency,
+notification counts by cause, the per-tick notification distribution,
+and per-shard load via :func:`repro.cluster.load.collect_shard_loads`.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.load import collect_shard_loads
+
+
+def quantiles_ms(seconds: list[float]) -> tuple[float, float]:
+    """(p50, p99) of a latency sample, in milliseconds."""
+    if not seconds:
+        return (0.0, 0.0)
+    if len(seconds) == 1:
+        return (seconds[0] * 1000.0, seconds[0] * 1000.0)
+    grid = statistics.quantiles(sorted(seconds), n=100, method="inclusive")
+    return (grid[49] * 1000.0, grid[98] * 1000.0)
+
+
+@dataclass
+class TickStats:
+    """One tick's worth of measurements."""
+
+    tick: int
+    opens: int = 0
+    closes: int = 0
+    live: int = 0
+    wave_events: int = 0
+    notifications: int = 0  # report-wave notifications this tick
+    churn_notifications: int = 0  # Lemma-1 re-notifications from POI churn
+    calls: int = 0  # dispatch-layer calls timed this tick
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    wave_ms: float = 0.0  # wall-clock of the tick's report_many wave
+    latencies: list[float] = field(default_factory=list, repr=False)
+
+    def record_call(self, seconds: float) -> None:
+        self.latencies.append(seconds)
+
+    def finish(self) -> None:
+        """Fold the raw latency sample into the tick's quantiles."""
+        self.calls = len(self.latencies)
+        self.p50_ms, self.p99_ms = quantiles_ms(self.latencies)
+
+
+class ScenarioRecorder:
+    """Accumulates :class:`TickStats` and the end-of-run summary."""
+
+    def __init__(self, backend=None):
+        self.backend = backend
+        self.ticks: list[TickStats] = []
+        self._current: Optional[TickStats] = None
+        self._own_baselines: dict[int, tuple[int, int]] = {}
+        self.shard_load_series: list[dict[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Runner-facing protocol
+    # ------------------------------------------------------------------
+
+    def begin_tick(self, tick: int) -> TickStats:
+        self._current = TickStats(tick=tick)
+        return self._current
+
+    def end_tick(self) -> TickStats:
+        stats = self._current
+        if stats is None:
+            raise RuntimeError("end_tick without begin_tick")
+        stats.finish()
+        self.ticks.append(stats)
+        self._current = None
+        loads = self._shard_loads()
+        if loads is not None:
+            self.shard_load_series.append(
+                {load.shard_id: load.score for load in loads}
+            )
+        return stats
+
+    def _shard_loads(self):
+        """Per-shard load rows, for any backend that can produce them.
+
+        Cluster front doors expose ``shard_loads()`` directly; a bare
+        :class:`~repro.service.MPNService` qualifies as a single
+        "shard" for :func:`collect_shard_loads` (its ``metrics`` is an
+        attribute, not a method).  Backends where ``metrics`` is a
+        remote *call* (``RemoteBackend``) are skipped rather than
+        charged a wire round-trip per tick.
+        """
+        backend = self.backend
+        if backend is None:
+            return None
+        loads_fn = getattr(backend, "shard_loads", None)
+        if callable(loads_fn):
+            return loads_fn()
+        metrics = getattr(backend, "metrics", None)
+        if metrics is None or callable(metrics):
+            return None
+        return collect_shard_loads({0: backend}, self._own_baselines)
+
+    # ------------------------------------------------------------------
+    # Rollup
+    # ------------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """The run's aggregate shape, JSON-ready."""
+        pooled = [s for tick in self.ticks for s in tick.latencies]
+        p50, p99 = quantiles_ms(pooled)
+        per_tick_notifications = [
+            t.notifications + t.churn_notifications for t in self.ticks
+        ]
+        return {
+            "ticks": len(self.ticks),
+            "dispatch_calls": len(pooled),
+            "p50_ms": p50,
+            "p99_ms": p99,
+            "total_notifications": sum(t.notifications for t in self.ticks),
+            "total_churn_notifications": sum(
+                t.churn_notifications for t in self.ticks
+            ),
+            "total_wave_events": sum(t.wave_events for t in self.ticks),
+            "peak_live": max((t.live for t in self.ticks), default=0),
+            "notifications_per_tick": _distribution(per_tick_notifications),
+            "tick_p99_ms": _distribution([t.p99_ms for t in self.ticks]),
+            "per_tick": [
+                {
+                    "tick": t.tick,
+                    "live": t.live,
+                    "opens": t.opens,
+                    "closes": t.closes,
+                    "wave_events": t.wave_events,
+                    "notifications": t.notifications
+                    + t.churn_notifications,
+                    "p50_ms": round(t.p50_ms, 4),
+                    "p99_ms": round(t.p99_ms, 4),
+                }
+                for t in self.ticks
+            ],
+            "final_shard_scores": (
+                self.shard_load_series[-1] if self.shard_load_series else None
+            ),
+        }
+
+
+def _distribution(values: list) -> dict:
+    """min/p50/p99/max of a per-tick series."""
+    if not values:
+        return {"min": 0, "p50": 0, "p99": 0, "max": 0}
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        lone = ordered[0]
+        return {"min": lone, "p50": lone, "p99": lone, "max": lone}
+    grid = statistics.quantiles(ordered, n=100, method="inclusive")
+    return {
+        "min": ordered[0],
+        "p50": grid[49],
+        "p99": grid[98],
+        "max": ordered[-1],
+    }

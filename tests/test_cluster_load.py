@@ -1,0 +1,154 @@
+"""Unit tests for per-shard load accounting (`repro.cluster.load`).
+
+The module backs elastic decisions on both cluster front doors, so its
+delta-read semantics — every ``collect_shard_loads`` call is a rate
+window since the previous call, not a lifetime total — and the
+``hot_shards`` threshold edges get pinned here.
+"""
+
+from repro.cluster.load import ShardLoad, collect_shard_loads, hot_shards
+from repro.simulation.metrics import SimulationMetrics
+
+
+class FakeShard:
+    """The minimal surface ``collect_shard_loads`` reads."""
+
+    def __init__(self, sessions=0, messages=0, updates=0):
+        self.metrics = SimulationMetrics()
+        self.metrics.messages_up = messages  # messages_total sums up+down
+        self.metrics.update_events = updates
+        self._sessions = list(range(sessions))
+
+    def session_ids(self):
+        return list(self._sessions)
+
+
+class TestShardLoad:
+    def test_score_is_messages_plus_recomputations(self):
+        load = ShardLoad(shard_id=3, sessions=9, messages=40, recomputations=7)
+        assert load.score == 47
+
+    def test_frozen(self):
+        load = ShardLoad(0, 1, 2, 3)
+        try:
+            load.messages = 99
+        except AttributeError:
+            pass
+        else:
+            raise AssertionError("ShardLoad should be frozen")
+
+
+class TestCollectShardLoads:
+    def test_first_read_starts_from_zero(self):
+        shards = {0: FakeShard(sessions=4, messages=10, updates=2)}
+        baselines = {}
+        [load] = collect_shard_loads(shards, baselines)
+        assert load == ShardLoad(
+            shard_id=0, sessions=4, messages=10, recomputations=2
+        )
+
+    def test_second_read_is_a_delta_window(self):
+        shard = FakeShard(sessions=2, messages=10, updates=3)
+        baselines = {}
+        collect_shard_loads({5: shard}, baselines)
+        shard.metrics.messages_up += 7
+        shard.metrics.update_events += 1
+        [load] = collect_shard_loads({5: shard}, baselines)
+        assert (load.messages, load.recomputations) == (7, 1)
+
+    def test_idle_window_reads_zero(self):
+        shard = FakeShard(sessions=2, messages=100, updates=50)
+        baselines = {}
+        collect_shard_loads({0: shard}, baselines)
+        [load] = collect_shard_loads({0: shard}, baselines)
+        assert (load.messages, load.recomputations) == (0, 0)
+        assert load.sessions == 2  # session count is resident, not a delta
+
+    def test_baselines_mutated_in_place(self):
+        shard = FakeShard(messages=10, updates=4)
+        baselines = {}
+        collect_shard_loads({2: shard}, baselines)
+        assert baselines == {2: (10, 4)}
+
+    def test_unknown_shard_joins_with_zero_baseline(self):
+        veteran = FakeShard(messages=6, updates=1)
+        baselines = {}
+        collect_shard_loads({0: veteran}, baselines)
+        newcomer = FakeShard(messages=9, updates=2)
+        loads = collect_shard_loads({0: veteran, 1: newcomer}, baselines)
+        by_id = {load.shard_id: load for load in loads}
+        # The veteran's window is empty; the newcomer charges its full
+        # lifetime total on first read.
+        assert by_id[0].messages == 0
+        assert by_id[1].messages == 9
+        assert by_id[1].recomputations == 2
+
+    def test_rows_come_back_in_shard_id_order(self):
+        shards = {7: FakeShard(), 1: FakeShard(), 4: FakeShard()}
+        loads = collect_shard_loads(shards, {})
+        assert [load.shard_id for load in loads] == [1, 4, 7]
+
+    def test_mpn_service_qualifies_as_a_shard(self):
+        # The documented contract: anything with ``metrics`` (attribute)
+        # and ``session_ids()`` works — MPNService included.
+        from repro.service.service import MPNService
+        from repro.workloads.poi import build_poi_tree, uniform_pois
+        from repro.geometry.rect import Rect
+        from repro.geometry.point import Point
+        from repro.service.messages import MemberState
+        from repro.simulation.policies import circle_policy
+
+        service = MPNService(
+            build_poi_tree(uniform_pois(50, Rect(0, 0, 100, 100), seed=3))
+        )
+        baselines = {}
+        [idle] = collect_shard_loads({0: service}, baselines)
+        assert (idle.sessions, idle.messages) == (0, 0)
+        service.open_session(
+            [MemberState(Point(10, 10)), MemberState(Point(20, 20))],
+            circle_policy(),
+        )
+        [busy] = collect_shard_loads({0: service}, baselines)
+        assert busy.sessions == 1
+        assert busy.messages > 0
+        assert busy.recomputations > 0
+
+
+def loads(*scores):
+    return [
+        ShardLoad(shard_id=i, sessions=0, messages=score, recomputations=0)
+        for i, score in enumerate(scores)
+    ]
+
+
+class TestHotShards:
+    def test_single_shard_never_flags_itself(self):
+        assert hot_shards(loads(1_000_000)) == []
+
+    def test_empty_cluster_has_no_hot_shards(self):
+        assert hot_shards([]) == []
+
+    def test_idle_cluster_has_no_hot_shards(self):
+        assert hot_shards(loads(0, 0, 0)) == []
+
+    def test_strictly_above_threshold_flags(self):
+        # mean = 25, threshold 2.0 -> cutoff 50; 90 > 50 flags, the
+        # quiet peers do not.
+        assert hot_shards(loads(90, 5, 5, 0)) == [0]
+
+    def test_exactly_at_threshold_does_not_flag(self):
+        # Scores (60, 20, 10, 30): mean 30, cutoff 60 — the comparison
+        # is strict, so 60 stays cold.
+        assert hot_shards(loads(60, 20, 10, 30)) == []
+
+    def test_threshold_is_tunable(self):
+        rows = loads(40, 20, 30)  # mean 30
+        assert hot_shards(rows, threshold=1.0) == [0]
+        assert hot_shards(rows, threshold=1.4) == []
+
+    def test_uniform_load_is_never_hot(self):
+        assert hot_shards(loads(50, 50, 50, 50)) == []
+
+    def test_multiple_hot_shards_in_id_order(self):
+        # Scores (100, 1, 1, 100, 1): mean ~40.6, cutoff ~81.2.
+        assert hot_shards(loads(100, 1, 1, 100, 1)) == [0, 3]
